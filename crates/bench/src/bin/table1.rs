@@ -1,0 +1,8 @@
+//! Regenerates Table I: the benchmark-kernel inventory.
+
+use sva_bench::with_banner;
+use sva_soc::experiments::table1;
+
+fn main() {
+    with_banner("Table I: evaluated kernels", table1::render);
+}

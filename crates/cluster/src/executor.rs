@@ -1,0 +1,420 @@
+//! The double-buffered kernel executor.
+//!
+//! The executor plays the role of the cluster's runtime: it walks the
+//! kernel's tiles, keeps the DMA engine working one tile ahead of the compute
+//! cores (double buffering), and accounts time in two regions exactly as the
+//! paper does:
+//!
+//! * **DMA wait** — cycles the compute cores spend stalled because the data
+//!   they need has not arrived (or final results are still draining);
+//! * **compute** — cycles spent executing the tile on the PEs.
+//!
+//! With double buffering and a compute-bound kernel the DMA-wait region tends
+//! to zero even when megabytes are transferred; with the IOMMU enabled and no
+//! LLC, translation stalls eat into the overlap and the DMA-wait region grows
+//! — that difference is Table II.
+
+use serde::{Deserialize, Serialize};
+use sva_common::{Cycles, Result};
+use sva_iommu::Iommu;
+use sva_mem::MemorySystem;
+
+use crate::dma::{DmaConfig, DmaEngine, DmaStats};
+use crate::kernel::DeviceKernel;
+use crate::pe::ClusterGeometry;
+use crate::tcdm::Tcdm;
+
+/// Configuration of the cluster executor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Cluster geometry (PE count, TCDM size).
+    pub geometry: ClusterGeometry,
+    /// DMA engine configuration.
+    pub dma: DmaConfig,
+    /// Whether tile transfers are overlapped with compute (double buffering).
+    /// Disabling it is an ablation; all paper experiments have it on.
+    pub double_buffer: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            geometry: ClusterGeometry::default(),
+            dma: DmaConfig::default(),
+            double_buffer: true,
+        }
+    }
+}
+
+/// Timing breakdown of one kernel run on the cluster.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelRunStats {
+    /// Total runtime of the kernel on the device.
+    pub total: Cycles,
+    /// Cycles the compute cores spent waiting for DMA transfers.
+    pub dma_wait: Cycles,
+    /// Cycles spent computing tiles.
+    pub compute: Cycles,
+    /// Number of tiles executed.
+    pub tiles: u64,
+    /// DMA engine statistics for this run.
+    pub dma: DmaStats,
+}
+
+impl KernelRunStats {
+    /// Fraction of the runtime spent waiting for DMA (the "% DMA" rows of
+    /// Table II).
+    pub fn dma_fraction(&self) -> f64 {
+        self.dma_wait.fraction_of(self.total)
+    }
+}
+
+/// The cluster executor: TCDM + DMA engine + run loop.
+#[derive(Clone, Debug)]
+pub struct ClusterExecutor {
+    config: ClusterConfig,
+    tcdm: Tcdm,
+    dma: DmaEngine,
+}
+
+impl ClusterExecutor {
+    /// Creates an executor with the given configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self {
+            tcdm: Tcdm::new(config.geometry.tcdm_bytes),
+            dma: DmaEngine::new(config.dma),
+            config,
+        }
+    }
+
+    /// The executor configuration.
+    pub const fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The cluster's TCDM (e.g. to pre-load lookup tables in tests).
+    pub fn tcdm_mut(&mut self) -> &mut Tcdm {
+        &mut self.tcdm
+    }
+
+    /// Runs a kernel to completion and returns its timing breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IOMMU faults and TCDM/memory range errors.
+    pub fn run(
+        &mut self,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        kernel: &mut dyn DeviceKernel,
+    ) -> Result<KernelRunStats> {
+        self.dma.reset_stats();
+        let n = kernel.num_tiles();
+        let mut stats = KernelRunStats {
+            tiles: n as u64,
+            ..KernelRunStats::default()
+        };
+        if n == 0 {
+            return Ok(stats);
+        }
+
+        let mut now = Cycles::ZERO;
+        // Completion time of the input transfers of each tile.
+        let mut input_ready: Vec<Option<Cycles>> = vec![None; n];
+
+        // Prefetch the first tile. `dma_free` tracks the completion time of
+        // the most recently issued DMA batch; the engine processes batches in
+        // issue order.
+        let first_io = kernel.tile_io(0);
+        let mut dma_free = self
+            .dma
+            .execute(mem, iommu, &mut self.tcdm, &first_io.inputs, now)?;
+        input_ready[0] = Some(dma_free);
+
+        for tile in 0..n {
+            // Wait for this tile's inputs.
+            let ready = input_ready[tile].expect("inputs of the current tile were issued");
+            if ready > now {
+                stats.dma_wait += ready - now;
+                now = ready;
+            }
+
+            // Kick off the next tile's inputs so they overlap with compute.
+            if self.config.double_buffer && tile + 1 < n {
+                let next_io = kernel.tile_io(tile + 1);
+                dma_free = self.dma.execute(
+                    mem,
+                    iommu,
+                    &mut self.tcdm,
+                    &next_io.inputs,
+                    now.max(dma_free),
+                )?;
+                input_ready[tile + 1] = Some(dma_free);
+            }
+
+            // Compute the tile.
+            let compute = kernel.compute_tile(tile, &mut self.tcdm)?;
+            stats.compute += compute;
+            now += compute;
+
+            // Write back this tile's outputs (overlaps with the next tile's
+            // compute when double buffering).
+            let io = kernel.tile_io(tile);
+            dma_free = self.dma.execute(
+                mem,
+                iommu,
+                &mut self.tcdm,
+                &io.outputs,
+                now.max(dma_free),
+            )?;
+
+            if !self.config.double_buffer {
+                // Single-buffered ablation: wait for the write-back before
+                // reusing the buffers, and only then fetch the next tile.
+                if dma_free > now {
+                    stats.dma_wait += dma_free - now;
+                    now = dma_free;
+                }
+                if tile + 1 < n {
+                    let next_io = kernel.tile_io(tile + 1);
+                    dma_free = self.dma.execute(
+                        mem,
+                        iommu,
+                        &mut self.tcdm,
+                        &next_io.inputs,
+                        now.max(dma_free),
+                    )?;
+                    input_ready[tile + 1] = Some(dma_free);
+                }
+            }
+        }
+
+        // Drain the final write-backs.
+        if dma_free > now {
+            stats.dma_wait += dma_free - now;
+            now = dma_free;
+        }
+
+        stats.total = now;
+        stats.dma = *self.dma.stats();
+        Ok(stats)
+    }
+}
+
+impl Default for ClusterExecutor {
+    fn default() -> Self {
+        Self::new(ClusterConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dma::DmaRequest;
+    use crate::kernel::TileIo;
+    use sva_axi::addrmap::{DRAM_BASE, LLC_BYPASS_OFFSET};
+    use sva_common::Iova;
+    use sva_iommu::IommuConfig;
+    use sva_mem::MemSysConfig;
+    use sva_common::PhysAddr;
+
+    /// A synthetic kernel that streams `tiles` tiles of `tile_bytes` each and
+    /// spends a configurable number of compute cycles per tile, doubling
+    /// every value it touches.
+    struct StreamKernel {
+        tiles: usize,
+        tile_bytes: u64,
+        compute_per_tile: Cycles,
+        src: u64,
+        dst: u64,
+    }
+
+    impl DeviceKernel for StreamKernel {
+        fn name(&self) -> &str {
+            "stream"
+        }
+
+        fn num_tiles(&self) -> usize {
+            self.tiles
+        }
+
+        fn tile_io(&self, tile: usize) -> TileIo {
+            let buf = (tile % 2) as u64 * self.tile_bytes;
+            let off = tile as u64 * self.tile_bytes;
+            TileIo {
+                inputs: vec![DmaRequest::input(
+                    Iova::new(self.src + off),
+                    buf,
+                    self.tile_bytes,
+                )],
+                outputs: vec![DmaRequest::output(
+                    Iova::new(self.dst + off),
+                    buf,
+                    self.tile_bytes,
+                )],
+            }
+        }
+
+        fn compute_tile(&mut self, tile: usize, tcdm: &mut Tcdm) -> Result<Cycles> {
+            let buf = (tile % 2) as u64 * self.tile_bytes;
+            for i in 0..self.tile_bytes / 4 {
+                let v = tcdm.read_f32(buf + i * 4);
+                tcdm.write_f32(buf + i * 4, v * 2.0);
+            }
+            Ok(self.compute_per_tile)
+        }
+    }
+
+    fn setup(latency: u64) -> (MemorySystem, Iommu) {
+        let mem = MemorySystem::new(MemSysConfig {
+            dram_latency: Cycles::new(latency),
+            ..MemSysConfig::default()
+        });
+        let iommu = Iommu::new(IommuConfig::disabled());
+        (mem, iommu)
+    }
+
+    fn bypass(offset: u64) -> u64 {
+        DRAM_BASE + LLC_BYPASS_OFFSET + offset
+    }
+
+    #[test]
+    fn kernel_computes_correct_results() {
+        let (mut mem, mut iommu) = setup(200);
+        let n_f32 = 4096usize;
+        let src_vals: Vec<f32> = (0..n_f32).map(|i| i as f32).collect();
+        let bytes: Vec<u8> = src_vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        mem.write_phys(PhysAddr::new(DRAM_BASE + 0x10_0000), &bytes).unwrap();
+
+        let mut kernel = StreamKernel {
+            tiles: 8,
+            tile_bytes: (n_f32 * 4 / 8) as u64,
+            compute_per_tile: Cycles::new(500),
+            src: bypass(0x10_0000),
+            dst: bypass(0x20_0000),
+        };
+        let mut exec = ClusterExecutor::default();
+        let stats = exec.run(&mut mem, &mut iommu, &mut kernel).unwrap();
+
+        let mut out = vec![0u8; bytes.len()];
+        mem.read_phys(PhysAddr::new(DRAM_BASE + 0x20_0000), &mut out).unwrap();
+        for (i, chunk) in out.chunks_exact(4).enumerate() {
+            let v = f32::from_le_bytes(chunk.try_into().unwrap());
+            assert_eq!(v, 2.0 * i as f32, "element {i}");
+        }
+        assert_eq!(stats.tiles, 8);
+        assert_eq!(stats.compute, Cycles::new(4000));
+        assert!(stats.total > stats.compute);
+        assert_eq!(stats.dma.bytes, 2 * bytes.len() as u64);
+    }
+
+    #[test]
+    fn compute_bound_kernel_hides_dma() {
+        let (mut mem, mut iommu) = setup(200);
+        let mut kernel = StreamKernel {
+            tiles: 16,
+            tile_bytes: 2048,
+            compute_per_tile: Cycles::new(20_000),
+            src: bypass(0),
+            dst: bypass(0x100_0000),
+        };
+        let mut exec = ClusterExecutor::default();
+        let stats = exec.run(&mut mem, &mut iommu, &mut kernel).unwrap();
+        assert!(
+            stats.dma_fraction() < 0.05,
+            "compute-bound kernel should hide DMA, got {:.1}%",
+            stats.dma_fraction() * 100.0
+        );
+    }
+
+    #[test]
+    fn memory_bound_kernel_waits_for_dma() {
+        let (mut mem, mut iommu) = setup(1000);
+        let mut kernel = StreamKernel {
+            tiles: 16,
+            tile_bytes: 8192,
+            compute_per_tile: Cycles::new(100),
+            src: bypass(0),
+            dst: bypass(0x100_0000),
+        };
+        let mut exec = ClusterExecutor::default();
+        let stats = exec.run(&mut mem, &mut iommu, &mut kernel).unwrap();
+        assert!(
+            stats.dma_fraction() > 0.5,
+            "memory-bound kernel should be dominated by DMA, got {:.1}%",
+            stats.dma_fraction() * 100.0
+        );
+    }
+
+    #[test]
+    fn dma_wait_grows_with_memory_latency() {
+        let run = |latency| {
+            let (mut mem, mut iommu) = setup(latency);
+            let mut kernel = StreamKernel {
+                tiles: 8,
+                tile_bytes: 8192,
+                compute_per_tile: Cycles::new(2_000),
+                src: bypass(0),
+                dst: bypass(0x100_0000),
+            };
+            let mut exec = ClusterExecutor::default();
+            exec.run(&mut mem, &mut iommu, &mut kernel).unwrap()
+        };
+        let fast = run(200);
+        let slow = run(1000);
+        assert!(slow.dma_wait > fast.dma_wait);
+        assert!(slow.total > fast.total);
+        assert_eq!(slow.compute, fast.compute);
+    }
+
+    #[test]
+    fn double_buffering_beats_single_buffering() {
+        let run = |double_buffer| {
+            let (mut mem, mut iommu) = setup(600);
+            let mut kernel = StreamKernel {
+                tiles: 16,
+                tile_bytes: 4096,
+                compute_per_tile: Cycles::new(3_000),
+                src: bypass(0),
+                dst: bypass(0x100_0000),
+            };
+            let mut exec = ClusterExecutor::new(ClusterConfig {
+                double_buffer,
+                ..ClusterConfig::default()
+            });
+            exec.run(&mut mem, &mut iommu, &mut kernel).unwrap()
+        };
+        let double = run(true);
+        let single = run(false);
+        assert!(
+            double.total < single.total,
+            "double buffering ({}) should beat single buffering ({})",
+            double.total,
+            single.total
+        );
+    }
+
+    #[test]
+    fn empty_kernel_returns_zero_stats() {
+        let (mut mem, mut iommu) = setup(200);
+        struct Empty;
+        impl DeviceKernel for Empty {
+            fn name(&self) -> &str {
+                "empty"
+            }
+            fn num_tiles(&self) -> usize {
+                0
+            }
+            fn tile_io(&self, _tile: usize) -> TileIo {
+                TileIo::new()
+            }
+            fn compute_tile(&mut self, _tile: usize, _tcdm: &mut Tcdm) -> Result<Cycles> {
+                Ok(Cycles::ZERO)
+            }
+        }
+        let mut exec = ClusterExecutor::default();
+        let stats = exec.run(&mut mem, &mut iommu, &mut Empty).unwrap();
+        assert_eq!(stats.total, Cycles::ZERO);
+        assert_eq!(stats.tiles, 0);
+    }
+}

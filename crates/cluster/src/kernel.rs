@@ -1,0 +1,88 @@
+//! The interface device kernels implement.
+//!
+//! A device kernel describes its execution as a sequence of **tiles**: for
+//! each tile it lists the DMA transfers that bring the tile's inputs into the
+//! TCDM, the compute performed on the TCDM-resident data, and the transfers
+//! that write the results back. The executor (see [`crate::executor`])
+//! schedules these phases with double buffering, exactly like the
+//! hand-written Snitch kernels of the paper.
+
+use sva_common::{Cycles, Result};
+
+use crate::dma::DmaRequest;
+use crate::tcdm::Tcdm;
+
+/// The DMA work attached to one tile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TileIo {
+    /// Transfers that must complete before the tile can be computed.
+    pub inputs: Vec<DmaRequest>,
+    /// Transfers that write the tile's results back to external memory.
+    pub outputs: Vec<DmaRequest>,
+}
+
+impl TileIo {
+    /// Creates an empty descriptor (a tile with no external I/O).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes moved into the TCDM for this tile.
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs.iter().map(|r| r.len).sum()
+    }
+
+    /// Total bytes written back from the TCDM for this tile.
+    pub fn output_bytes(&self) -> u64 {
+        self.outputs.iter().map(|r| r.len).sum()
+    }
+}
+
+/// A kernel executable on the accelerator cluster.
+///
+/// Implementations both *model the timing* (by returning the compute cycles
+/// of each tile, usually via [`crate::pe::PeCost`]) and *perform the
+/// computation* on the TCDM contents, so results can be verified against a
+/// host reference.
+pub trait DeviceKernel {
+    /// Human-readable kernel name (e.g. `"gemm"`).
+    fn name(&self) -> &str;
+
+    /// Number of tiles the kernel is split into.
+    fn num_tiles(&self) -> usize;
+
+    /// The DMA transfers of tile `tile`.
+    ///
+    /// Implementations alternate TCDM buffers between even and odd tiles so
+    /// the executor can overlap tile `i+1` transfers with tile `i` compute.
+    fn tile_io(&self, tile: usize) -> TileIo;
+
+    /// Computes tile `tile` on the TCDM-resident data and returns the
+    /// host-domain cycles the compute phase takes on the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tile layout does not fit the TCDM (a kernel
+    /// configuration bug).
+    fn compute_tile(&mut self, tile: usize, tcdm: &mut Tcdm) -> Result<Cycles>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sva_common::Iova;
+
+    #[test]
+    fn tile_io_byte_accounting() {
+        let io = TileIo {
+            inputs: vec![
+                DmaRequest::input(Iova::new(0x1000), 0, 256),
+                DmaRequest::input(Iova::new(0x2000), 256, 128),
+            ],
+            outputs: vec![DmaRequest::output(Iova::new(0x3000), 0, 64)],
+        };
+        assert_eq!(io.input_bytes(), 384);
+        assert_eq!(io.output_bytes(), 64);
+        assert_eq!(TileIo::new().input_bytes(), 0);
+    }
+}

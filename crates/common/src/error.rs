@@ -1,0 +1,153 @@
+//! The error type shared across the workspace.
+
+use core::fmt;
+
+use crate::addr::{Iova, PhysAddr, VirtAddr};
+
+/// Convenient result alias using the workspace [`Error`] type.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors raised by the simulated platform.
+///
+/// These map onto the failure modes of the real system: page faults raised by
+/// the MMU or IOMMU, accesses that decode to no device on the crossbar,
+/// resource exhaustion in the allocators and configuration mistakes when
+/// assembling a platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A host virtual address had no valid mapping in the process page table.
+    HostPageFault {
+        /// The faulting virtual address.
+        addr: VirtAddr,
+    },
+    /// The IOMMU could not translate an IO virtual address (unmapped page or
+    /// permission violation); corresponds to an entry in the IOMMU fault
+    /// queue.
+    IoPageFault {
+        /// The faulting IO virtual address.
+        iova: Iova,
+        /// `true` if the faulting access was a write.
+        is_write: bool,
+    },
+    /// The IOMMU had no device context for the requesting device ID.
+    UnknownDevice {
+        /// Device identifier presented on the bus.
+        device_id: u32,
+    },
+    /// A physical address decoded to no target on the crossbar.
+    BusDecodeError {
+        /// The undecodable physical address.
+        addr: PhysAddr,
+    },
+    /// An access fell outside the backing storage of the targeted memory.
+    OutOfBounds {
+        /// The out-of-range physical address.
+        addr: PhysAddr,
+        /// Size of the offending access in bytes.
+        len: u64,
+    },
+    /// A physical-frame or IOVA-range allocation could not be satisfied.
+    OutOfMemory {
+        /// Human-readable description of the exhausted resource.
+        what: &'static str,
+    },
+    /// The requested buffer does not fit in the accelerator's TCDM.
+    TcdmOverflow {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// A platform or experiment configuration is inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// An offload was attempted with shared virtual addressing on a platform
+    /// built without an IOMMU.
+    IommuNotPresent,
+    /// A kernel produced results that do not match the host reference.
+    VerificationFailed {
+        /// Name of the kernel whose output mismatched.
+        kernel: String,
+        /// Index of the first mismatching element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::HostPageFault { addr } => write!(f, "host page fault at {addr}"),
+            Error::IoPageFault { iova, is_write } => write!(
+                f,
+                "IO page fault at {iova} ({} access)",
+                if *is_write { "write" } else { "read" }
+            ),
+            Error::UnknownDevice { device_id } => {
+                write!(f, "no device context for device id {device_id}")
+            }
+            Error::BusDecodeError { addr } => {
+                write!(f, "bus decode error: no target for address {addr}")
+            }
+            Error::OutOfBounds { addr, len } => {
+                write!(f, "access of {len} bytes at {addr} is out of bounds")
+            }
+            Error::OutOfMemory { what } => write!(f, "out of memory: {what}"),
+            Error::TcdmOverflow {
+                requested,
+                available,
+            } => write!(
+                f,
+                "TCDM overflow: requested {requested} bytes, only {available} available"
+            ),
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::IommuNotPresent => {
+                write!(f, "shared virtual addressing requested but no IOMMU present")
+            }
+            Error::VerificationFailed { kernel, index } => write!(
+                f,
+                "verification failed for kernel {kernel} at element {index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let cases: Vec<Error> = vec![
+            Error::HostPageFault {
+                addr: VirtAddr::new(0x1000),
+            },
+            Error::IoPageFault {
+                iova: Iova::new(0x2000),
+                is_write: true,
+            },
+            Error::UnknownDevice { device_id: 3 },
+            Error::BusDecodeError {
+                addr: PhysAddr::new(0xFFFF_FFFF),
+            },
+            Error::OutOfMemory { what: "IOVA space" },
+            Error::IommuNotPresent,
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("IO"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

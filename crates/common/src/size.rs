@@ -1,0 +1,71 @@
+//! Byte-size constants and formatting helpers.
+
+/// One kibibyte (1024 bytes).
+pub const KIB: u64 = 1024;
+
+/// One mebibyte (1024 KiB).
+pub const MIB: u64 = 1024 * KIB;
+
+/// One gibibyte (1024 MiB).
+pub const GIB: u64 = 1024 * MIB;
+
+/// Formats a byte count using binary units with one decimal digit, e.g.
+/// `"128.0 KiB"` or `"2.0 GiB"`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sva_common::size::format_bytes(128 * 1024), "128.0 KiB");
+/// assert_eq!(sva_common::size::format_bytes(512), "512 B");
+/// ```
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a cycle count in engineering notation matching the paper's tables
+/// (e.g. `2.03e6`).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sva_common::size::format_sci(2_030_000), "2.03e6");
+/// ```
+pub fn format_sci(value: u64) -> String {
+    if value == 0 {
+        return "0".to_string();
+    }
+    let exp = (value as f64).log10().floor() as i32;
+    let mantissa = value as f64 / 10f64.powi(exp);
+    format!("{mantissa:.2}e{exp}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_bytes_selects_unit() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(1023), "1023 B");
+        assert_eq!(format_bytes(KIB), "1.0 KiB");
+        assert_eq!(format_bytes(64 * KIB), "64.0 KiB");
+        assert_eq!(format_bytes(3 * MIB / 2), "1.5 MiB");
+        assert_eq!(format_bytes(2 * GIB), "2.0 GiB");
+    }
+
+    #[test]
+    fn format_sci_matches_paper_style() {
+        assert_eq!(format_sci(2_030_000), "2.03e6");
+        assert_eq!(format_sci(493_000), "4.93e5");
+        assert_eq!(format_sci(7), "7.00e0");
+        assert_eq!(format_sci(0), "0");
+    }
+}

@@ -1,0 +1,219 @@
+//! Platform configurations.
+//!
+//! The evaluation compares three variants of the same SoC (Table II and
+//! Figure 4):
+//!
+//! * **Baseline** — no IOMMU; the accelerator addresses the physically
+//!   contiguous reserved DRAM directly (explicit copies are needed for
+//!   offloading);
+//! * **IOMMU** — the IOMMU translates device traffic, but the LLC is
+//!   disabled, so page-table walks go to DRAM;
+//! * **IOMMU + LLC** — the paper's proposal: the shared LLC caches host and
+//!   page-table-walk traffic while device DMA bypasses it.
+//!
+//! All variants share the DRAM-latency knob (the AXI delayer) swept over
+//! 200 / 600 / 1000 cycles.
+
+use serde::{Deserialize, Serialize};
+use sva_cluster::{ClusterConfig, DmaConfig};
+use sva_common::Cycles;
+use sva_host::{DriverConfig, HostCpuConfig, InterferenceLevel};
+use sva_iommu::{IommuConfig, IommuMode};
+use sva_mem::{LlcConfig, MemSysConfig};
+
+/// The three platform variants of the evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SocVariant {
+    /// No IOMMU (physical addressing, copy-based offload only).
+    Baseline,
+    /// IOMMU enabled, LLC disabled.
+    Iommu,
+    /// IOMMU enabled and the shared LLC caches host + PTW traffic.
+    IommuLlc,
+}
+
+impl SocVariant {
+    /// All variants, in the order of Table II.
+    pub const ALL: [SocVariant; 3] = [SocVariant::Baseline, SocVariant::Iommu, SocVariant::IommuLlc];
+
+    /// Label used in tables and figures.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SocVariant::Baseline => "Baseline",
+            SocVariant::Iommu => "IOMMU",
+            SocVariant::IommuLlc => "IOMMU+LLC",
+        }
+    }
+
+    /// Whether the variant instantiates the IOMMU.
+    pub const fn has_iommu(self) -> bool {
+        !matches!(self, SocVariant::Baseline)
+    }
+
+    /// Whether the variant instantiates the LLC.
+    pub const fn has_llc(self) -> bool {
+        matches!(self, SocVariant::IommuLlc | SocVariant::Baseline)
+    }
+}
+
+/// The DRAM-latency sweep used throughout the paper.
+pub const PAPER_LATENCIES: [u64; 3] = [200, 600, 1000];
+
+/// Full configuration of a platform instance.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Which of the paper's variants this is.
+    pub variant: SocVariant,
+    /// Extra DRAM latency from the AXI delayer.
+    pub dram_latency: Cycles,
+    /// Memory-system details (LLC geometry, bypass policy, ...).
+    pub mem: MemSysConfig,
+    /// Host CPU details.
+    pub cpu: HostCpuConfig,
+    /// IOMMU details (IOTLB size etc.).
+    pub iommu: IommuConfig,
+    /// Cluster details (DMA outstanding transactions, double buffering).
+    pub cluster: ClusterConfig,
+    /// Driver cost model.
+    pub driver: DriverConfig,
+    /// Synthetic host interference while the device runs (Figure 5).
+    pub interference: InterferenceLevel,
+    /// Seed for all stochastic components of a run.
+    pub seed: u64,
+}
+
+impl PlatformConfig {
+    /// Builds one of the paper's three variants at a given DRAM latency.
+    pub fn variant(variant: SocVariant, dram_latency: u64) -> Self {
+        let dram_latency = Cycles::new(dram_latency);
+        let mem = MemSysConfig {
+            dram_latency,
+            llc_enabled: variant.has_llc(),
+            llc: LlcConfig::cheshire_128k(),
+            llc_serves_ptw: true,
+            llc_serves_dma: false,
+            ..MemSysConfig::default()
+        };
+        let iommu = IommuConfig {
+            mode: if variant.has_iommu() {
+                IommuMode::Translating
+            } else {
+                IommuMode::Disabled
+            },
+            iotlb_entries: 4,
+            ..IommuConfig::default()
+        };
+        Self {
+            variant,
+            dram_latency,
+            mem,
+            cpu: HostCpuConfig::default(),
+            iommu,
+            cluster: ClusterConfig {
+                dma: DmaConfig::default(),
+                ..ClusterConfig::default()
+            },
+            driver: DriverConfig::default(),
+            interference: InterferenceLevel::Idle,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The paper's baseline platform (no IOMMU) at a given latency.
+    pub fn baseline(dram_latency: u64) -> Self {
+        Self::variant(SocVariant::Baseline, dram_latency)
+    }
+
+    /// IOMMU without LLC at a given latency.
+    pub fn iommu_no_llc(dram_latency: u64) -> Self {
+        Self::variant(SocVariant::Iommu, dram_latency)
+    }
+
+    /// IOMMU with the shared LLC at a given latency.
+    pub fn iommu_with_llc(dram_latency: u64) -> Self {
+        Self::variant(SocVariant::IommuLlc, dram_latency)
+    }
+
+    /// Returns a copy with a different IOTLB capacity (ablation).
+    pub fn with_iotlb_entries(mut self, entries: usize) -> Self {
+        self.iommu.iotlb_entries = entries;
+        self
+    }
+
+    /// Returns a copy with a different number of outstanding DMA bursts
+    /// (ablation).
+    pub fn with_dma_outstanding(mut self, outstanding: usize) -> Self {
+        self.cluster.dma.max_outstanding = outstanding;
+        self
+    }
+
+    /// Returns a copy that routes device DMA through the LLC instead of the
+    /// bypass (ablation of the paper's bypass argument).
+    pub fn with_dma_through_llc(mut self) -> Self {
+        self.mem.llc_serves_dma = true;
+        self
+    }
+
+    /// Returns a copy with the given interference level (Figure 5).
+    pub fn with_interference(mut self, level: InterferenceLevel) -> Self {
+        self.interference = level;
+        self
+    }
+
+    /// Returns a copy with double buffering disabled (ablation).
+    pub fn with_single_buffering(mut self) -> Self {
+        self.cluster.double_buffer = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_match_table2_configurations() {
+        let base = PlatformConfig::baseline(600);
+        assert!(!base.mem.llc_enabled || base.variant == SocVariant::Baseline);
+        assert_eq!(base.iommu.mode, IommuMode::Disabled);
+        assert!(base.mem.llc_enabled, "the baseline platform keeps its LLC for the host");
+
+        let no_llc = PlatformConfig::iommu_no_llc(600);
+        assert_eq!(no_llc.iommu.mode, IommuMode::Translating);
+        assert!(!no_llc.mem.llc_enabled);
+
+        let with_llc = PlatformConfig::iommu_with_llc(600);
+        assert_eq!(with_llc.iommu.mode, IommuMode::Translating);
+        assert!(with_llc.mem.llc_enabled);
+        assert!(!with_llc.mem.llc_serves_dma, "DMA must bypass the LLC by default");
+    }
+
+    #[test]
+    fn paper_iotlb_has_four_entries() {
+        for v in SocVariant::ALL {
+            assert_eq!(PlatformConfig::variant(v, 200).iommu.iotlb_entries, 4);
+        }
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = PlatformConfig::iommu_with_llc(200)
+            .with_iotlb_entries(16)
+            .with_dma_outstanding(8)
+            .with_dma_through_llc()
+            .with_single_buffering()
+            .with_interference(InterferenceLevel::RandomTraffic);
+        assert_eq!(c.iommu.iotlb_entries, 16);
+        assert_eq!(c.cluster.dma.max_outstanding, 8);
+        assert!(c.mem.llc_serves_dma);
+        assert!(!c.cluster.double_buffer);
+        assert_eq!(c.interference, InterferenceLevel::RandomTraffic);
+    }
+
+    #[test]
+    fn labels_are_paper_labels() {
+        assert_eq!(SocVariant::Baseline.label(), "Baseline");
+        assert_eq!(SocVariant::Iommu.label(), "IOMMU");
+        assert_eq!(SocVariant::IommuLlc.label(), "IOMMU+LLC");
+    }
+}

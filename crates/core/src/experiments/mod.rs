@@ -1,0 +1,28 @@
+//! One module per table / figure of the paper's evaluation.
+//!
+//! Every experiment exposes a `run` function taking explicit parameters
+//! (sweeps, problem sizes) and returning structured results, plus a
+//! `render`-style helper producing the paper-style text table. The benchmark
+//! binaries in `sva-bench` are thin wrappers around these entry points, and
+//! EXPERIMENTS.md records their output next to the paper's numbers.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table1`] | Table I — kernel inventory |
+//! | [`kernel_runtime`] | Table II and Figure 4 — device runtime and %DMA per kernel, latency and variant |
+//! | [`offload_breakdown`] | Figure 2 (left) — axpy application breakdown per offload mode |
+//! | [`copy_vs_map`] | Figure 2 (right) and Figure 3 — copy vs map time over input size and latency |
+//! | [`ptw_time`] | Figure 5 — average page-table-walk time with/without LLC and host interference |
+//! | [`ablation`] | Design-choice ablations called out in DESIGN.md (IOTLB size, DMA bypass, outstanding bursts, flush-before-map) |
+
+pub mod ablation;
+pub mod copy_vs_map;
+pub mod kernel_runtime;
+pub mod offload_breakdown;
+pub mod ptw_time;
+pub mod table1;
+
+pub use copy_vs_map::{CopyVsMapPoint, CopyVsMapResult};
+pub use kernel_runtime::{KernelRuntimePoint, KernelRuntimeResult};
+pub use offload_breakdown::{OffloadBreakdownResult, OffloadCase};
+pub use ptw_time::{PtwPoint, PtwResultSet};

@@ -1,0 +1,621 @@
+//! The heterogeneous offload runtime (OpenMP `target` model).
+//!
+//! The paper builds its applications with OpenMP target offloading on top of
+//! the driver's userspace library. Three execution flows are compared in
+//! Figure 2 and implemented here:
+//!
+//! * **host-only** — the kernel runs on the CVA6 core;
+//! * **copy-based offload** — inputs are copied into the physically
+//!   contiguous reserved DRAM, the device computes on physical addresses,
+//!   results are copied back;
+//! * **zero-copy offload (SVA)** — the user buffers are mapped into the
+//!   device's IO virtual address space (Listing 1: flush L1, flush LLC,
+//!   `create_iommu_mapping`, flush L1) and the device computes directly on
+//!   the user pages through the IOMMU.
+//!
+//! [`OffloadRunner::run`] executes a full application (used for Figure 2);
+//! [`OffloadRunner::run_device_only`] prepares the data according to the
+//! platform variant and measures only the accelerator's runtime (used for
+//! Table II / Figure 4, which exclude offload and synchronisation time).
+
+use serde::{Deserialize, Serialize};
+use sva_cluster::KernelRunStats;
+use sva_common::rng::DeterministicRng;
+use sva_common::{Cycles, Error, Iova, PhysAddr, Result, VirtAddr};
+use sva_host::{HostKernelRunner, HostRunStats, MappingHandle};
+use sva_iommu::{Iommu, IommuConfig, IommuStats};
+use sva_kernels::{BufferKind, Workload};
+
+use crate::platform::Platform;
+
+/// Host cycles to trigger an offload: writing the task descriptor and the
+/// mailbox in the L2 scratchpad and waking the cluster.
+pub const OFFLOAD_TRIGGER_CYCLES: u64 = 25_000;
+
+/// Host cycles to synchronise at the end of an offload: completion polling /
+/// interrupt handling and the OpenMP fork-join bookkeeping.
+pub const OFFLOAD_SYNC_CYCLES: u64 = 35_000;
+
+/// How a workload is executed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OffloadMode {
+    /// Single-threaded execution on the CVA6 host.
+    HostOnly,
+    /// Copy inputs to reserved DRAM, run on the device, copy results back.
+    CopyOffload,
+    /// Map the user buffers through the IOMMU and run on the device in place.
+    ZeroCopy,
+}
+
+impl OffloadMode {
+    /// Label used in reports (matches Figure 2's legend).
+    pub const fn label(self) -> &'static str {
+        match self {
+            OffloadMode::HostOnly => "host execution",
+            OffloadMode::CopyOffload => "copy + device execution",
+            OffloadMode::ZeroCopy => "map + device execution (zero-copy)",
+        }
+    }
+}
+
+/// Result of one application run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OffloadReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Execution flow used.
+    pub mode: OffloadMode,
+    /// Cycles spent copying (copy mode: in + out) or mapping (zero-copy:
+    /// cache flushes + `create_iommu_mapping`).
+    pub copy_or_map: Cycles,
+    /// Cycles spent triggering the offload and synchronising (fork/join).
+    pub offload_overhead: Cycles,
+    /// Device-side breakdown (absent for host-only runs).
+    pub device: Option<KernelRunStats>,
+    /// Host-side breakdown (present for host-only runs).
+    pub host: Option<HostRunStats>,
+    /// Cycles spent tearing the mapping down again (zero-copy only; not part
+    /// of [`OffloadReport::total`], matching the paper's breakdown).
+    pub unmap: Cycles,
+    /// End-to-end application cycles.
+    pub total: Cycles,
+    /// Whether the results matched the host reference.
+    pub verified: bool,
+    /// IOMMU statistics accumulated during the run.
+    pub iommu: IommuStats,
+}
+
+impl OffloadReport {
+    /// Device computation cycles (zero for host-only runs).
+    pub fn device_total(&self) -> Cycles {
+        self.device.map(|d| d.total).unwrap_or(Cycles::ZERO)
+    }
+}
+
+/// Result of a device-only measurement (Table II / Figures 4 and 5).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceOnlyReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Device-side breakdown.
+    pub stats: KernelRunStats,
+    /// IOMMU statistics accumulated during the run.
+    pub iommu: IommuStats,
+    /// Whether the results matched the host reference.
+    pub verified: bool,
+}
+
+/// Executes workloads on a platform.
+#[derive(Copy, Clone, Debug)]
+pub struct OffloadRunner {
+    seed: u64,
+}
+
+impl OffloadRunner {
+    /// Creates a runner; `seed` determines the workload input data, so the
+    /// same seed produces identical data across platform variants.
+    pub const fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Runs a full application in the given mode and reports the breakdown
+    /// of Figure 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IommuNotPresent`] for zero-copy runs on a platform
+    /// without an IOMMU, and propagates faults and allocation failures.
+    pub fn run(
+        &self,
+        platform: &mut Platform,
+        workload: &dyn Workload,
+        mode: OffloadMode,
+    ) -> Result<OffloadReport> {
+        let mut rng = DeterministicRng::new(self.seed);
+        let initial = workload.init(&mut rng);
+        let expected = workload.expected(&initial);
+        let buffers = self.allocate_user_buffers(platform, workload, &initial)?;
+
+        match mode {
+            OffloadMode::HostOnly => self.run_host_only(platform, workload, &buffers, &expected),
+            OffloadMode::CopyOffload => {
+                self.run_copy_offload(platform, workload, &buffers, &expected)
+            }
+            OffloadMode::ZeroCopy => self.run_zero_copy(platform, workload, &buffers, &expected),
+        }
+    }
+
+    /// Prepares data according to the platform variant (physical buffers for
+    /// the baseline, IOVA mappings otherwise) and measures only the device
+    /// execution, as Table II does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults and allocation failures.
+    pub fn run_device_only(
+        &self,
+        platform: &mut Platform,
+        workload: &dyn Workload,
+    ) -> Result<DeviceOnlyReport> {
+        let mut rng = DeterministicRng::new(self.seed);
+        let initial = workload.init(&mut rng);
+        let expected = workload.expected(&initial);
+
+        if platform.iommu.is_translating() {
+            let buffers = self.allocate_user_buffers(platform, workload, &initial)?;
+            // Listing 1: flush caches, then map right before the offload so
+            // the freshly written PTEs sit in the LLC.
+            platform.cpu.flush_l1();
+            platform.mem.flush_llc();
+            let mut handles = Vec::new();
+            for buf in &buffers {
+                let (handle, _) = platform.driver.map_buffer(
+                    &mut platform.cpu,
+                    &mut platform.mem,
+                    &mut platform.iommu,
+                    &platform.space,
+                    &mut platform.frames,
+                    buf.va,
+                    buf.bytes,
+                )?;
+                handles.push(handle);
+            }
+            platform.cpu.flush_l1();
+            platform.iommu.reset_stats();
+
+            let device_ptrs: Vec<Iova> = buffers.iter().map(|b| Iova::from_virt(b.va)).collect();
+            let mut kernel = workload.device_kernel(&device_ptrs);
+            let stats = platform.cluster.run(
+                &mut platform.mem,
+                &mut platform.iommu,
+                kernel.as_mut(),
+            )?;
+            let actual = self.read_back_virtual(platform, workload, &buffers)?;
+            let verified = workload.verify(&expected, &actual).is_ok();
+            Ok(DeviceOnlyReport {
+                kernel: workload.name().to_string(),
+                stats,
+                iommu: platform.iommu.stats(),
+                verified,
+            })
+        } else {
+            let placements = self.place_in_reserved(platform, workload, &initial)?;
+            let device_ptrs: Vec<Iova> = placements
+                .iter()
+                .map(|pa| Iova::new(platform.mem.map().remap().to_bypass(*pa).raw()))
+                .collect();
+            let mut kernel = workload.device_kernel(&device_ptrs);
+            let stats = platform.cluster.run(
+                &mut platform.mem,
+                &mut platform.iommu,
+                kernel.as_mut(),
+            )?;
+            let actual = self.read_back_physical(platform, workload, &placements)?;
+            let verified = workload.verify(&expected, &actual).is_ok();
+            Ok(DeviceOnlyReport {
+                kernel: workload.name().to_string(),
+                stats,
+                iommu: platform.iommu.stats(),
+                verified,
+            })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer management helpers
+    // ------------------------------------------------------------------
+
+    fn allocate_user_buffers(
+        &self,
+        platform: &mut Platform,
+        workload: &dyn Workload,
+        initial: &[Vec<f32>],
+    ) -> Result<Vec<UserBufferAlloc>> {
+        let specs = workload.buffers();
+        let mut out = Vec::with_capacity(specs.len());
+        for (spec, data) in specs.iter().zip(initial) {
+            let va = platform
+                .space
+                .alloc_buffer(&mut platform.mem, &mut platform.frames, spec.bytes())?;
+            platform
+                .space
+                .write_virt(&mut platform.mem, va, &f32s_to_bytes(data))?;
+            out.push(UserBufferAlloc {
+                va,
+                bytes: spec.bytes(),
+                kind: spec.kind,
+            });
+        }
+        Ok(out)
+    }
+
+    fn place_in_reserved(
+        &self,
+        platform: &mut Platform,
+        workload: &dyn Workload,
+        initial: &[Vec<f32>],
+    ) -> Result<Vec<PhysAddr>> {
+        let specs = workload.buffers();
+        let mut out = Vec::with_capacity(specs.len());
+        for (spec, data) in specs.iter().zip(initial) {
+            let pa = platform.reserved.alloc_bytes(spec.bytes())?;
+            platform.mem.write_phys(pa, &f32s_to_bytes(data))?;
+            out.push(pa);
+        }
+        Ok(out)
+    }
+
+    fn read_back_virtual(
+        &self,
+        platform: &Platform,
+        workload: &dyn Workload,
+        buffers: &[UserBufferAlloc],
+    ) -> Result<Vec<Vec<f32>>> {
+        let specs = workload.buffers();
+        let mut out = Vec::with_capacity(specs.len());
+        for (spec, buf) in specs.iter().zip(buffers) {
+            let mut bytes = vec![0u8; spec.bytes() as usize];
+            platform.space.read_virt(&platform.mem, buf.va, &mut bytes)?;
+            out.push(bytes_to_f32s(&bytes));
+        }
+        Ok(out)
+    }
+
+    fn read_back_physical(
+        &self,
+        platform: &Platform,
+        workload: &dyn Workload,
+        placements: &[PhysAddr],
+    ) -> Result<Vec<Vec<f32>>> {
+        let specs = workload.buffers();
+        let mut out = Vec::with_capacity(specs.len());
+        for (spec, pa) in specs.iter().zip(placements) {
+            let mut bytes = vec![0u8; spec.bytes() as usize];
+            platform.mem.read_phys(*pa, &mut bytes)?;
+            out.push(bytes_to_f32s(&bytes));
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // The three execution flows
+    // ------------------------------------------------------------------
+
+    fn run_host_only(
+        &self,
+        platform: &mut Platform,
+        workload: &dyn Workload,
+        buffers: &[UserBufferAlloc],
+        expected: &[Vec<f32>],
+    ) -> Result<OffloadReport> {
+        let inputs: Vec<(VirtAddr, u64)> = buffers
+            .iter()
+            .filter(|b| matches!(b.kind, BufferKind::Input | BufferKind::InOut))
+            .map(|b| (b.va, b.bytes))
+            .collect();
+        let outputs: Vec<(VirtAddr, u64)> = buffers
+            .iter()
+            .filter(|b| b.kind.is_result())
+            .map(|b| (b.va, b.bytes))
+            .collect();
+        let host = HostKernelRunner::new().run(
+            &mut platform.cpu,
+            &mut platform.mem,
+            &platform.space,
+            workload.host_cost(),
+            &inputs,
+            &outputs,
+        )?;
+
+        // Functionally, the host computes the reference result; store it so
+        // verification reflects a correct host execution.
+        let specs = workload.buffers();
+        for ((spec, buf), data) in specs.iter().zip(buffers).zip(expected) {
+            if spec.kind.is_result() {
+                platform
+                    .space
+                    .write_virt(&mut platform.mem, buf.va, &f32s_to_bytes(data))?;
+            }
+        }
+        let actual = self.read_back_virtual(platform, workload, buffers)?;
+        let verified = workload.verify(expected, &actual).is_ok();
+
+        Ok(OffloadReport {
+            kernel: workload.name().to_string(),
+            mode: OffloadMode::HostOnly,
+            copy_or_map: Cycles::ZERO,
+            offload_overhead: Cycles::ZERO,
+            device: None,
+            host: Some(host),
+            unmap: Cycles::ZERO,
+            total: host.total,
+            verified,
+            iommu: platform.iommu.stats(),
+        })
+    }
+
+    fn run_copy_offload(
+        &self,
+        platform: &mut Platform,
+        workload: &dyn Workload,
+        buffers: &[UserBufferAlloc],
+        expected: &[Vec<f32>],
+    ) -> Result<OffloadReport> {
+        // Allocate the physically contiguous shadow buffers.
+        let specs = workload.buffers();
+        let mut shadows = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            shadows.push(platform.reserved.alloc_bytes(spec.bytes())?);
+        }
+
+        // Copy inputs to the device-visible area (timed + functional).
+        let mut copy_cycles = Cycles::ZERO;
+        for (buf, pa) in buffers.iter().zip(&shadows) {
+            if buf.kind.copied_to_device() {
+                let stats = platform.copy.copy_to_device(
+                    &mut platform.cpu,
+                    &mut platform.mem,
+                    &platform.space,
+                    buf.va,
+                    *pa,
+                    buf.bytes,
+                )?;
+                copy_cycles += stats.cycles;
+            }
+        }
+
+        // Run the device on physical (bypass-window) addresses. Copy-based
+        // offloads present the bypassed device ID, so translation is off.
+        let device_ptrs: Vec<Iova> = shadows
+            .iter()
+            .map(|pa| Iova::new(platform.mem.map().remap().to_bypass(*pa).raw()))
+            .collect();
+        let mut bypass_iommu = Iommu::new(IommuConfig::disabled());
+        let mut kernel = workload.device_kernel(&device_ptrs);
+        let device = platform.cluster.run(
+            &mut platform.mem,
+            &mut bypass_iommu,
+            kernel.as_mut(),
+        )?;
+
+        // Copy the results back into the user buffers.
+        for (buf, pa) in buffers.iter().zip(&shadows) {
+            if buf.kind.copied_from_device() {
+                let stats = platform.copy.copy_from_device(
+                    &mut platform.cpu,
+                    &mut platform.mem,
+                    &platform.space,
+                    *pa,
+                    buf.va,
+                    buf.bytes,
+                )?;
+                copy_cycles += stats.cycles;
+            }
+        }
+
+        let actual = self.read_back_virtual(platform, workload, buffers)?;
+        let verified = workload.verify(expected, &actual).is_ok();
+        let overhead = Cycles::new(OFFLOAD_TRIGGER_CYCLES + OFFLOAD_SYNC_CYCLES);
+
+        Ok(OffloadReport {
+            kernel: workload.name().to_string(),
+            mode: OffloadMode::CopyOffload,
+            copy_or_map: copy_cycles,
+            offload_overhead: overhead,
+            device: Some(device),
+            host: None,
+            unmap: Cycles::ZERO,
+            total: copy_cycles + overhead + device.total,
+            verified,
+            iommu: platform.iommu.stats(),
+        })
+    }
+
+    fn run_zero_copy(
+        &self,
+        platform: &mut Platform,
+        workload: &dyn Workload,
+        buffers: &[UserBufferAlloc],
+        expected: &[Vec<f32>],
+    ) -> Result<OffloadReport> {
+        if !platform.iommu.is_translating() {
+            return Err(Error::IommuNotPresent);
+        }
+
+        // Listing 1: flush L1 and LLC so device-visible memory is coherent,
+        // then create the IOVA mappings, then flush L1 again.
+        let mut map_cycles = platform.cpu.flush_l1();
+        map_cycles += platform.mem.flush_llc();
+        let mut handles: Vec<MappingHandle> = Vec::with_capacity(buffers.len());
+        for buf in buffers {
+            let (handle, cost) = platform.driver.map_buffer(
+                &mut platform.cpu,
+                &mut platform.mem,
+                &mut platform.iommu,
+                &platform.space,
+                &mut platform.frames,
+                buf.va,
+                buf.bytes,
+            )?;
+            map_cycles += cost.cycles;
+            handles.push(handle);
+        }
+        map_cycles += platform.cpu.flush_l1();
+
+        // Device execution on IO virtual addresses.
+        let device_ptrs: Vec<Iova> = buffers.iter().map(|b| Iova::from_virt(b.va)).collect();
+        let mut kernel = workload.device_kernel(&device_ptrs);
+        let device = platform.cluster.run(
+            &mut platform.mem,
+            &mut platform.iommu,
+            kernel.as_mut(),
+        )?;
+
+        // Tear the mappings down (reported separately, like the paper).
+        let mut unmap_cycles = Cycles::ZERO;
+        for handle in handles {
+            let cost = platform.driver.unmap_buffer(
+                &mut platform.cpu,
+                &mut platform.mem,
+                &mut platform.iommu,
+                handle,
+            )?;
+            unmap_cycles += cost.cycles;
+        }
+
+        let actual = self.read_back_virtual(platform, workload, buffers)?;
+        let verified = workload.verify(expected, &actual).is_ok();
+        let overhead = Cycles::new(OFFLOAD_TRIGGER_CYCLES + OFFLOAD_SYNC_CYCLES);
+
+        Ok(OffloadReport {
+            kernel: workload.name().to_string(),
+            mode: OffloadMode::ZeroCopy,
+            copy_or_map: map_cycles,
+            offload_overhead: overhead,
+            device: Some(device),
+            host: None,
+            unmap: unmap_cycles,
+            total: map_cycles + overhead + device.total,
+            verified,
+            iommu: platform.iommu.stats(),
+        })
+    }
+}
+
+/// A user buffer allocated for a run.
+#[derive(Copy, Clone, Debug)]
+struct UserBufferAlloc {
+    va: VirtAddr,
+    bytes: u64,
+    kind: BufferKind,
+}
+
+/// Converts a slice of `f32` into little-endian bytes.
+fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Converts little-endian bytes into `f32` values.
+fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PlatformConfig, SocVariant};
+    use sva_kernels::{AxpyWorkload, GemmWorkload, KernelKind};
+
+    #[test]
+    fn bytes_roundtrip() {
+        let vals = vec![1.0f32, -2.5, 3.25, f32::MIN_POSITIVE];
+        assert_eq!(bytes_to_f32s(&f32s_to_bytes(&vals)), vals);
+    }
+
+    #[test]
+    fn zero_copy_requires_an_iommu() {
+        let mut platform = Platform::new(PlatformConfig::baseline(200)).unwrap();
+        let wl = AxpyWorkload::with_elems(4096);
+        let err = OffloadRunner::new(1).run(&mut platform, &wl, OffloadMode::ZeroCopy);
+        assert!(matches!(err, Err(Error::IommuNotPresent)));
+    }
+
+    #[test]
+    fn all_three_modes_produce_verified_results_for_axpy() {
+        let wl = AxpyWorkload::with_elems(6_000);
+        for mode in [OffloadMode::HostOnly, OffloadMode::CopyOffload, OffloadMode::ZeroCopy] {
+            let mut platform = Platform::new(PlatformConfig::iommu_with_llc(200)).unwrap();
+            let report = OffloadRunner::new(3).run(&mut platform, &wl, mode).unwrap();
+            assert!(report.verified, "{mode:?} must produce correct results");
+            assert!(report.total.raw() > 0);
+            match mode {
+                OffloadMode::HostOnly => {
+                    assert!(report.host.is_some());
+                    assert_eq!(report.copy_or_map, Cycles::ZERO);
+                }
+                OffloadMode::CopyOffload => {
+                    assert!(report.device.is_some());
+                    assert!(report.copy_or_map.raw() > 0);
+                    assert_eq!(report.unmap, Cycles::ZERO);
+                }
+                OffloadMode::ZeroCopy => {
+                    assert!(report.device.is_some());
+                    assert!(report.copy_or_map.raw() > 0);
+                    assert!(report.unmap.raw() > 0);
+                    assert!(report.iommu.translations > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_beats_copy_based_offload() {
+        let wl = AxpyWorkload::paper();
+        let mut p1 = Platform::new(PlatformConfig::iommu_with_llc(200)).unwrap();
+        let copy = OffloadRunner::new(5)
+            .run(&mut p1, &wl, OffloadMode::CopyOffload)
+            .unwrap();
+        let mut p2 = Platform::new(PlatformConfig::iommu_with_llc(200)).unwrap();
+        let zero = OffloadRunner::new(5)
+            .run(&mut p2, &wl, OffloadMode::ZeroCopy)
+            .unwrap();
+        assert!(
+            zero.total < copy.total,
+            "zero-copy ({}) must beat copy-based offload ({})",
+            zero.total,
+            copy.total
+        );
+        assert!(zero.copy_or_map < copy.copy_or_map);
+    }
+
+    #[test]
+    fn device_only_runs_verify_on_every_variant() {
+        let wl = GemmWorkload::with_dim(32);
+        for variant in SocVariant::ALL {
+            let mut platform = Platform::new(PlatformConfig::variant(variant, 200)).unwrap();
+            let report = OffloadRunner::new(11).run_device_only(&mut platform, &wl).unwrap();
+            assert!(report.verified, "{variant:?} gemm results must verify");
+            assert!(report.stats.total.raw() > 0);
+            if variant.has_iommu() {
+                assert!(report.iommu.translations > 0);
+            } else {
+                assert_eq!(report.iommu.iotlb.total(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn small_workloads_verify_end_to_end_on_the_device() {
+        for kind in KernelKind::ALL {
+            let wl = kind.small_workload();
+            let mut platform = Platform::new(PlatformConfig::iommu_with_llc(200)).unwrap();
+            let report = OffloadRunner::new(13)
+                .run_device_only(&mut platform, wl.as_ref())
+                .unwrap();
+            assert!(report.verified, "{kind:?} device results must match the reference");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The assembled prototype platform (Figure 1 of the paper).
+
+use sva_cluster::ClusterExecutor;
+use sva_common::rng::DeterministicRng;
+use sva_common::Result;
+use sva_host::{CopyEngine, HostCpu, IommuDriver};
+use sva_iommu::Iommu;
+use sva_mem::MemorySystem;
+use sva_vm::{AddressSpace, FrameAllocator};
+
+use crate::config::PlatformConfig;
+
+/// The full SoC: host subsystem, IOMMU, accelerator cluster, memory system
+/// and the software state (process address space, driver, allocators).
+#[derive(Clone, Debug)]
+pub struct Platform {
+    config: PlatformConfig,
+    /// The shared memory system (LLC, DRAM, delayer, L2 SPM).
+    pub mem: MemorySystem,
+    /// The CVA6 host core.
+    pub cpu: HostCpu,
+    /// The RISC-V IOMMU (disabled/translating depending on the variant).
+    pub iommu: Iommu,
+    /// The Snitch cluster executor.
+    pub cluster: ClusterExecutor,
+    /// The user process running the heterogeneous application.
+    pub space: AddressSpace,
+    /// Frame allocator for Linux-managed memory (user pages, page tables).
+    pub frames: FrameAllocator,
+    /// Frame allocator for the reserved physically contiguous DMA area.
+    pub reserved: FrameAllocator,
+    /// The IOMMU driver (kernel module + userspace library model).
+    pub driver: IommuDriver,
+    /// The host copy engine used by copy-based offloading.
+    pub copy: CopyEngine,
+    /// Deterministic random source for workload initialisation.
+    pub rng: DeterministicRng,
+}
+
+impl Platform {
+    /// Builds and boots a platform: constructs the memory system, creates the
+    /// user process, and — when the variant has an IOMMU — attaches the
+    /// accelerator to a fresh IOMMU domain through the driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns allocation failures while setting up the address space or the
+    /// IOMMU structures.
+    pub fn new(config: PlatformConfig) -> Result<Self> {
+        let mut mem = MemorySystem::new(config.mem);
+        mem.set_interference(config.interference.to_config(config.seed ^ 0xA11CE));
+
+        let mut cpu = HostCpu::new(config.cpu);
+        let mut iommu = Iommu::new(config.iommu);
+        let cluster = ClusterExecutor::new(config.cluster);
+        let mut frames = FrameAllocator::linux_pool();
+        let reserved = FrameAllocator::reserved_pool();
+        let space = AddressSpace::new(&mut mem, &mut frames)?;
+        let mut driver = IommuDriver::new(config.driver);
+
+        if iommu.is_translating() {
+            driver.attach(&mut cpu, &mut mem, &mut iommu, &mut frames, space.pscid())?;
+            // The instruction-fetch path of the cluster uses a second device
+            // ID with a bypassed device context (Section III-B).
+            iommu.attach_bypass_device(&mut mem, &mut frames, config.driver.device_id + 1)?;
+        }
+
+        Ok(Self {
+            rng: DeterministicRng::new(config.seed),
+            config,
+            mem,
+            cpu,
+            iommu,
+            cluster,
+            space,
+            frames,
+            reserved,
+            driver,
+            copy: CopyEngine::new(),
+        })
+    }
+
+    /// The configuration this platform was built from.
+    pub const fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Convenience: the DRAM latency knob of this instance.
+    pub fn dram_latency(&self) -> u64 {
+        self.config.dram_latency.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SocVariant;
+
+    #[test]
+    fn all_variants_boot() {
+        for variant in SocVariant::ALL {
+            let config = PlatformConfig::variant(variant, 600);
+            let platform = Platform::new(config).unwrap();
+            assert_eq!(platform.config().variant, variant);
+            assert_eq!(platform.dram_latency(), 600);
+            assert_eq!(platform.iommu.is_translating(), variant.has_iommu());
+            assert_eq!(platform.mem.llc().is_some(), variant.has_llc());
+        }
+    }
+
+    #[test]
+    fn translating_platforms_have_an_attached_device() {
+        let platform = Platform::new(PlatformConfig::iommu_with_llc(200)).unwrap();
+        assert!(platform.iommu.ddt().is_some());
+        assert!(platform.driver.io_table().is_some());
+    }
+
+    #[test]
+    fn baseline_platform_has_no_device_directory() {
+        let platform = Platform::new(PlatformConfig::baseline(200)).unwrap();
+        assert!(platform.iommu.ddt().is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Presets for the synthetic host interference stream of Figure 5.
+//!
+//! Section IV-C stresses the shared LLC and system bus with a random memory
+//! stream issued from the host while the accelerator runs, and measures an
+//! average page-table-walk slowdown of about 20 %. The presets here map a
+//! qualitative interference level to the [`InterferenceConfig`] consumed by
+//! the memory system.
+
+use serde::{Deserialize, Serialize};
+use sva_mem::interference::InterferenceConfig;
+
+/// Qualitative level of concurrent host memory traffic.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterferenceLevel {
+    /// The host is idle while the accelerator runs (the default for every
+    /// experiment except Figure 5's interference curves).
+    #[default]
+    Idle,
+    /// The host issues a steady random-access stream (the paper's synthetic
+    /// interference program).
+    RandomTraffic,
+    /// A heavier stream, used for sensitivity analysis beyond the paper.
+    Saturating,
+}
+
+impl InterferenceLevel {
+    /// Converts the level into a memory-system interference configuration;
+    /// `None` means no interference is installed.
+    pub fn to_config(self, seed: u64) -> Option<InterferenceConfig> {
+        match self {
+            InterferenceLevel::Idle => None,
+            InterferenceLevel::RandomTraffic => Some(InterferenceConfig {
+                intensity: 0.35,
+                llc_lines_per_access: 0.25,
+                seed,
+            }),
+            InterferenceLevel::Saturating => Some(InterferenceConfig {
+                intensity: 0.7,
+                llc_lines_per_access: 1.0,
+                seed,
+            }),
+        }
+    }
+
+    /// Human-readable label used in experiment reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            InterferenceLevel::Idle => "host idle",
+            InterferenceLevel::RandomTraffic => "host random traffic",
+            InterferenceLevel::Saturating => "host saturating traffic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_produces_no_config() {
+        assert!(InterferenceLevel::Idle.to_config(1).is_none());
+    }
+
+    #[test]
+    fn levels_are_ordered_by_intensity() {
+        let random = InterferenceLevel::RandomTraffic.to_config(1).unwrap();
+        let saturating = InterferenceLevel::Saturating.to_config(1).unwrap();
+        assert!(saturating.intensity > random.intensity);
+        assert!(saturating.llc_lines_per_access > random.llc_lines_per_access);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            InterferenceLevel::Idle.label(),
+            InterferenceLevel::RandomTraffic.label(),
+            InterferenceLevel::Saturating.label(),
+        ];
+        assert_eq!(labels.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

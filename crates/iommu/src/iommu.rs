@@ -1,0 +1,531 @@
+//! The top-level IOMMU model.
+//!
+//! [`Iommu::translate`] is the single entry point the cluster DMA engine
+//! uses: it runs the device-context lookup, the IOTLB lookup and, on a miss,
+//! the page-table walk, and returns the physical address together with the
+//! number of cycles the translation added to the transaction.
+
+use serde::{Deserialize, Serialize};
+use sva_common::stats::{HitMiss, RunningStats};
+use sva_common::{Cycles, Error, Iova, PhysAddr, Result};
+use sva_mem::MemorySystem;
+use sva_vm::FrameAllocator;
+
+use crate::ddt::{DeviceContext, DeviceDirectory};
+use crate::iotlb::IoTlb;
+use crate::ptw::PageTableWalker;
+use crate::queues::{BoundedQueue, Command, FaultReason, FaultRecord};
+use crate::regs::{RegisterFile, DDTP_MODE_1LVL};
+
+/// Operating mode of the IOMMU instance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IommuMode {
+    /// The IOMMU is not instantiated: device addresses are used as physical
+    /// bus addresses unchanged and translation costs nothing. This is the
+    /// paper's *Baseline* configuration.
+    Disabled,
+    /// The IOMMU is present but the device context requests pass-through
+    /// (used for instruction fetches from the physically addressed L2).
+    Bypass,
+    /// Full first-stage (Sv39) translation — the paper's *IOMMU* and
+    /// *IOMMU + LLC* configurations.
+    Translating,
+}
+
+/// Configuration of the IOMMU model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IommuConfig {
+    /// Operating mode.
+    pub mode: IommuMode,
+    /// Number of IOTLB entries (the prototype uses 4).
+    pub iotlb_entries: usize,
+    /// Latency of an IOTLB lookup (hit or miss detection).
+    pub iotlb_hit_latency: Cycles,
+    /// Fixed pipeline latency added to every translated transaction.
+    pub pipeline_latency: Cycles,
+    /// Capacity of the fault queue.
+    pub fault_queue_entries: usize,
+}
+
+impl Default for IommuConfig {
+    fn default() -> Self {
+        Self {
+            mode: IommuMode::Translating,
+            iotlb_entries: 4,
+            iotlb_hit_latency: Cycles::new(2),
+            pipeline_latency: Cycles::new(2),
+            fault_queue_entries: 64,
+        }
+    }
+}
+
+impl IommuConfig {
+    /// Configuration of the paper's baseline platform (no IOMMU).
+    pub fn disabled() -> Self {
+        Self {
+            mode: IommuMode::Disabled,
+            ..Self::default()
+        }
+    }
+}
+
+/// Snapshot of the IOMMU's statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IommuStats {
+    /// Translation requests served (including bypassed ones).
+    pub translations: u64,
+    /// Requests that bypassed translation.
+    pub bypassed: u64,
+    /// IOTLB hit/miss counts.
+    pub iotlb: HitMiss,
+    /// Device-context cache hit/miss counts.
+    pub dc_cache: HitMiss,
+    /// Number of page-table walks performed.
+    pub ptw_walks: u64,
+    /// Number of walks that faulted.
+    pub ptw_faults: u64,
+    /// Per-walk latency statistics (Figure 5 reports the mean).
+    pub ptw_time: RunningStats,
+    /// Total cycles spent translating (IOTLB + DDT + PTW + pipeline).
+    pub translation_cycles: u64,
+}
+
+/// The RISC-V IOMMU.
+#[derive(Clone, Debug)]
+pub struct Iommu {
+    config: IommuConfig,
+    regs: RegisterFile,
+    ddt: Option<DeviceDirectory>,
+    iotlb: IoTlb,
+    ptw: PageTableWalker,
+    commands: BoundedQueue<Command>,
+    faults: BoundedQueue<FaultRecord>,
+    translations: u64,
+    bypassed: u64,
+    translation_cycles: u64,
+}
+
+impl Iommu {
+    /// Creates an IOMMU in the given configuration.
+    pub fn new(config: IommuConfig) -> Self {
+        Self {
+            regs: RegisterFile::new(),
+            ddt: None,
+            iotlb: IoTlb::new(config.iotlb_entries),
+            ptw: PageTableWalker::new(),
+            commands: BoundedQueue::new(64),
+            faults: BoundedQueue::new(config.fault_queue_entries),
+            translations: 0,
+            bypassed: 0,
+            translation_cycles: 0,
+            config,
+        }
+    }
+
+    /// The configuration of this instance.
+    pub const fn config(&self) -> &IommuConfig {
+        &self.config
+    }
+
+    /// The operating mode.
+    pub const fn mode(&self) -> IommuMode {
+        self.config.mode
+    }
+
+    /// Returns `true` when the IOMMU performs first-stage translation.
+    pub const fn is_translating(&self) -> bool {
+        matches!(self.config.mode, IommuMode::Translating)
+    }
+
+    /// The memory-mapped register file (as programmed by the driver).
+    pub const fn regs(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// Mutable access to the register file for the driver model.
+    pub fn regs_mut(&mut self) -> &mut RegisterFile {
+        &mut self.regs
+    }
+
+    /// The device directory, if one has been programmed.
+    pub fn ddt(&self) -> Option<&DeviceDirectory> {
+        self.ddt.as_ref()
+    }
+
+    /// Convenience setup used by the driver model and examples: allocates a
+    /// device directory (if none exists), installs a translating device
+    /// context for `device_id` pointing at `root_pt`, and programs `ddtp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns allocation or directory errors.
+    pub fn attach_device(
+        &mut self,
+        mem: &mut MemorySystem,
+        frames: &mut FrameAllocator,
+        device_id: u32,
+        pscid: u32,
+        root_pt: PhysAddr,
+    ) -> Result<()> {
+        if self.ddt.is_none() {
+            self.ddt = Some(DeviceDirectory::create(frames)?);
+        }
+        let ddt = self.ddt.as_mut().expect("directory just created");
+        ddt.install(mem, device_id, DeviceContext::translating(pscid, root_pt))?;
+        self.regs.set_ddtp(ddt.base(), DDTP_MODE_1LVL);
+        Ok(())
+    }
+
+    /// Installs a bypass device context for `device_id` (used for the
+    /// instruction-fetch device ID in the paper's platform).
+    ///
+    /// # Errors
+    ///
+    /// Returns allocation or directory errors.
+    pub fn attach_bypass_device(
+        &mut self,
+        mem: &mut MemorySystem,
+        frames: &mut FrameAllocator,
+        device_id: u32,
+    ) -> Result<()> {
+        if self.ddt.is_none() {
+            self.ddt = Some(DeviceDirectory::create(frames)?);
+        }
+        let ddt = self.ddt.as_mut().expect("directory just created");
+        ddt.install(mem, device_id, DeviceContext::bypassing())?;
+        self.regs.set_ddtp(ddt.base(), DDTP_MODE_1LVL);
+        Ok(())
+    }
+
+    /// Processes one driver command (invalidations and fences).
+    pub fn process_command(&mut self, command: Command) {
+        self.commands.push(command);
+        match command {
+            Command::IotlbInvalidate { device_id, iova } => match (device_id, iova) {
+                (Some(d), Some(a)) => self.iotlb.invalidate_page(d, a),
+                (Some(d), None) => self.iotlb.invalidate_device(d),
+                _ => self.iotlb.invalidate_all(),
+            },
+            Command::DdtInvalidate => {
+                if let Some(ddt) = &mut self.ddt {
+                    ddt.invalidate_cache();
+                }
+            }
+            Command::Fence => {}
+        }
+    }
+
+    /// Translates an IO virtual address for `device_id`.
+    ///
+    /// Returns the physical address and the cycles the translation added to
+    /// the transaction (zero when the IOMMU is disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IoPageFault`] or [`Error::UnknownDevice`] on
+    /// translation failure; a corresponding record is pushed to the fault
+    /// queue.
+    pub fn translate(
+        &mut self,
+        mem: &mut MemorySystem,
+        device_id: u32,
+        iova: Iova,
+        is_write: bool,
+    ) -> Result<(PhysAddr, Cycles)> {
+        self.translations += 1;
+        match self.config.mode {
+            IommuMode::Disabled => {
+                self.bypassed += 1;
+                Ok((PhysAddr::new(iova.raw()), Cycles::ZERO))
+            }
+            IommuMode::Bypass => {
+                self.bypassed += 1;
+                Ok((PhysAddr::new(iova.raw()), self.config.pipeline_latency))
+            }
+            IommuMode::Translating => {
+                let result = self.translate_first_stage(mem, device_id, iova, is_write);
+                if let Ok((_, cycles)) = &result {
+                    self.translation_cycles += cycles.raw();
+                }
+                result
+            }
+        }
+    }
+
+    fn translate_first_stage(
+        &mut self,
+        mem: &mut MemorySystem,
+        device_id: u32,
+        iova: Iova,
+        is_write: bool,
+    ) -> Result<(PhysAddr, Cycles)> {
+        let mut cycles = self.config.pipeline_latency;
+
+        // 1. Device context.
+        let Some(ddt) = self.ddt.as_mut() else {
+            self.faults.push(FaultRecord {
+                device_id,
+                iova,
+                is_write,
+                reason: FaultReason::DeviceNotConfigured,
+            });
+            return Err(Error::UnknownDevice { device_id });
+        };
+        let (ctx, dc_cycles) = match ddt.lookup(mem, device_id) {
+            Ok(r) => r,
+            Err(e) => {
+                self.faults.push(FaultRecord {
+                    device_id,
+                    iova,
+                    is_write,
+                    reason: FaultReason::DeviceNotConfigured,
+                });
+                return Err(e);
+            }
+        };
+        cycles += dc_cycles;
+        if ctx.bypass {
+            self.bypassed += 1;
+            return Ok((PhysAddr::new(iova.raw()), cycles));
+        }
+
+        // 2. IOTLB.
+        cycles += self.config.iotlb_hit_latency;
+        if let Some(entry) = self.iotlb.lookup(device_id, iova) {
+            if entry.flags.contains(sva_vm::PteFlags::W) || !is_write {
+                return Ok((entry.translate(iova), cycles));
+            }
+            // Cached entry does not permit the access: fall through to a
+            // fresh walk so the fault is reported with up-to-date state.
+        }
+
+        // 3. Page-table walk.
+        match self.ptw.walk(mem, ctx.root_pt, iova, is_write) {
+            Ok(res) => {
+                cycles += res.cycles;
+                self.iotlb
+                    .fill(device_id, iova, res.leaf.ppn(), res.leaf.flags());
+                Ok((res.leaf.phys_addr() + iova.page_offset(), cycles))
+            }
+            Err(e) => {
+                let reason = match &e {
+                    Error::IoPageFault { .. } => FaultReason::PageNotMapped,
+                    _ => FaultReason::DeviceNotConfigured,
+                };
+                self.faults.push(FaultRecord {
+                    device_id,
+                    iova,
+                    is_write,
+                    reason,
+                });
+                Err(e)
+            }
+        }
+    }
+
+    /// Oldest unread fault, if any.
+    pub fn pop_fault(&mut self) -> Option<FaultRecord> {
+        self.faults.pop()
+    }
+
+    /// Number of pending fault records.
+    pub fn pending_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> IommuStats {
+        IommuStats {
+            translations: self.translations,
+            bypassed: self.bypassed,
+            iotlb: self.iotlb.stats(),
+            dc_cache: self
+                .ddt
+                .as_ref()
+                .map(|d| d.cache_stats())
+                .unwrap_or_default(),
+            ptw_walks: self.ptw.walks(),
+            ptw_faults: self.ptw.faults(),
+            ptw_time: self.ptw.walk_time(),
+            translation_cycles: self.translation_cycles,
+        }
+    }
+
+    /// Direct access to the IOTLB (for ablation experiments and tests).
+    pub const fn iotlb(&self) -> &IoTlb {
+        &self.iotlb
+    }
+
+    /// Clears all statistics; cached state (IOTLB, DC cache) is preserved.
+    pub fn reset_stats(&mut self) {
+        self.iotlb.reset_stats();
+        self.ptw.reset_stats();
+        self.translations = 0;
+        self.bypassed = 0;
+        self.translation_cycles = 0;
+    }
+}
+
+impl Default for Iommu {
+    fn default() -> Self {
+        Self::new(IommuConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sva_common::{VirtAddr, PAGE_SIZE};
+    use sva_vm::AddressSpace;
+
+    fn setup() -> (MemorySystem, FrameAllocator, AddressSpace, VirtAddr) {
+        let mut mem = MemorySystem::default();
+        let mut frames = FrameAllocator::linux_pool();
+        let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+        let va = space
+            .alloc_buffer(&mut mem, &mut frames, 8 * PAGE_SIZE)
+            .unwrap();
+        (mem, frames, space, va)
+    }
+
+    #[test]
+    fn disabled_mode_is_identity_and_free() {
+        let mut mem = MemorySystem::default();
+        let mut iommu = Iommu::new(IommuConfig::disabled());
+        let (pa, cycles) = iommu
+            .translate(&mut mem, 1, Iova::new(0x8000_1234), true)
+            .unwrap();
+        assert_eq!(pa, PhysAddr::new(0x8000_1234));
+        assert_eq!(cycles, Cycles::ZERO);
+        assert_eq!(iommu.stats().bypassed, 1);
+    }
+
+    #[test]
+    fn translating_mode_matches_software_walk() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::default();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        for page in 0..8u64 {
+            let iova = Iova::from_virt(va + page * PAGE_SIZE + 16);
+            let (pa, _) = iommu.translate(&mut mem, 1, iova, false).unwrap();
+            assert_eq!(pa, space.translate(&mem, va + page * PAGE_SIZE + 16).unwrap());
+        }
+    }
+
+    #[test]
+    fn iotlb_miss_costs_more_than_hit() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::default();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        let iova = Iova::from_virt(va);
+        let (_, miss_cycles) = iommu.translate(&mut mem, 1, iova, false).unwrap();
+        let (_, hit_cycles) = iommu.translate(&mut mem, 1, iova + 64, false).unwrap();
+        assert!(miss_cycles.raw() > 10 * hit_cycles.raw(),
+            "miss {miss_cycles} should dwarf hit {hit_cycles}");
+        let stats = iommu.stats();
+        assert_eq!(stats.iotlb.misses, 1);
+        assert_eq!(stats.iotlb.hits, 1);
+        assert_eq!(stats.ptw_walks, 1);
+    }
+
+    #[test]
+    fn unmapped_iova_faults_and_is_recorded() {
+        let (mut mem, mut frames, space, _) = setup();
+        let mut iommu = Iommu::default();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        let bad = Iova::new(0x7FFF_0000);
+        assert!(matches!(
+            iommu.translate(&mut mem, 1, bad, true),
+            Err(Error::IoPageFault { .. })
+        ));
+        assert_eq!(iommu.pending_faults(), 1);
+        let fault = iommu.pop_fault().unwrap();
+        assert_eq!(fault.iova, bad);
+        assert_eq!(fault.reason, FaultReason::PageNotMapped);
+        assert!(fault.is_write);
+    }
+
+    #[test]
+    fn unknown_device_faults() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::default();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        assert!(matches!(
+            iommu.translate(&mut mem, 9, Iova::from_virt(va), false),
+            Err(Error::UnknownDevice { device_id: 9 })
+        ));
+        assert_eq!(iommu.pending_faults(), 1);
+    }
+
+    #[test]
+    fn bypass_device_context_skips_translation() {
+        let (mut mem, mut frames, _space, _) = setup();
+        let mut iommu = Iommu::default();
+        iommu.attach_bypass_device(&mut mem, &mut frames, 2).unwrap();
+        let addr = Iova::new(0x7800_0000);
+        let (pa, _) = iommu.translate(&mut mem, 2, addr, false).unwrap();
+        assert_eq!(pa, PhysAddr::new(addr.raw()));
+        assert_eq!(iommu.stats().bypassed, 1);
+    }
+
+    #[test]
+    fn invalidation_forces_new_walks() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::default();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        let iova = Iova::from_virt(va);
+        iommu.translate(&mut mem, 1, iova, false).unwrap();
+        assert_eq!(iommu.stats().ptw_walks, 1);
+        iommu.translate(&mut mem, 1, iova, false).unwrap();
+        assert_eq!(iommu.stats().ptw_walks, 1);
+
+        iommu.process_command(Command::IotlbInvalidate {
+            device_id: None,
+            iova: None,
+        });
+        iommu.translate(&mut mem, 1, iova, false).unwrap();
+        assert_eq!(iommu.stats().ptw_walks, 2);
+    }
+
+    #[test]
+    fn small_iotlb_thrashes_on_wide_strides() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::default();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        // Touch 8 distinct pages twice; with only 4 IOTLB entries the second
+        // sweep misses again.
+        for _ in 0..2 {
+            for page in 0..8u64 {
+                let iova = Iova::from_virt(va + page * PAGE_SIZE);
+                iommu.translate(&mut mem, 1, iova, false).unwrap();
+            }
+        }
+        let stats = iommu.stats();
+        assert_eq!(stats.iotlb.misses, 16);
+        assert_eq!(stats.iotlb.hits, 0);
+    }
+
+    #[test]
+    fn ddtp_register_reflects_attachment() {
+        let (mut mem, mut frames, space, _) = setup();
+        let mut iommu = Iommu::default();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        let (base, mode) = iommu.regs().ddtp();
+        assert_eq!(base, iommu.ddt().unwrap().base());
+        assert_eq!(mode, DDTP_MODE_1LVL);
+    }
+}

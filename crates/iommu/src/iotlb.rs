@@ -1,0 +1,256 @@
+//! The IO translation lookaside buffer.
+//!
+//! The prototype configures the IOMMU with **four** IOTLB entries — small on
+//! purpose, because the paper's point is that even a minimal IOTLB suffices
+//! once the shared LLC serves page-table walks. Entries are fully associative
+//! with true-LRU replacement and are tagged by `(device_id, virtual page
+//! number)`.
+
+use serde::{Deserialize, Serialize};
+use sva_common::stats::HitMiss;
+use sva_common::{Iova, PhysAddr, PAGE_SHIFT};
+use sva_vm::PteFlags;
+
+/// One cached translation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoTlbEntry {
+    /// Device that owns the translation.
+    pub device_id: u32,
+    /// IO virtual page number.
+    pub vpn: u64,
+    /// Physical page number the page maps to.
+    pub ppn: u64,
+    /// Leaf permissions.
+    pub flags: PteFlags,
+    /// LRU timestamp (larger = more recent).
+    lru: u64,
+}
+
+impl IoTlbEntry {
+    /// Physical address corresponding to `iova` under this entry.
+    pub fn translate(&self, iova: Iova) -> PhysAddr {
+        PhysAddr::new((self.ppn << PAGE_SHIFT) | iova.page_offset())
+    }
+}
+
+/// A fully-associative IOTLB with LRU replacement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IoTlb {
+    capacity: usize,
+    entries: Vec<IoTlbEntry>,
+    clock: u64,
+    stats: HitMiss,
+    invalidations: u64,
+}
+
+impl IoTlb {
+    /// Creates an IOTLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "IOTLB needs at least one entry");
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            clock: 0,
+            stats: HitMiss::new(),
+            invalidations: 0,
+        }
+    }
+
+    /// Number of entries the IOTLB can hold.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entry is valid.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the translation of `iova` for `device_id`, updating LRU and
+    /// hit/miss statistics.
+    pub fn lookup(&mut self, device_id: u32, iova: Iova) -> Option<IoTlbEntry> {
+        self.clock += 1;
+        let vpn = iova.page_number();
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.device_id == device_id && e.vpn == vpn)
+        {
+            e.lru = self.clock;
+            self.stats.hit();
+            Some(*e)
+        } else {
+            self.stats.miss();
+            None
+        }
+    }
+
+    /// Peeks whether a translation is cached without touching LRU or
+    /// statistics.
+    pub fn probe(&self, device_id: u32, iova: Iova) -> bool {
+        let vpn = iova.page_number();
+        self.entries
+            .iter()
+            .any(|e| e.device_id == device_id && e.vpn == vpn)
+    }
+
+    /// Inserts a translation, evicting the LRU entry if the IOTLB is full.
+    pub fn fill(&mut self, device_id: u32, iova: Iova, ppn: u64, flags: PteFlags) {
+        self.clock += 1;
+        let vpn = iova.page_number();
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.device_id == device_id && e.vpn == vpn)
+        {
+            e.ppn = ppn;
+            e.flags = flags;
+            e.lru = self.clock;
+            return;
+        }
+        let entry = IoTlbEntry {
+            device_id,
+            vpn,
+            ppn,
+            flags,
+            lru: self.clock,
+        };
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            let victim = self
+                .entries
+                .iter_mut()
+                .min_by_key(|e| e.lru)
+                .expect("IOTLB is non-empty when full");
+            *victim = entry;
+        }
+    }
+
+    /// Invalidates every entry (the `IOTINVAL.VMA` broadcast the driver issues
+    /// after changing mappings).
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
+        self.invalidations += 1;
+    }
+
+    /// Invalidates all entries belonging to one device.
+    pub fn invalidate_device(&mut self, device_id: u32) {
+        self.entries.retain(|e| e.device_id != device_id);
+        self.invalidations += 1;
+    }
+
+    /// Invalidates the entry for one page of one device, if present.
+    pub fn invalidate_page(&mut self, device_id: u32, iova: Iova) {
+        let vpn = iova.page_number();
+        self.entries
+            .retain(|e| !(e.device_id == device_id && e.vpn == vpn));
+        self.invalidations += 1;
+    }
+
+    /// Hit/miss statistics.
+    pub const fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Number of invalidation operations processed.
+    pub const fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Clears statistics (entries are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.invalidations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_flags() -> PteFlags {
+        PteFlags::user_rw()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = IoTlb::new(4);
+        let iova = Iova::new(0x1234_5000);
+        assert!(tlb.lookup(1, iova).is_none());
+        tlb.fill(1, iova, 0x8_0000, entry_flags());
+        let e = tlb.lookup(1, iova + 0x123).expect("hit after fill");
+        assert_eq!(e.translate(iova + 0x123), PhysAddr::new(0x8_0000 << 12 | 0x123));
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn entries_are_tagged_by_device() {
+        let mut tlb = IoTlb::new(4);
+        let iova = Iova::new(0x1000);
+        tlb.fill(1, iova, 0x100, entry_flags());
+        assert!(tlb.lookup(2, iova).is_none());
+        assert!(tlb.lookup(1, iova).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut tlb = IoTlb::new(4);
+        for i in 0..4u64 {
+            tlb.fill(1, Iova::new(i << 12), i, entry_flags());
+        }
+        // Touch page 0 so page 1 becomes LRU.
+        assert!(tlb.lookup(1, Iova::new(0)).is_some());
+        tlb.fill(1, Iova::new(4 << 12), 4, entry_flags());
+        assert_eq!(tlb.len(), 4);
+        assert!(tlb.probe(1, Iova::new(0)));
+        assert!(!tlb.probe(1, Iova::new(1 << 12)), "LRU page 1 should be evicted");
+        assert!(tlb.probe(1, Iova::new(4 << 12)));
+    }
+
+    #[test]
+    fn refill_of_existing_page_updates_in_place() {
+        let mut tlb = IoTlb::new(2);
+        let iova = Iova::new(0x5000);
+        tlb.fill(1, iova, 0x10, entry_flags());
+        tlb.fill(1, iova, 0x20, entry_flags());
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.lookup(1, iova).unwrap().ppn, 0x20);
+    }
+
+    #[test]
+    fn invalidations() {
+        let mut tlb = IoTlb::new(4);
+        tlb.fill(1, Iova::new(0x1000), 1, entry_flags());
+        tlb.fill(1, Iova::new(0x2000), 2, entry_flags());
+        tlb.fill(2, Iova::new(0x3000), 3, entry_flags());
+
+        tlb.invalidate_page(1, Iova::new(0x1000));
+        assert!(!tlb.probe(1, Iova::new(0x1000)));
+        assert!(tlb.probe(1, Iova::new(0x2000)));
+
+        tlb.invalidate_device(1);
+        assert!(!tlb.probe(1, Iova::new(0x2000)));
+        assert!(tlb.probe(2, Iova::new(0x3000)));
+
+        tlb.invalidate_all();
+        assert!(tlb.is_empty());
+        assert_eq!(tlb.invalidations(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = IoTlb::new(0);
+    }
+}

@@ -1,0 +1,158 @@
+//! IOMMU command and fault queues.
+//!
+//! The RISC-V IOMMU is programmed through two in-memory circular queues: the
+//! **command queue**, through which the driver issues invalidation and fence
+//! commands, and the **fault queue**, through which the IOMMU reports IO page
+//! faults back to the driver. The model keeps both as bounded FIFOs with the
+//! same command vocabulary as the specification, which is what the driver
+//! model exercises when it maps and unmaps buffers.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use sva_common::Iova;
+
+/// Commands accepted by the IOMMU command queue (the subset used by the
+/// Linux driver for first-stage translation).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// `IOTINVAL.VMA` — invalidate IOTLB entries. `None` fields mean
+    /// "all" (global invalidation).
+    IotlbInvalidate {
+        /// Restrict the invalidation to one device's address space.
+        device_id: Option<u32>,
+        /// Restrict the invalidation to one page.
+        iova: Option<Iova>,
+    },
+    /// `IODIR.INVAL_DDT` — invalidate the device-context cache.
+    DdtInvalidate,
+    /// `IOFENCE.C` — completion fence; the driver waits for it before
+    /// considering previous commands globally visible.
+    Fence,
+}
+
+/// Why a fault was recorded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultReason {
+    /// No valid leaf PTE for the IOVA.
+    PageNotMapped,
+    /// Leaf PTE present but the access type is not permitted.
+    PermissionDenied,
+    /// The device has no valid device context.
+    DeviceNotConfigured,
+}
+
+/// One record in the fault queue.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Device that caused the fault.
+    pub device_id: u32,
+    /// Faulting IO virtual address.
+    pub iova: Iova,
+    /// Whether the faulting access was a write.
+    pub is_write: bool,
+    /// Classification of the fault.
+    pub reason: FaultReason,
+}
+
+/// A bounded FIFO used for both queues.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BoundedQueue<T> {
+    entries: VecDeque<T>,
+    capacity: usize,
+    overflows: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            overflows: 0,
+        }
+    }
+
+    /// Appends an entry; if the queue is full the entry is dropped and the
+    /// overflow counter incremented (matching the IOMMU's fault-queue
+    /// overflow behaviour).
+    pub fn push(&mut self, entry: T) -> bool {
+        if self.entries.len() >= self.capacity {
+            self.overflows += 1;
+            return false;
+        }
+        self.entries.push_back(entry);
+        true
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.entries.pop_front()
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the queue holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries dropped because the queue was full.
+    pub const fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Iterates over queued entries from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert!(q.is_empty());
+        for i in 0..3 {
+            assert!(q.push(i));
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(!q.push(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.overflows(), 1);
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn command_and_fault_types_are_constructible() {
+        let cmd = Command::IotlbInvalidate {
+            device_id: Some(1),
+            iova: None,
+        };
+        assert_ne!(cmd, Command::Fence);
+        let fault = FaultRecord {
+            device_id: 1,
+            iova: Iova::new(0x1000),
+            is_write: true,
+            reason: FaultReason::PageNotMapped,
+        };
+        assert_eq!(fault.reason, FaultReason::PageNotMapped);
+    }
+}

@@ -1,0 +1,379 @@
+//! `sort`: parallel merge sort of 65 536 single-precision values (RajaPERF
+//! *algorithm* group).
+//!
+//! The non-linear kernel of the suite. The device implementation follows the
+//! classic PMCA two-phase scheme:
+//!
+//! 1. **local sort** — the array is cut into TCDM-sized chunks, each chunk is
+//!    DMA-ed in, sorted by the PEs and written back;
+//! 2. **merge passes** — `log2(chunks)` passes merge pairs of sorted runs,
+//!    ping-ponging between the data array and an auxiliary array in DRAM.
+//!    Each merge tile produces one chunk-sized block of the output; the input
+//!    ranges contributing to that block are determined with a merge-path
+//!    partition (in the real kernel a cheap binary search performed by the
+//!    DMA core; here it is computed from the kernel's functional mirror of
+//!    the run contents).
+//!
+//! Every pass streams the whole 256 KiB array in and out of the cluster, so
+//! the kernel is moderately memory-bound and — like the linear kernels —
+//! exposes the IOMMU translation cost when the page-table walks miss the LLC.
+
+use sva_cluster::{DeviceKernel, DmaRequest, Tcdm, TileIo};
+use sva_common::rng::DeterministicRng;
+use sva_common::{Cycles, Error, Iova, Result};
+use sva_host::HostKernelCost;
+
+use crate::cost;
+use crate::workload::{BufferKind, BufferSpec, Workload};
+
+/// Elements per TCDM chunk (16 KiB).
+const CHUNK: usize = 4096;
+
+/// The sort workload descriptor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SortWorkload {
+    /// Number of elements to sort (a power-of-two multiple of the chunk).
+    pub n: usize,
+}
+
+impl SortWorkload {
+    /// The paper's configuration: 65 536 elements.
+    pub fn paper() -> Self {
+        Self::with_elems(65_536)
+    }
+
+    /// A sort of `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power-of-two multiple of the 4096-element
+    /// chunk.
+    pub fn with_elems(n: usize) -> Self {
+        assert!(
+            n >= CHUNK && n % CHUNK == 0 && (n / CHUNK).is_power_of_two(),
+            "sort size must be a power-of-two multiple of 4096"
+        );
+        Self { n }
+    }
+
+    fn chunks(&self) -> usize {
+        self.n / CHUNK
+    }
+
+    fn passes(&self) -> usize {
+        self.chunks().trailing_zeros() as usize
+    }
+}
+
+impl Workload for SortWorkload {
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn params(&self) -> String {
+        format!("{}", self.n)
+    }
+
+    fn buffers(&self) -> Vec<BufferSpec> {
+        vec![
+            BufferSpec {
+                name: "data",
+                elems: self.n,
+                kind: BufferKind::InOut,
+            },
+            BufferSpec {
+                name: "aux",
+                elems: self.n,
+                kind: BufferKind::Scratch,
+            },
+        ]
+    }
+
+    fn init(&self, rng: &mut DeterministicRng) -> Vec<Vec<f32>> {
+        let mut data = vec![0.0f32; self.n];
+        rng.fill_f32(&mut data, 0.0, 1.0e6);
+        vec![data, vec![0.0f32; self.n]]
+    }
+
+    fn expected(&self, initial: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut sorted = initial[0].clone();
+        sorted.sort_by(f32::total_cmp);
+        vec![sorted, initial[1].clone()]
+    }
+
+    fn device_kernel(&self, device_ptrs: &[Iova]) -> Box<dyn DeviceKernel> {
+        Box::new(SortDevice {
+            n: self.n,
+            data: device_ptrs[0],
+            aux: device_ptrs[1],
+            mirror_data: vec![0.0f32; self.n],
+            mirror_aux: vec![0.0f32; self.n],
+        })
+    }
+
+    fn host_cost(&self) -> HostKernelCost {
+        let n = self.n as u64;
+        let log_n = (self.n as f64).log2().ceil() as u64;
+        HostKernelCost {
+            ops: n * log_n,
+            cycles_per_op: 9.0,
+            read_passes: (self.passes() + 1) as u32,
+            write_passes: (self.passes() + 1) as u32,
+        }
+    }
+
+    fn flops(&self) -> u64 {
+        // Comparison-based: report the comparison count as the "operation"
+        // count used for intensity reporting.
+        self.n as u64 * (self.n as f64).log2().ceil() as u64
+    }
+}
+
+/// Device-side two-phase parallel sort.
+struct SortDevice {
+    n: usize,
+    data: Iova,
+    aux: Iova,
+    /// Functional mirror of the `data` array, maintained by the compute
+    /// phases (stands in for the binary-search pre-pass the DMA core runs on
+    /// DRAM-resident data to compute merge partitions).
+    mirror_data: Vec<f32>,
+    /// Functional mirror of the auxiliary array.
+    mirror_aux: Vec<f32>,
+}
+
+impl SortDevice {
+    fn chunks(&self) -> usize {
+        self.n / CHUNK
+    }
+
+    fn passes(&self) -> usize {
+        self.chunks().trailing_zeros() as usize
+    }
+
+    /// Decodes a tile index into (phase, block): phase 0 is the local sort,
+    /// phases 1..=passes are merge passes.
+    fn decode(&self, tile: usize) -> (usize, usize) {
+        (tile / self.chunks(), tile % self.chunks())
+    }
+
+    /// Source/destination external arrays and mirrors for a merge pass.
+    fn pass_arrays(&self, pass: usize) -> (Iova, Iova) {
+        if pass % 2 == 1 {
+            (self.data, self.aux)
+        } else {
+            (self.aux, self.data)
+        }
+    }
+
+    fn pass_mirrors(&self, pass: usize) -> (&[f32], &[f32]) {
+        if pass % 2 == 1 {
+            (&self.mirror_data, &self.mirror_aux)
+        } else {
+            (&self.mirror_aux, &self.mirror_data)
+        }
+    }
+
+    /// Merge-path partition: how many elements of run A are among the first
+    /// `k` elements of the merge of runs A and B.
+    fn merge_partition(a: &[f32], b: &[f32], k: usize) -> usize {
+        let mut lo = k.saturating_sub(b.len());
+        let mut hi = k.min(a.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let bj = k - mid - 1;
+            if bj < b.len() && a[mid] < b[bj] {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Computes, for merge tile `(pass, block)`, the source ranges
+    /// `(a_start, a_len, b_start, b_len)` in elements relative to the source
+    /// array.
+    fn merge_ranges(&self, pass: usize, block: usize) -> (usize, usize, usize, usize) {
+        let run_len = CHUNK << (pass - 1);
+        let (src_mirror, _) = self.pass_mirrors(pass);
+        let out_start = block * CHUNK;
+        let pair_base = out_start / (2 * run_len) * (2 * run_len);
+        let a = &src_mirror[pair_base..pair_base + run_len];
+        let b = &src_mirror[pair_base + run_len..pair_base + 2 * run_len];
+        let off = out_start - pair_base;
+        let ai0 = Self::merge_partition(a, b, off);
+        let ai1 = Self::merge_partition(a, b, off + CHUNK);
+        let bi0 = off - ai0;
+        let bi1 = off + CHUNK - ai1;
+        (pair_base + ai0, ai1 - ai0, pair_base + run_len + bi0, bi1 - bi0)
+    }
+
+    /// TCDM layout of one buffer set: run-A segment, run-B segment, output.
+    fn tcdm_offsets(&self, tile: usize) -> (u64, u64, u64) {
+        let chunk_bytes = (CHUNK * 4) as u64;
+        let base = (tile % 2) as u64 * 3 * chunk_bytes;
+        (base, base + chunk_bytes, base + 2 * chunk_bytes)
+    }
+}
+
+impl DeviceKernel for SortDevice {
+    fn name(&self) -> &str {
+        "sort"
+    }
+
+    fn num_tiles(&self) -> usize {
+        (1 + self.passes()) * self.chunks()
+    }
+
+    fn tile_io(&self, tile: usize) -> TileIo {
+        let (phase, block) = self.decode(tile);
+        let chunk_bytes = (CHUNK * 4) as u64;
+        let (a_off, b_off, out_off) = self.tcdm_offsets(tile);
+        if phase == 0 {
+            // Local sort: one chunk in, the sorted chunk out, in place.
+            let ext = self.data + (block * CHUNK * 4) as u64;
+            return TileIo {
+                inputs: vec![DmaRequest::input(ext, a_off, chunk_bytes)],
+                outputs: vec![DmaRequest::output(ext, out_off, chunk_bytes)],
+            };
+        }
+        let (src, dst) = self.pass_arrays(phase);
+        let (a_start, a_len, b_start, b_len) = self.merge_ranges(phase, block);
+        let mut inputs = Vec::with_capacity(2);
+        if a_len > 0 {
+            inputs.push(DmaRequest::input(
+                src + (a_start * 4) as u64,
+                a_off,
+                (a_len * 4) as u64,
+            ));
+        }
+        if b_len > 0 {
+            inputs.push(DmaRequest::input(
+                src + (b_start * 4) as u64,
+                b_off,
+                (b_len * 4) as u64,
+            ));
+        }
+        TileIo {
+            inputs,
+            outputs: vec![DmaRequest::output(
+                dst + (block * CHUNK * 4) as u64,
+                out_off,
+                chunk_bytes,
+            )],
+        }
+    }
+
+    fn compute_tile(&mut self, tile: usize, tcdm: &mut Tcdm) -> Result<Cycles> {
+        let (phase, block) = self.decode(tile);
+        let (a_off, b_off, out_off) = self.tcdm_offsets(tile);
+
+        if phase == 0 {
+            // Local sort of one chunk.
+            let mut chunk = vec![0.0f32; CHUNK];
+            tcdm.read_f32_slice(a_off, &mut chunk)?;
+            chunk.sort_by(f32::total_cmp);
+            tcdm.write_f32_slice(out_off, &chunk)?;
+            self.mirror_data[block * CHUNK..(block + 1) * CHUNK].copy_from_slice(&chunk);
+            let comparisons = (CHUNK as u64) * (CHUNK as f64).log2().ceil() as u64;
+            return Ok(cost::sort_local_cost().parallel_region(comparisons));
+        }
+
+        // Merge one output block from the two partitioned input segments.
+        let (_a_start, a_len, _b_start, b_len) = self.merge_ranges(phase, block);
+        if a_len + b_len != CHUNK {
+            return Err(Error::InvalidConfig {
+                reason: format!(
+                    "merge partition of tile {tile} covers {} elements instead of {CHUNK}",
+                    a_len + b_len
+                ),
+            });
+        }
+        let mut a = vec![0.0f32; a_len];
+        let mut b = vec![0.0f32; b_len];
+        tcdm.read_f32_slice(a_off, &mut a)?;
+        tcdm.read_f32_slice(b_off, &mut b)?;
+        let mut out = Vec::with_capacity(CHUNK);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i] <= b[j] {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        tcdm.write_f32_slice(out_off, &out)?;
+
+        // Update the destination mirror.
+        let dst_is_aux = self.pass_arrays(phase).1 == self.aux;
+        let dst_mirror = if dst_is_aux {
+            &mut self.mirror_aux
+        } else {
+            &mut self.mirror_data
+        };
+        dst_mirror[block * CHUNK..(block + 1) * CHUNK].copy_from_slice(&out);
+
+        Ok(cost::sort_merge_cost().parallel_region(CHUNK as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sorts_ascending() {
+        let wl = SortWorkload::with_elems(4096);
+        let mut rng = DeterministicRng::new(1);
+        let init = wl.init(&mut rng);
+        let exp = wl.expected(&init);
+        assert!(exp[0].windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(exp[0].len(), 4096);
+    }
+
+    #[test]
+    fn paper_configuration_has_five_phases() {
+        let wl = SortWorkload::paper();
+        assert_eq!(wl.chunks(), 16);
+        assert_eq!(wl.passes(), 4);
+        let dev = wl.device_kernel(&[Iova::new(0x1000_0000), Iova::new(0x2000_0000)]);
+        assert_eq!(dev.num_tiles(), 80);
+    }
+
+    #[test]
+    fn merge_partition_splits_correctly() {
+        let a = [1.0f32, 3.0, 5.0, 7.0];
+        let b = [2.0f32, 4.0, 6.0, 8.0];
+        // First 4 elements of the merge are 1,2,3,4: two from each run.
+        assert_eq!(SortDevice::merge_partition(&a, &b, 4), 2);
+        assert_eq!(SortDevice::merge_partition(&a, &b, 0), 0);
+        assert_eq!(SortDevice::merge_partition(&a, &b, 8), 4);
+        // Skewed case: all of a precedes b.
+        let a2 = [1.0f32, 2.0];
+        let b2 = [10.0f32, 20.0];
+        assert_eq!(SortDevice::merge_partition(&a2, &b2, 2), 2);
+        assert_eq!(SortDevice::merge_partition(&b2, &a2, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_chunk_count_rejected() {
+        let _ = SortWorkload::with_elems(3 * 4096);
+    }
+
+    #[test]
+    fn local_sort_tiles_are_in_place() {
+        let wl = SortWorkload::paper();
+        let dev = wl.device_kernel(&[Iova::new(0x1000_0000), Iova::new(0x2000_0000)]);
+        let io = dev.tile_io(3);
+        assert_eq!(io.inputs.len(), 1);
+        assert_eq!(io.outputs.len(), 1);
+        assert_eq!(io.inputs[0].ext_addr, io.outputs[0].ext_addr);
+        assert_eq!(io.input_bytes(), 16 * 1024);
+    }
+}

@@ -1,0 +1,226 @@
+//! Sparse functional byte storage.
+//!
+//! The simulated platform exposes a 2 GiB DRAM and a 1 MiB scratchpad, but a
+//! benchmark run only ever touches a few megabytes of them. [`SparseMemory`]
+//! stores contents in 4 KiB frames allocated on first touch so the simulator
+//! never reserves the full address space. Unwritten bytes read as zero,
+//! matching zero-initialised DRAM on the FPGA after the bitstream is loaded.
+
+use std::collections::HashMap;
+
+use sva_common::{Error, Result, PAGE_SIZE};
+
+/// Frame-granular sparse byte store of a fixed capacity.
+#[derive(Clone, Debug, Default)]
+pub struct SparseMemory {
+    frames: HashMap<u64, Box<[u8]>>,
+    capacity: u64,
+}
+
+impl SparseMemory {
+    /// Creates a store covering offsets `0..capacity`.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            frames: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub const fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of frames that have been touched (allocated) so far.
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Resident (allocated) bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.frames.len() as u64 * PAGE_SIZE
+    }
+
+    fn check_range(&self, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
+            return Err(Error::OutOfBounds {
+                addr: sva_common::PhysAddr::new(offset),
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] if the range exceeds the capacity.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_range(offset, buf.len() as u64)?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = offset + done as u64;
+            let frame = cur / PAGE_SIZE;
+            let in_frame = (cur % PAGE_SIZE) as usize;
+            let chunk = (buf.len() - done).min(PAGE_SIZE as usize - in_frame);
+            match self.frames.get(&frame) {
+                Some(data) => {
+                    buf[done..done + chunk].copy_from_slice(&data[in_frame..in_frame + chunk]);
+                }
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `offset`, allocating frames as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] if the range exceeds the capacity.
+    pub fn write(&mut self, offset: u64, buf: &[u8]) -> Result<()> {
+        self.check_range(offset, buf.len() as u64)?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = offset + done as u64;
+            let frame = cur / PAGE_SIZE;
+            let in_frame = (cur % PAGE_SIZE) as usize;
+            let chunk = (buf.len() - done).min(PAGE_SIZE as usize - in_frame);
+            let data = self
+                .frames
+                .entry(frame)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            data[in_frame..in_frame + chunk].copy_from_slice(&buf[done..done + chunk]);
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `offset` (used for page-table entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] if the range exceeds the capacity.
+    pub fn read_u64(&self, offset: u64) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] if the range exceeds the capacity.
+    pub fn write_u64(&mut self, offset: u64, value: u64) -> Result<u64> {
+        self.write(offset, &value.to_le_bytes())?;
+        Ok(value)
+    }
+
+    /// Reads a little-endian `f32` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] if the range exceeds the capacity.
+    pub fn read_f32(&self, offset: u64) -> Result<f32> {
+        let mut b = [0u8; 4];
+        self.read(offset, &mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `f32` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] if the range exceeds the capacity.
+    pub fn write_f32(&mut self, offset: u64, value: f32) -> Result<()> {
+        self.write(offset, &value.to_le_bytes())
+    }
+
+    /// Fills `len` bytes starting at `offset` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] if the range exceeds the capacity.
+    pub fn fill(&mut self, offset: u64, len: u64, value: u8) -> Result<()> {
+        self.check_range(offset, len)?;
+        // Writing through the frame map keeps sparseness for untouched frames
+        // only when value is zero and the frame does not exist yet.
+        let chunk = vec![value; PAGE_SIZE as usize];
+        let mut done = 0u64;
+        while done < len {
+            let cur = offset + done;
+            let in_frame = cur % PAGE_SIZE;
+            let n = (len - done).min(PAGE_SIZE - in_frame);
+            self.write(cur, &chunk[..n as usize])?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Drops all contents, returning the store to the all-zero state.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = SparseMemory::new(1 << 20);
+        let mut buf = [0xFFu8; 16];
+        mem.read(0x1234, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(mem.resident_frames(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_frame_boundary() {
+        let mut mem = SparseMemory::new(1 << 20);
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        mem.write(PAGE_SIZE - 100, &data).unwrap();
+        let mut back = vec![0u8; 10_000];
+        mem.read(PAGE_SIZE - 100, &mut back).unwrap();
+        assert_eq!(back, data);
+        // 3996..13996 touches frames 0 through 3.
+        assert_eq!(mem.resident_frames(), 4);
+        assert_eq!(mem.resident_bytes(), 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut mem = SparseMemory::new(4096);
+        assert!(mem.write(4090, &[0u8; 8]).is_err());
+        let mut buf = [0u8; 8];
+        assert!(mem.read(4095, &mut buf).is_err());
+        assert!(mem.read(u64::MAX, &mut buf).is_err());
+        // Exactly at the end is fine.
+        assert!(mem.write(4088, &[1u8; 8]).is_ok());
+    }
+
+    #[test]
+    fn u64_and_f32_accessors() {
+        let mut mem = SparseMemory::new(1 << 16);
+        mem.write_u64(0x100, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        assert_eq!(mem.read_u64(0x100).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        mem.write_f32(0x200, 3.5).unwrap();
+        assert_eq!(mem.read_f32(0x200).unwrap(), 3.5);
+    }
+
+    #[test]
+    fn fill_and_clear() {
+        let mut mem = SparseMemory::new(1 << 16);
+        mem.fill(100, 5000, 0xAB).unwrap();
+        let mut buf = [0u8; 4];
+        mem.read(4000, &mut buf).unwrap();
+        assert_eq!(buf, [0xAB; 4]);
+        mem.clear();
+        mem.read(4000, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+    }
+}

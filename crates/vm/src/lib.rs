@@ -1,0 +1,45 @@
+//! Sv39 virtual memory for the host process and the IOMMU.
+//!
+//! The RISC-V IOMMU translates IO virtual addresses using the very same
+//! page-table format as the host MMU (Sv39 for the paper's 64-bit CVA6
+//! platform): a three-level radix tree of 512-entry tables rooted at a
+//! physical page. This crate implements that structure **inside the simulated
+//! physical memory**, so the IOMMU's page-table walker really does issue
+//! three dependent memory reads per miss — the property at the heart of the
+//! paper's evaluation.
+//!
+//! * [`pte`] — the Sv39 page-table-entry bit layout;
+//! * [`frame`] — a physical frame allocator for page tables and user pages;
+//! * [`page_table`] — building, walking and tearing down Sv39 trees in
+//!   simulated memory;
+//! * [`space`] — a process address space: virtual buffer allocation backed by
+//!   physical frames and mapped in the process page table (the buffers the
+//!   OpenMP application allocates with `malloc`).
+//!
+//! # Example
+//!
+//! ```
+//! use sva_mem::MemorySystem;
+//! use sva_vm::{AddressSpace, FrameAllocator};
+//! use sva_common::PAGE_SIZE;
+//!
+//! let mut mem = MemorySystem::default();
+//! let mut frames = FrameAllocator::linux_pool();
+//! let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+//! let va = space.alloc_buffer(&mut mem, &mut frames, 4 * PAGE_SIZE).unwrap();
+//! let pa = space.translate(&mem, va).unwrap();
+//! assert!(mem.map().is_dram(pa));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod frame;
+pub mod page_table;
+pub mod pte;
+pub mod space;
+
+pub use frame::FrameAllocator;
+pub use page_table::{MapStats, PageTable, WalkPath, PT_LEVELS};
+pub use pte::{Pte, PteFlags};
+pub use space::AddressSpace;

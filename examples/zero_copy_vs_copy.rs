@@ -1,0 +1,66 @@
+//! Compare the three offload flows of Figure 2 on the paper's axpy problem.
+//!
+//! ```text
+//! cargo run --release --example zero_copy_vs_copy
+//! ```
+//!
+//! Runs `axpy` with 32 768 elements per vector (the paper's size) three ways
+//! — on the host, with copy-based offloading and with zero-copy (SVA)
+//! offloading — and prints the stacked-bar breakdown plus the zero-copy
+//! speed-up headline.
+
+use riscv_sva_repro::kernels::AxpyWorkload;
+use riscv_sva_repro::soc::config::PlatformConfig;
+use riscv_sva_repro::soc::offload::{OffloadMode, OffloadRunner};
+use riscv_sva_repro::soc::platform::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = AxpyWorkload::paper();
+    println!("axpy, {} elements per vector, DRAM latency 200 cycles\n", workload.n);
+    println!(
+        "{:<38} {:>12} {:>12} {:>12} {:>12}",
+        "scenario", "copy/map", "overhead", "compute", "total"
+    );
+
+    let mut totals = Vec::new();
+    for mode in [
+        OffloadMode::HostOnly,
+        OffloadMode::CopyOffload,
+        OffloadMode::ZeroCopy,
+    ] {
+        // A fresh platform per scenario keeps cache state comparable.
+        let mut platform = Platform::new(PlatformConfig::iommu_with_llc(200))?;
+        let report = OffloadRunner::new(7).run(&mut platform, &workload, mode)?;
+        let compute = report
+            .device
+            .map(|d| d.total.raw())
+            .or(report.host.map(|h| h.total.raw()))
+            .unwrap_or(0);
+        println!(
+            "{:<38} {:>12} {:>12} {:>12} {:>12}",
+            mode.label(),
+            report.copy_or_map.raw(),
+            report.offload_overhead.raw(),
+            compute,
+            report.total.raw()
+        );
+        assert!(report.verified, "all three flows must produce correct results");
+        totals.push((mode, report.total.raw()));
+    }
+
+    let copy = totals
+        .iter()
+        .find(|(m, _)| *m == OffloadMode::CopyOffload)
+        .expect("copy case present")
+        .1;
+    let zero = totals
+        .iter()
+        .find(|(m, _)| *m == OffloadMode::ZeroCopy)
+        .expect("zero-copy case present")
+        .1;
+    println!(
+        "\nzero-copy offloading is {:.0}% faster than copy-based offloading (paper: 47%)",
+        (1.0 - zero as f64 / copy as f64) * 100.0
+    );
+    Ok(())
+}

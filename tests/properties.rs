@@ -1,0 +1,151 @@
+//! Property-based tests of the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use riscv_sva_repro::axi::BurstPlan;
+use riscv_sva_repro::common::{Iova, PhysAddr, VirtAddr, PAGE_SIZE};
+use riscv_sva_repro::iommu::{Iommu, IommuConfig};
+use riscv_sva_repro::mem::{MemorySystem, SparseMemory};
+use riscv_sva_repro::vm::{AddressSpace, FrameAllocator, PageTable, PteFlags};
+
+proptest! {
+    /// Burst plans cover exactly the requested bytes, never cross 4 KiB
+    /// boundaries and never exceed the maximum burst size.
+    #[test]
+    fn burst_plan_invariants(
+        addr in 0u64..0x1_0000_0000,
+        len in 0u64..200_000,
+        max_burst in prop::sample::select(vec![256u64, 1024, 2048, 4096]),
+    ) {
+        let plan = BurstPlan::split(PhysAddr::new(addr), len, max_burst);
+        prop_assert_eq!(plan.total_bytes(), len);
+        let mut expected_next = PhysAddr::new(addr);
+        for burst in plan.bursts() {
+            prop_assert!(burst.len > 0);
+            prop_assert!(burst.len <= max_burst);
+            // Contiguous, in order.
+            prop_assert_eq!(burst.addr, expected_next);
+            expected_next = burst.end();
+            // Never crosses a page boundary.
+            prop_assert_eq!(
+                burst.addr.page_number(),
+                (burst.end() - 1u64).page_number()
+            );
+        }
+        if len > 0 {
+            prop_assert!(plan.pages_touched() >= 1);
+        }
+    }
+
+    /// Sparse memory behaves like a flat byte array.
+    #[test]
+    fn sparse_memory_matches_flat_model(
+        writes in prop::collection::vec((0u64..60_000, prop::collection::vec(any::<u8>(), 1..200)), 1..20)
+    ) {
+        let mut mem = SparseMemory::new(1 << 16);
+        let mut model = vec![0u8; 1 << 16];
+        for (offset, data) in &writes {
+            if *offset as usize + data.len() <= model.len() {
+                mem.write(*offset, data).unwrap();
+                model[*offset as usize..*offset as usize + data.len()].copy_from_slice(data);
+            }
+        }
+        let mut out = vec![0u8; model.len()];
+        mem.read(0, &mut out).unwrap();
+        prop_assert_eq!(out, model);
+    }
+
+    /// Mapping pages and translating them through the page table is the
+    /// identity on (page, offset) pairs, and unmapped pages always fault.
+    #[test]
+    fn page_table_roundtrip(
+        pages in prop::collection::btree_set(0u64..512, 1..24),
+        offset in 0u64..PAGE_SIZE,
+    ) {
+        let mut mem = MemorySystem::default();
+        let mut frames = FrameAllocator::linux_pool();
+        let pt = PageTable::create(&mut frames).unwrap();
+        let base = VirtAddr::new(0x4000_0000);
+        let mut mapping = Vec::new();
+        for &p in &pages {
+            let pa = frames.alloc_frame().unwrap();
+            pt.map_page(&mut mem, &mut frames, base + p * PAGE_SIZE, pa, PteFlags::user_rw()).unwrap();
+            mapping.push((p, pa));
+        }
+        for (p, pa) in mapping {
+            let got = pt.translate(&mem, base + p * PAGE_SIZE + offset).unwrap();
+            prop_assert_eq!(got, pa + offset);
+        }
+        // A page index outside the mapped set faults.
+        let unmapped = (0..1024u64).find(|p| !pages.contains(p)).unwrap();
+        prop_assert!(pt.translate(&mem, base + unmapped * PAGE_SIZE).is_err());
+    }
+
+    /// The IOMMU translation agrees with the process page table for every
+    /// offset of a mapped buffer, regardless of the access pattern.
+    #[test]
+    fn iommu_matches_software_walk(
+        offsets in prop::collection::vec(0u64..(8 * PAGE_SIZE), 1..40),
+    ) {
+        let mut mem = MemorySystem::default();
+        let mut frames = FrameAllocator::linux_pool();
+        let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+        let va = space.alloc_buffer(&mut mem, &mut frames, 8 * PAGE_SIZE).unwrap();
+        let mut iommu = Iommu::new(IommuConfig::default());
+        iommu.attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root()).unwrap();
+        for off in offsets {
+            let iova = Iova::from_virt(va + off);
+            let (pa, cycles) = iommu.translate(&mut mem, 1, iova, false).unwrap();
+            prop_assert_eq!(pa, space.translate(&mem, va + off).unwrap());
+            prop_assert!(cycles.raw() > 0);
+        }
+        let stats = iommu.stats();
+        prop_assert_eq!(stats.iotlb.total(), stats.translations);
+        prop_assert!(stats.ptw_walks as usize <= 8usize.max(stats.iotlb.misses as usize));
+    }
+
+    /// The IOTLB never grows beyond its capacity and always serves hits for
+    /// the most recently used page.
+    #[test]
+    fn iotlb_capacity_and_mru(
+        pages in prop::collection::vec(0u64..64, 1..100),
+    ) {
+        let mut mem = MemorySystem::default();
+        let mut frames = FrameAllocator::linux_pool();
+        let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+        let va = space.alloc_buffer(&mut mem, &mut frames, 64 * PAGE_SIZE).unwrap();
+        let mut iommu = Iommu::new(IommuConfig::default());
+        iommu.attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root()).unwrap();
+
+        for &p in &pages {
+            let iova = Iova::from_virt(va + p * PAGE_SIZE);
+            iommu.translate(&mut mem, 1, iova, false).unwrap();
+            prop_assert!(iommu.iotlb().len() <= 4);
+            // Immediately repeating the same page is always an IOTLB hit.
+            let before = iommu.stats().iotlb.hits;
+            iommu.translate(&mut mem, 1, iova, false).unwrap();
+            prop_assert_eq!(iommu.stats().iotlb.hits, before + 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Functional correctness of the device axpy for arbitrary problem sizes
+    /// (not just the paper's power-of-two sizes).
+    #[test]
+    fn device_axpy_matches_reference_for_odd_sizes(n in 1usize..6_000) {
+        use riscv_sva_repro::kernels::AxpyWorkload;
+        use riscv_sva_repro::soc::config::PlatformConfig;
+        use riscv_sva_repro::soc::offload::{OffloadMode, OffloadRunner};
+        use riscv_sva_repro::soc::platform::Platform;
+
+        let workload = AxpyWorkload::with_elems(n);
+        let mut platform = Platform::new(PlatformConfig::iommu_with_llc(200)).unwrap();
+        let report = OffloadRunner::new(n as u64)
+            .run(&mut platform, &workload, OffloadMode::ZeroCopy)
+            .unwrap();
+        prop_assert!(report.verified);
+    }
+}
