@@ -62,8 +62,11 @@ impl BurstPlan {
         while remaining > 0 {
             let to_page_end = PAGE_SIZE - cur.page_offset();
             let chunk = remaining.min(max_burst_bytes).min(to_page_end);
-            bursts.push(Burst { addr: cur, len: chunk });
-            cur = cur + chunk;
+            bursts.push(Burst {
+                addr: cur,
+                len: chunk,
+            });
+            cur += chunk;
             remaining -= chunk;
         }
         Self { bursts }
@@ -105,7 +108,11 @@ impl BurstPlan {
     /// DMA engine must present a new translation request for it).
     pub fn iter_with_new_page(&self) -> impl Iterator<Item = (Burst, bool)> + '_ {
         self.bursts.iter().enumerate().map(move |(i, b)| {
-            let prev = if i == 0 { None } else { Some(&self.bursts[i - 1]) };
+            let prev = if i == 0 {
+                None
+            } else {
+                Some(&self.bursts[i - 1])
+            };
             (*b, b.starts_new_page(prev))
         })
     }

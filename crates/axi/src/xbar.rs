@@ -155,10 +155,7 @@ mod tests {
             let port = MasterPort::ALL[i % 3];
             xbar.route(port, &MemTxn::read(PhysAddr::new(0x1000), 64));
         }
-        let total: f64 = MasterPort::ALL
-            .iter()
-            .map(|&p| xbar.traffic_share(p))
-            .sum();
+        let total: f64 = MasterPort::ALL.iter().map(|&p| xbar.traffic_share(p)).sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

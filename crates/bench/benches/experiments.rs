@@ -16,8 +16,7 @@ use sva_soc::platform::Platform;
 fn bench_table2_sweep(c: &mut Criterion) {
     c.bench_function("table2/gemm64_two_latencies_three_variants", |b| {
         b.iter(|| {
-            kernel_runtime::run(&[KernelKind::Gemm], &[200, 1000], false)
-                .expect("table II sweep")
+            kernel_runtime::run(&[KernelKind::Gemm], &[200, 1000], false).expect("table II sweep")
         })
     });
 }

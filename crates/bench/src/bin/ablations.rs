@@ -11,8 +11,12 @@ fn main() {
         .expect("IOTLB ablation failed");
     with_banner("Ablation: IOTLB capacity (no LLC)", || iotlb.render());
 
-    let bypass = ablation::dma_through_llc(KernelKind::Heat3d, 600).expect("bypass ablation failed");
-    with_banner("Ablation: device DMA bypassing vs traversing the LLC", || bypass.render());
+    let bypass =
+        ablation::dma_through_llc(KernelKind::Heat3d, 600).expect("bypass ablation failed");
+    with_banner(
+        "Ablation: device DMA bypassing vs traversing the LLC",
+        || bypass.render(),
+    );
 
     let outstanding = ablation::dma_outstanding(KernelKind::Heat3d, 1000, &[1, 2, 4, 8])
         .expect("outstanding ablation failed");
@@ -20,10 +24,13 @@ fn main() {
 
     let buffering =
         ablation::double_buffering(KernelKind::Gesummv, 600).expect("buffering ablation failed");
-    with_banner("Ablation: double vs single buffering", || buffering.render());
+    with_banner("Ablation: double vs single buffering", || {
+        buffering.render()
+    });
 
     let flush = ablation::flush_before_map(1000).expect("flush ablation failed");
-    with_banner("Ablation: LLC flush before vs after create_iommu_mapping", || {
-        flush.render()
-    });
+    with_banner(
+        "Ablation: LLC flush before vs after create_iommu_mapping",
+        || flush.render(),
+    );
 }

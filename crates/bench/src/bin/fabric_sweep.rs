@@ -1,0 +1,64 @@
+//! The fabric-scaling sweep driver: cluster count × platform variant × DRAM
+//! latency, fanned out across worker threads, with per-initiator contention
+//! statistics.
+//!
+//! Prints the scaling table and writes the machine-readable results to
+//! `BENCH_fabric.json` (override with `--out <path>`), so successive PRs
+//! accumulate a perf trajectory.
+//!
+//! Usage: `fabric_sweep [--paper|--small] [--out <path>]`
+
+use sva_bench::par::par_map;
+use sva_bench::{parse_args, with_banner, RunSize};
+use sva_kernels::KernelKind;
+use sva_soc::config::SocVariant;
+use sva_soc::experiments::fabric::{self, FabricSweepResult};
+
+fn out_path() -> String {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fabric.json".to_string())
+}
+
+fn main() {
+    let size = parse_args();
+    let clusters: &[usize] = if size.is_paper() {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 4]
+    };
+    let latencies = size.latencies();
+    let variants = [
+        SocVariant::Baseline,
+        SocVariant::Iommu,
+        SocVariant::IommuLlc,
+    ];
+    let kernel = KernelKind::Gemm;
+    let paper_size = size == RunSize::Paper;
+
+    let mut grid = Vec::new();
+    for &n in clusters {
+        for &variant in &variants {
+            for &latency in &latencies {
+                grid.push((n, variant, latency));
+            }
+        }
+    }
+
+    let points = par_map(grid, |(n, variant, latency)| {
+        fabric::run_point(kernel, paper_size, n, variant, latency)
+            .unwrap_or_else(|e| panic!("fabric point {n}x {variant:?} @{latency} failed: {e:?}"))
+    });
+    let result = FabricSweepResult { points };
+
+    with_banner("Fabric scaling: clusters x variant x DRAM latency", || {
+        result.render()
+    });
+
+    let path = out_path();
+    std::fs::write(&path, result.to_json()).expect("write BENCH_fabric.json");
+    println!("wrote {} points to {path}", result.points.len());
+}

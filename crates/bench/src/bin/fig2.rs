@@ -9,7 +9,9 @@ fn main() {
     let size = parse_args();
     let elems = if size.is_paper() { 32_768 } else { 8_192 };
     let breakdown = offload_breakdown::run(elems, 200).expect("figure 2 (left) failed");
-    with_banner("Figure 2 (left): axpy offload breakdown", || breakdown.render());
+    with_banner("Figure 2 (left): axpy offload breakdown", || {
+        breakdown.render()
+    });
 
     let pages: &[u64] = if size == RunSize::Paper {
         &[4, 8, 16, 32, 64, 128]

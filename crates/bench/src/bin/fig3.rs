@@ -13,16 +13,19 @@ fn main() {
         &[4, 16]
     };
     let result = copy_vs_map::run(pages, &latencies).expect("figure 3 sweep failed");
-    with_banner("Figure 3: copy and map time with input size and DRAM latency", || {
-        let mut out = result.render();
-        if let (Some(c), Some(m)) = (
-            result.copy_scaling(16, 200, 1000),
-            result.map_scaling(16, 200, 1000),
-        ) {
-            out.push_str(&format!(
+    with_banner(
+        "Figure 3: copy and map time with input size and DRAM latency",
+        || {
+            let mut out = result.render();
+            if let (Some(c), Some(m)) = (
+                result.copy_scaling(16, 200, 1000),
+                result.map_scaling(16, 200, 1000),
+            ) {
+                out.push_str(&format!(
                 "16-page buffer, 200 -> 1000 cycles: copy x{c:.1} (paper: x3.4), map x{m:.1} (paper: x2.1)\n"
             ));
-        }
-        out
-    });
+            }
+            out
+        },
+    );
 }

@@ -10,7 +10,8 @@ fn main() {
     let latencies = size.latencies();
     let result = kernel_runtime::run(&KernelKind::TABLE2, &latencies, size.is_paper())
         .expect("table II sweep failed");
-    with_banner("Table II: total runtime in cycles for each kernel at variable memory latency", || {
-        result.render_table2(&latencies)
-    });
+    with_banner(
+        "Table II: total runtime in cycles for each kernel at variable memory latency",
+        || result.render_table2(&latencies),
+    );
 }

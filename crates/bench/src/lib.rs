@@ -14,6 +14,8 @@
 
 use std::time::Instant;
 
+pub mod par;
+
 /// Problem-size selection for an experiment binary.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum RunSize {

@@ -1,0 +1,79 @@
+//! Minimal thread-pool map for the sweep drivers.
+//!
+//! The build environment is offline, so `rayon` is unavailable; this module
+//! provides the one primitive the sweep drivers need — an order-preserving
+//! parallel map over independent work items — on top of
+//! `std::thread::scope`. Each simulated platform is self-contained, so
+//! fanning combinations out across OS threads is embarrassingly parallel.
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+use std::thread;
+
+/// Maps `f` over `items` on up to `available_parallelism` worker threads,
+/// preserving input order in the output.
+///
+/// Workers pull items off a shared queue, so uneven point costs (e.g. a
+/// 4-cluster high-latency sweep point next to a tiny baseline point) balance
+/// automatically.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // LIFO queue of (index, item); results are reordered by index at the end.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((index, item)) = job else { break };
+                let result = f(item);
+                done.lock().expect("result lock").push((index, result));
+            });
+        }
+    });
+    let mut results = done.into_inner().expect("workers joined");
+    results.sort_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![41], |x| x + 1), vec![42]);
+    }
+}

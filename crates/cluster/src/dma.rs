@@ -19,9 +19,9 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 use sva_axi::BurstPlan;
-use sva_common::{Cycles, Iova, PhysAddr, Result};
+use sva_common::{Cycles, InitiatorId, Iova, PhysAddr, Result};
 use sva_iommu::Iommu;
-use sva_mem::MemorySystem;
+use sva_mem::{MemReq, MemorySystem};
 
 use crate::tcdm::Tcdm;
 
@@ -198,17 +198,22 @@ impl DmaEngine {
                 self.stats.translation_cycles += trans.raw();
                 issue_t += trans;
 
-                // Data movement + timing.
+                // Data movement + timing. The engine presents its own device
+                // identity and issue time at the fabric port, so per-cluster
+                // contention is observable in the fabric statistics.
+                let initiator = InitiatorId::dma(self.config.device_id);
                 let chunk = &mut buf[..burst.len as usize];
                 let timing = match req.dir {
                     Direction::ToTcdm => {
-                        let t = mem.dma_read_burst(pa, chunk)?;
+                        let rsp =
+                            mem.access(MemReq::read(initiator, pa, chunk).burst().at(issue_t))?;
                         tcdm.write(req.tcdm_offset + done, chunk)?;
-                        t
+                        rsp.timing
                     }
                     Direction::FromTcdm => {
                         tcdm.read(req.tcdm_offset + done, chunk)?;
-                        mem.dma_write_burst(pa, chunk)?
+                        mem.access(MemReq::write(initiator, pa, chunk).burst().at(issue_t))?
+                            .timing
                     }
                 };
                 let data_start = (issue_t + timing.latency).max(data_bus_free);
@@ -252,7 +257,8 @@ mod tests {
 
         // Put a pattern in DRAM, DMA it in, mangle it, DMA it out elsewhere.
         let src: Vec<u8> = (0..8192u32).map(|i| (i % 250) as u8).collect();
-        mem.write_phys(PhysAddr::new(DRAM_BASE + 0x10_0000), &src).unwrap();
+        mem.write_phys(PhysAddr::new(DRAM_BASE + 0x10_0000), &src)
+            .unwrap();
 
         let t_in = dma
             .execute(
@@ -277,7 +283,8 @@ mod tests {
         )
         .unwrap();
         let mut out = vec![0u8; 8192];
-        mem.read_phys(PhysAddr::new(DRAM_BASE + 0x20_0000), &mut out).unwrap();
+        mem.read_phys(PhysAddr::new(DRAM_BASE + 0x20_0000), &mut out)
+            .unwrap();
         assert_eq!(out, src);
 
         let stats = dma.stats();

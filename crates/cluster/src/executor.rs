@@ -67,6 +67,27 @@ impl KernelRunStats {
     pub fn dma_fraction(&self) -> f64 {
         self.dma_wait.fraction_of(self.total)
     }
+
+    /// Merges the per-shard breakdowns of one kernel run sharded across
+    /// parallel clusters: the wall-clock `total` is the slowest shard, while
+    /// compute, DMA-wait, tile and DMA-engine counters aggregate across
+    /// shards. With a single shard this is the identity.
+    pub fn merge_parallel(shards: &[KernelRunStats]) -> KernelRunStats {
+        let mut merged = KernelRunStats::default();
+        for s in shards {
+            merged.total = merged.total.max(s.total);
+            merged.dma_wait += s.dma_wait;
+            merged.compute += s.compute;
+            merged.tiles += s.tiles;
+            merged.dma.requests += s.dma.requests;
+            merged.dma.bursts += s.dma.bursts;
+            merged.dma.bytes += s.dma.bytes;
+            merged.dma.translations += s.dma.translations;
+            merged.dma.translation_cycles += s.dma.translation_cycles;
+            merged.dma.busy_cycles += s.dma.busy_cycles;
+        }
+        merged
+    }
 }
 
 /// The cluster executor: TCDM + DMA engine + run loop.
@@ -160,13 +181,9 @@ impl ClusterExecutor {
             // Write back this tile's outputs (overlaps with the next tile's
             // compute when double buffering).
             let io = kernel.tile_io(tile);
-            dma_free = self.dma.execute(
-                mem,
-                iommu,
-                &mut self.tcdm,
-                &io.outputs,
-                now.max(dma_free),
-            )?;
+            dma_free =
+                self.dma
+                    .execute(mem, iommu, &mut self.tcdm, &io.outputs, now.max(dma_free))?;
 
             if !self.config.double_buffer {
                 // Single-buffered ablation: wait for the write-back before
@@ -214,9 +231,9 @@ mod tests {
     use crate::kernel::TileIo;
     use sva_axi::addrmap::{DRAM_BASE, LLC_BYPASS_OFFSET};
     use sva_common::Iova;
+    use sva_common::PhysAddr;
     use sva_iommu::IommuConfig;
     use sva_mem::MemSysConfig;
-    use sva_common::PhysAddr;
 
     /// A synthetic kernel that streams `tiles` tiles of `tile_bytes` each and
     /// spends a configurable number of compute cycles per tile, doubling
@@ -284,7 +301,8 @@ mod tests {
         let n_f32 = 4096usize;
         let src_vals: Vec<f32> = (0..n_f32).map(|i| i as f32).collect();
         let bytes: Vec<u8> = src_vals.iter().flat_map(|v| v.to_le_bytes()).collect();
-        mem.write_phys(PhysAddr::new(DRAM_BASE + 0x10_0000), &bytes).unwrap();
+        mem.write_phys(PhysAddr::new(DRAM_BASE + 0x10_0000), &bytes)
+            .unwrap();
 
         let mut kernel = StreamKernel {
             tiles: 8,
@@ -297,7 +315,8 @@ mod tests {
         let stats = exec.run(&mut mem, &mut iommu, &mut kernel).unwrap();
 
         let mut out = vec![0u8; bytes.len()];
-        mem.read_phys(PhysAddr::new(DRAM_BASE + 0x20_0000), &mut out).unwrap();
+        mem.read_phys(PhysAddr::new(DRAM_BASE + 0x20_0000), &mut out)
+            .unwrap();
         for (i, chunk) in out.chunks_exact(4).enumerate() {
             let v = f32::from_le_bytes(chunk.try_into().unwrap());
             assert_eq!(v, 2.0 * i as f32, "element {i}");

@@ -67,10 +67,172 @@ pub trait DeviceKernel {
     fn compute_tile(&mut self, tile: usize, tcdm: &mut Tcdm) -> Result<Cycles>;
 }
 
+/// A contiguous tile range of an underlying kernel, used to shard one kernel
+/// across several clusters with static block scheduling.
+///
+/// Tile `t` of the shard maps to tile `start + t` of the inner kernel, for
+/// both I/O descriptors and compute, so a shard computes exactly the tiles of
+/// its block and nothing else. Each cluster wraps its *own* kernel instance
+/// (tiles of distinct shards touch distinct TCDMs).
+pub struct TileRange<K: DeviceKernel> {
+    inner: K,
+    start: usize,
+    len: usize,
+}
+
+impl<K: DeviceKernel> TileRange<K> {
+    /// Restricts `inner` to the `len` tiles starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the inner kernel's tile count.
+    pub fn new(inner: K, start: usize, len: usize) -> Self {
+        assert!(
+            start + len <= inner.num_tiles(),
+            "tile range {start}..{} exceeds {} tiles",
+            start + len,
+            inner.num_tiles()
+        );
+        Self { inner, start, len }
+    }
+
+    /// The first inner tile of the shard.
+    pub const fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Consumes the shard and returns the inner kernel.
+    pub fn into_inner(self) -> K {
+        self.inner
+    }
+}
+
+impl<K: DeviceKernel> DeviceKernel for TileRange<K> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn num_tiles(&self) -> usize {
+        self.len
+    }
+
+    fn tile_io(&self, tile: usize) -> TileIo {
+        self.inner.tile_io(self.start + tile)
+    }
+
+    fn compute_tile(&mut self, tile: usize, tcdm: &mut Tcdm) -> Result<Cycles> {
+        self.inner.compute_tile(self.start + tile, tcdm)
+    }
+}
+
+impl<'a> DeviceKernel for Box<dyn DeviceKernel + 'a> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn num_tiles(&self) -> usize {
+        self.as_ref().num_tiles()
+    }
+
+    fn tile_io(&self, tile: usize) -> TileIo {
+        self.as_ref().tile_io(tile)
+    }
+
+    fn compute_tile(&mut self, tile: usize, tcdm: &mut Tcdm) -> Result<Cycles> {
+        self.as_mut().compute_tile(tile, tcdm)
+    }
+}
+
+/// Splits `total` tiles into `shards` contiguous blocks (static block
+/// scheduling): the first `total % shards` blocks get one extra tile.
+/// Returns `(start, len)` pairs; shards beyond `total` come back empty.
+pub fn block_partition(total: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(shards > 0, "at least one shard");
+    let base = total / shards;
+    let extra = total % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sva_common::Iova;
+
+    #[test]
+    fn block_partition_covers_all_tiles_contiguously() {
+        for total in [0usize, 1, 7, 8, 9, 100] {
+            for shards in [1usize, 2, 3, 4, 8] {
+                let blocks = block_partition(total, shards);
+                assert_eq!(blocks.len(), shards);
+                let mut next = 0;
+                for (start, len) in &blocks {
+                    assert_eq!(*start, next);
+                    next += len;
+                }
+                assert_eq!(next, total, "{total} tiles over {shards} shards");
+                let max = blocks.iter().map(|(_, l)| *l).max().unwrap();
+                let min = blocks.iter().map(|(_, l)| *l).min().unwrap();
+                assert!(max - min <= 1, "block schedule is balanced");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_range_remaps_tiles() {
+        struct Probe;
+        impl DeviceKernel for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn num_tiles(&self) -> usize {
+                10
+            }
+            fn tile_io(&self, tile: usize) -> TileIo {
+                TileIo {
+                    inputs: vec![DmaRequest::input(Iova::new(tile as u64), 0, 1)],
+                    outputs: vec![],
+                }
+            }
+            fn compute_tile(&mut self, tile: usize, _tcdm: &mut Tcdm) -> Result<Cycles> {
+                Ok(Cycles::new(tile as u64))
+            }
+        }
+        let mut shard = TileRange::new(Probe, 4, 3);
+        assert_eq!(shard.num_tiles(), 3);
+        assert_eq!(shard.start(), 4);
+        assert_eq!(shard.tile_io(0).inputs[0].ext_addr, Iova::new(4));
+        assert_eq!(shard.tile_io(2).inputs[0].ext_addr, Iova::new(6));
+        let mut tcdm = Tcdm::default();
+        assert_eq!(shard.compute_tile(1, &mut tcdm).unwrap(), Cycles::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn tile_range_rejects_out_of_bounds() {
+        struct Two;
+        impl DeviceKernel for Two {
+            fn name(&self) -> &str {
+                "two"
+            }
+            fn num_tiles(&self) -> usize {
+                2
+            }
+            fn tile_io(&self, _tile: usize) -> TileIo {
+                TileIo::new()
+            }
+            fn compute_tile(&mut self, _tile: usize, _tcdm: &mut Tcdm) -> Result<Cycles> {
+                Ok(Cycles::ZERO)
+            }
+        }
+        let _ = TileRange::new(Two, 1, 2);
+    }
 
     #[test]
     fn tile_io_byte_accounting() {

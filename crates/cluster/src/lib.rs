@@ -27,8 +27,8 @@ pub mod kernel;
 pub mod pe;
 pub mod tcdm;
 
-pub use dma::{DmaConfig, DmaEngine, DmaRequest, DmaStats, Direction};
+pub use dma::{Direction, DmaConfig, DmaEngine, DmaRequest, DmaStats};
 pub use executor::{ClusterConfig, ClusterExecutor, KernelRunStats};
-pub use kernel::{DeviceKernel, TileIo};
+pub use kernel::{block_partition, DeviceKernel, TileIo, TileRange};
 pub use pe::{ClusterGeometry, PeCost};
 pub use tcdm::{Tcdm, TcdmAllocator};

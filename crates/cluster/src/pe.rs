@@ -92,8 +92,7 @@ impl PeCost {
     /// Host-domain cycles for work that cannot be parallelised (runs on one
     /// PE).
     pub fn serial_region(&self, ops: u64) -> Cycles {
-        let cluster_cycles =
-            (ops as f64 * self.cycles_per_op).ceil() as u64 + self.region_overhead;
+        let cluster_cycles = (ops as f64 * self.cycles_per_op).ceil() as u64 + self.region_overhead;
         ClockDomain::Cluster.to_host_cycles(cluster_cycles)
     }
 }
@@ -126,7 +125,10 @@ mod tests {
     #[test]
     fn serial_region_uses_one_pe() {
         let cost = PeCost::new(2.0, 0);
-        assert_eq!(cost.serial_region(100), ClockDomain::Cluster.to_host_cycles(200));
+        assert_eq!(
+            cost.serial_region(100),
+            ClockDomain::Cluster.to_host_cycles(200)
+        );
         assert!(cost.serial_region(800) > cost.parallel_region(800));
     }
 }

@@ -20,9 +20,7 @@ pub const HOST_FREQ_HZ: u64 = 50_000_000;
 pub const CLUSTER_FREQ_HZ: u64 = 20_000_000;
 
 /// A duration (or point in time) measured in host-domain clock cycles.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Cycles(u64);
 
 impl Cycles {
@@ -229,10 +227,7 @@ mod tests {
 
     #[test]
     fn host_cycles_back_to_cluster() {
-        assert_eq!(
-            ClockDomain::Cluster.from_host_cycles(Cycles::new(250)),
-            100
-        );
+        assert_eq!(ClockDomain::Cluster.from_host_cycles(Cycles::new(250)), 100);
         assert_eq!(ClockDomain::Host.from_host_cycles(Cycles::new(250)), 250);
     }
 

@@ -104,7 +104,10 @@ impl fmt::Display for Error {
             ),
             Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             Error::IommuNotPresent => {
-                write!(f, "shared virtual addressing requested but no IOMMU present")
+                write!(
+                    f,
+                    "shared virtual addressing requested but no IOMMU present"
+                )
             }
             Error::VerificationFailed { kernel, index } => write!(
                 f,

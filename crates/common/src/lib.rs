@@ -34,6 +34,7 @@
 pub mod addr;
 pub mod cycles;
 pub mod error;
+pub mod port;
 pub mod rng;
 pub mod size;
 pub mod stats;
@@ -43,6 +44,7 @@ pub mod prelude {
     pub use crate::addr::{Iova, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
     pub use crate::cycles::{ClockDomain, Cycles};
     pub use crate::error::{Error, Result};
+    pub use crate::port::{InitiatorClass, InitiatorId, MemPortReq, PortDir, PortTiming};
     pub use crate::size::{GIB, KIB, MIB};
     pub use crate::stats::{Counter, RunningStats};
 }
@@ -50,4 +52,5 @@ pub mod prelude {
 pub use addr::{Iova, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
 pub use cycles::{ClockDomain, Cycles};
 pub use error::{Error, Result};
+pub use port::{InitiatorClass, InitiatorId, InitiatorStats, MemPortReq, PortDir, PortTiming};
 pub use size::{GIB, KIB, MIB};

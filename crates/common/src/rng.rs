@@ -5,24 +5,32 @@
 //! initialisation, merge-sort input permutations) draws from a
 //! [`DeterministicRng`] seeded explicitly by the experiment configuration.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seedable random number generator with a small convenience API.
 ///
-/// Wraps [`rand::rngs::StdRng`] so the concrete algorithm is not part of the
-/// public API of the workspace.
+/// Implements xoshiro256++ seeded through splitmix64, entirely in-tree so the
+/// concrete algorithm is not part of the public API of the workspace and the
+/// build carries no external dependency.
 #[derive(Clone, Debug)]
 pub struct DeterministicRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // splitmix64 expansion of the seed into the 256-bit state, as
+        // recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
             seed,
         }
     }
@@ -39,33 +47,52 @@ impl DeterministicRng {
     /// Panics if `bound` is zero.
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be non-zero");
-        self.inner.gen_range(0..bound)
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
     }
 
     /// Uniform `u64` over the full range.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        // xoshiro256++
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Uniform `f32` in `[0, 1)`.
     pub fn next_f32(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+        self.next_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Fills a slice with uniform `f32` values in `[lo, hi)`.
     pub fn fill_f32(&mut self, data: &mut [f32], lo: f32, hi: f32) {
         for v in data {
-            *v = lo + self.inner.gen::<f32>() * (hi - lo);
+            *v = lo + self.next_f32() * (hi - lo);
         }
     }
 
@@ -74,7 +101,7 @@ impl DeterministicRng {
         let mut v: Vec<u32> = (0..n as u32).collect();
         // Fisher-Yates
         for i in (1..v.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.next_below(i as u64 + 1) as usize;
             v.swap(i, j);
         }
         v

@@ -202,7 +202,10 @@ impl fmt::Display for RunningStats {
             write!(
                 f,
                 "n={} mean={:.1} min={} max={}",
-                self.count, self.mean(), self.min, self.max
+                self.count,
+                self.mean(),
+                self.min,
+                self.max
             )
         }
     }

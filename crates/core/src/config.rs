@@ -34,7 +34,11 @@ pub enum SocVariant {
 
 impl SocVariant {
     /// All variants, in the order of Table II.
-    pub const ALL: [SocVariant; 3] = [SocVariant::Baseline, SocVariant::Iommu, SocVariant::IommuLlc];
+    pub const ALL: [SocVariant; 3] = [
+        SocVariant::Baseline,
+        SocVariant::Iommu,
+        SocVariant::IommuLlc,
+    ];
 
     /// Label used in tables and figures.
     pub const fn label(self) -> &'static str {
@@ -78,6 +82,10 @@ pub struct PlatformConfig {
     pub driver: DriverConfig,
     /// Synthetic host interference while the device runs (Figure 5).
     pub interference: InterferenceLevel,
+    /// Number of accelerator clusters sharing the IOMMU and memory fabric.
+    /// The paper's prototype has one; offloads are sharded across clusters
+    /// with static block scheduling when more are instantiated.
+    pub num_clusters: usize,
     /// Seed for all stochastic components of a run.
     pub seed: u64,
 }
@@ -115,6 +123,7 @@ impl PlatformConfig {
             },
             driver: DriverConfig::default(),
             interference: InterferenceLevel::Idle,
+            num_clusters: 1,
             seed: 0x5EED,
         }
     }
@@ -165,6 +174,20 @@ impl PlatformConfig {
         self.cluster.double_buffer = false;
         self
     }
+
+    /// Returns a copy with `n` accelerator clusters sharing the IOMMU and
+    /// the memory fabric (clamped to at least one).
+    pub fn with_clusters(mut self, n: usize) -> Self {
+        self.num_clusters = n.max(1);
+        self
+    }
+
+    /// Returns a copy whose memory fabric *charges* the cross-initiator
+    /// queueing it measures (contention becomes part of reported latencies).
+    pub fn with_fabric_contention(mut self) -> Self {
+        self.mem.fabric.contention_enabled = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +199,10 @@ mod tests {
         let base = PlatformConfig::baseline(600);
         assert!(!base.mem.llc_enabled || base.variant == SocVariant::Baseline);
         assert_eq!(base.iommu.mode, IommuMode::Disabled);
-        assert!(base.mem.llc_enabled, "the baseline platform keeps its LLC for the host");
+        assert!(
+            base.mem.llc_enabled,
+            "the baseline platform keeps its LLC for the host"
+        );
 
         let no_llc = PlatformConfig::iommu_no_llc(600);
         assert_eq!(no_llc.iommu.mode, IommuMode::Translating);
@@ -185,7 +211,10 @@ mod tests {
         let with_llc = PlatformConfig::iommu_with_llc(600);
         assert_eq!(with_llc.iommu.mode, IommuMode::Translating);
         assert!(with_llc.mem.llc_enabled);
-        assert!(!with_llc.mem.llc_serves_dma, "DMA must bypass the LLC by default");
+        assert!(
+            !with_llc.mem.llc_serves_dma,
+            "DMA must bypass the LLC by default"
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl AblationResult {
     }
 }
 
-fn measure(config: PlatformConfig, workload: &dyn Workload, label: String) -> Result<AblationPoint> {
+fn measure(
+    config: PlatformConfig,
+    workload: &dyn Workload,
+    label: String,
+) -> Result<AblationPoint> {
     let mut platform = Platform::new(config)?;
     let report = OffloadRunner::new(0xAB1A7E).run_device_only(&mut platform, workload)?;
     Ok(AblationPoint {
@@ -82,14 +86,20 @@ fn measure(config: PlatformConfig, workload: &dyn Workload, label: String) -> Re
 pub fn iotlb_size(kernel: KernelKind, latency: u64, sizes: &[usize]) -> Result<AblationResult> {
     let workload = kernel.small_workload();
     let mut result = AblationResult {
-        name: format!("IOTLB capacity sweep ({} @ {latency} cycles, no LLC)", workload.name()),
+        name: format!(
+            "IOTLB capacity sweep ({} @ {latency} cycles, no LLC)",
+            workload.name()
+        ),
         points: Vec::new(),
     };
     for &entries in sizes {
-        let config = PlatformConfig::variant(SocVariant::Iommu, latency).with_iotlb_entries(entries);
-        result
-            .points
-            .push(measure(config, workload.as_ref(), format!("{entries} IOTLB entries"))?);
+        let config =
+            PlatformConfig::variant(SocVariant::Iommu, latency).with_iotlb_entries(entries);
+        result.points.push(measure(
+            config,
+            workload.as_ref(),
+            format!("{entries} IOTLB entries"),
+        )?);
     }
     Ok(result)
 }
@@ -103,17 +113,24 @@ pub fn iotlb_size(kernel: KernelKind, latency: u64, sizes: &[usize]) -> Result<A
 pub fn dma_through_llc(kernel: KernelKind, latency: u64) -> Result<AblationResult> {
     let workload = kernel.small_workload();
     let mut result = AblationResult {
-        name: format!("LLC bypass for device DMA ({} @ {latency} cycles)", workload.name()),
+        name: format!(
+            "LLC bypass for device DMA ({} @ {latency} cycles)",
+            workload.name()
+        ),
         points: Vec::new(),
     };
     let bypass = PlatformConfig::variant(SocVariant::IommuLlc, latency);
-    result
-        .points
-        .push(measure(bypass, workload.as_ref(), "DMA bypasses LLC (paper)".to_string())?);
+    result.points.push(measure(
+        bypass,
+        workload.as_ref(),
+        "DMA bypasses LLC (paper)".to_string(),
+    )?);
     let through = PlatformConfig::variant(SocVariant::IommuLlc, latency).with_dma_through_llc();
-    result
-        .points
-        .push(measure(through, workload.as_ref(), "DMA through LLC".to_string())?);
+    result.points.push(measure(
+        through,
+        workload.as_ref(),
+        "DMA through LLC".to_string(),
+    )?);
     Ok(result)
 }
 
@@ -122,7 +139,11 @@ pub fn dma_through_llc(kernel: KernelKind, latency: u64) -> Result<AblationResul
 /// # Errors
 ///
 /// Propagates platform construction and execution failures.
-pub fn dma_outstanding(kernel: KernelKind, latency: u64, depths: &[usize]) -> Result<AblationResult> {
+pub fn dma_outstanding(
+    kernel: KernelKind,
+    latency: u64,
+    depths: &[usize],
+) -> Result<AblationResult> {
     let workload = kernel.small_workload();
     let mut result = AblationResult {
         name: format!(
@@ -133,9 +154,11 @@ pub fn dma_outstanding(kernel: KernelKind, latency: u64, depths: &[usize]) -> Re
     };
     for &depth in depths {
         let config = PlatformConfig::baseline(latency).with_dma_outstanding(depth);
-        result
-            .points
-            .push(measure(config, workload.as_ref(), format!("{depth} outstanding"))?);
+        result.points.push(measure(
+            config,
+            workload.as_ref(),
+            format!("{depth} outstanding"),
+        )?);
     }
     Ok(result)
 }
@@ -192,7 +215,9 @@ pub fn flush_before_map(latency: u64) -> Result<AblationResult> {
         let specs = workload.buffers();
         let mut vas = Vec::new();
         for (spec, data) in specs.iter().zip(&initial) {
-            let va = p.space.alloc_buffer(&mut p.mem, &mut p.frames, spec.bytes())?;
+            let va = p
+                .space
+                .alloc_buffer(&mut p.mem, &mut p.frames, spec.bytes())?;
             let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
             p.space.write_virt(&mut p.mem, va, &bytes)?;
             vas.push((va, spec.bytes()));
@@ -226,9 +251,7 @@ pub fn flush_before_map(latency: u64) -> Result<AblationResult> {
             .map(|(va, _)| sva_common::Iova::from_virt(*va))
             .collect();
         let mut kernel = workload.device_kernel(&device_ptrs);
-        let stats = p
-            .cluster
-            .run(&mut p.mem, &mut p.iommu, kernel.as_mut())?;
+        let stats = p.clusters[0].run(&mut p.mem, &mut p.iommu, kernel.as_mut())?;
         result.points.push(AblationPoint {
             label: if flush_after {
                 "flush after mapping (PTEs evicted)".to_string()
@@ -254,7 +277,10 @@ mod tests {
         let one = result.points[0].total;
         let four = result.points[1].total;
         let many = result.points[2].total;
-        assert!(many <= four && four <= one, "{one} >= {four} >= {many} expected");
+        assert!(
+            many <= four && four <= one,
+            "{one} >= {four} >= {many} expected"
+        );
         assert!(result.render().contains("IOTLB"));
     }
 

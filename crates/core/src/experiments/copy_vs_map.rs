@@ -60,7 +60,13 @@ impl CopyVsMapResult {
 
     /// Renders the sweep as a table (Figures 2 right / 3).
     pub fn render(&self) -> String {
-        let mut table = TextTable::new(vec!["Pages", "DRAM latency", "Copy cycles", "Map cycles", "Copy/Map"]);
+        let mut table = TextTable::new(vec![
+            "Pages",
+            "DRAM latency",
+            "Copy cycles",
+            "Map cycles",
+            "Copy/Map",
+        ]);
         for p in &self.points {
             table.row(vec![
                 p.pages.to_string(),
@@ -148,9 +154,18 @@ mod tests {
         // Figure 3: copy scales harder with DRAM latency than map.
         let copy_scale = result.copy_scaling(16, 200, 1000).unwrap();
         let map_scale = result.map_scaling(16, 200, 1000).unwrap();
-        assert!(copy_scale > map_scale, "copy {copy_scale:.2} !> map {map_scale:.2}");
-        assert!(copy_scale > 2.0, "copy scaling {copy_scale:.2} should be pronounced");
-        assert!(map_scale < 3.0, "map scaling {map_scale:.2} should stay moderate");
+        assert!(
+            copy_scale > map_scale,
+            "copy {copy_scale:.2} !> map {map_scale:.2}"
+        );
+        assert!(
+            copy_scale > 2.0,
+            "copy scaling {copy_scale:.2} should be pronounced"
+        );
+        assert!(
+            map_scale < 3.0,
+            "map scaling {map_scale:.2} should stay moderate"
+        );
 
         // Copy and map both grow with the input size.
         for latency in [200, 1000] {

@@ -1,0 +1,320 @@
+//! Fabric-scaling sweep: cluster count × platform variant × DRAM latency.
+//!
+//! This experiment goes beyond the paper: it scales the platform to N
+//! accelerator clusters sharing the IOMMU and the memory fabric, shards one
+//! kernel across them with static block scheduling, and reports
+//!
+//! * the device wall-clock (slowest shard) and its compute/DMA-wait split,
+//! * the run's IOTLB hit rate (entries are tagged per device ID; note that
+//!   shards are *simulated* sequentially, so cross-device thrashing of the
+//!   four entries only appears at shard boundaries — truly concurrent
+//!   IOTLB pressure needs the global-clock engine on the ROADMAP, and this
+//!   metric should be read as near-flat in N until then),
+//! * per-initiator fabric statistics — accesses, bytes, bus occupancy and
+//!   the cross-initiator queueing each DMA stream observed. Queueing is
+//!   first-fit in shard order (a staircase across clusters, pessimistic for
+//!   the last shard; see `sva_mem::fabric`), so read per-initiator queue
+//!   cycles as a placement-order-dependent bound, not a fairness split.
+//!
+//! The sweep enables [fabric contention charging]
+//! (`sva_mem::fabric::FabricConfig::contention_enabled`), so measured
+//! queueing feeds back into latencies; with one cluster nothing queues and
+//! the numbers equal the paper's single-cluster figures.
+//!
+//! [`run_point`] measures one combination and is deliberately standalone so
+//! the `sva_bench` sweep driver can fan combinations out across worker
+//! threads; [`run`] is the sequential convenience over the full grid.
+
+use serde::{Deserialize, Serialize};
+
+use sva_kernels::KernelKind;
+
+use crate::config::{PlatformConfig, SocVariant};
+use crate::offload::OffloadRunner;
+use crate::platform::Platform;
+use crate::report::{percent, sci, TextTable};
+use sva_common::Result;
+
+/// Per-initiator numbers of one measurement point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InitiatorRow {
+    /// Initiator label (`host`, `ptw`, `dma[3]`, …).
+    pub initiator: String,
+    /// Accesses granted by the fabric.
+    pub accesses: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Data-bus occupancy attributed to the initiator.
+    pub occupancy_cycles: u64,
+    /// Cross-initiator queueing the initiator observed.
+    pub queue_cycles: u64,
+    /// Accesses that arrived while another initiator held the bus.
+    pub contended_grants: u64,
+}
+
+/// One measurement point of the sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FabricPoint {
+    /// Kernel measured.
+    pub kernel: String,
+    /// Number of accelerator clusters.
+    pub clusters: usize,
+    /// Platform variant.
+    pub variant: SocVariant,
+    /// DRAM latency (delayer cycles).
+    pub dram_latency: u64,
+    /// Device wall-clock cycles (slowest shard).
+    pub total: u64,
+    /// Aggregate compute cycles across shards.
+    pub compute: u64,
+    /// Aggregate DMA-wait cycles across shards.
+    pub dma_wait: u64,
+    /// IOTLB hit rate over the whole run (0 when the variant has no IOMMU).
+    pub iotlb_hit_rate: f64,
+    /// Whether the device results matched the host reference.
+    pub verified: bool,
+    /// Grants whose initiator differed from the previous grant's.
+    pub grant_switches: u64,
+    /// Per-initiator fabric statistics.
+    pub initiators: Vec<InitiatorRow>,
+}
+
+impl FabricPoint {
+    /// Total cross-initiator queueing observed at this point.
+    pub fn queue_cycles(&self) -> u64 {
+        self.initiators.iter().map(|r| r.queue_cycles).sum()
+    }
+}
+
+/// The full sweep.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FabricSweepResult {
+    /// All measurement points.
+    pub points: Vec<FabricPoint>,
+}
+
+impl FabricSweepResult {
+    /// Finds the point for a given combination.
+    pub fn get(&self, clusters: usize, variant: SocVariant, latency: u64) -> Option<&FabricPoint> {
+        self.points
+            .iter()
+            .find(|p| p.clusters == clusters && p.variant == variant && p.dram_latency == latency)
+    }
+
+    /// Renders the scaling table: one row per point with wall-clock, speedup
+    /// over one cluster, DMA share, IOTLB hit rate and fabric contention.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "Clusters",
+            "Config",
+            "Latency",
+            "Wall cyc",
+            "Speedup",
+            "%DMA",
+            "IOTLB hit",
+            "Queue cyc",
+            "Switches",
+        ]);
+        for p in &self.points {
+            let speedup = self
+                .get(1, p.variant, p.dram_latency)
+                .map(|one| one.total as f64 / p.total as f64)
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string());
+            let dma_share = if p.total == 0 {
+                0.0
+            } else {
+                p.dma_wait as f64 / (p.total as f64 * p.clusters as f64)
+            };
+            table.row(vec![
+                p.clusters.to_string(),
+                p.variant.label().to_string(),
+                p.dram_latency.to_string(),
+                sci(p.total),
+                speedup,
+                percent(dma_share),
+                percent(p.iotlb_hit_rate),
+                p.queue_cycles().to_string(),
+                p.grant_switches.to_string(),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Serialises the sweep as JSON (hand-rolled; the build is offline and
+    /// carries no serde_json).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"experiment\": \"fabric_sweep\",\n  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let initiators: Vec<String> = p
+                .initiators
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"initiator\": \"{}\", \"accesses\": {}, \"bytes\": {}, \
+                         \"occupancy_cycles\": {}, \"queue_cycles\": {}, \"contended_grants\": {}}}",
+                        r.initiator,
+                        r.accesses,
+                        r.bytes,
+                        r.occupancy_cycles,
+                        r.queue_cycles,
+                        r.contended_grants
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"clusters\": {}, \"variant\": \"{}\", \
+                 \"dram_latency\": {}, \"total\": {}, \"compute\": {}, \"dma_wait\": {}, \
+                 \"iotlb_hit_rate\": {:.6}, \"verified\": {}, \"grant_switches\": {}, \
+                 \"initiators\": [{}]}}{}\n",
+                p.kernel,
+                p.clusters,
+                p.variant.label(),
+                p.dram_latency,
+                p.total,
+                p.compute,
+                p.dma_wait,
+                p.iotlb_hit_rate,
+                p.verified,
+                p.grant_switches,
+                initiators.join(", "),
+                if i + 1 == self.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Measures one (kernel, clusters, variant, latency) combination on a fresh
+/// platform with fabric-contention charging enabled.
+///
+/// # Errors
+///
+/// Propagates platform construction and execution failures.
+pub fn run_point(
+    kind: KernelKind,
+    paper_size: bool,
+    clusters: usize,
+    variant: SocVariant,
+    latency: u64,
+) -> Result<FabricPoint> {
+    let workload = if paper_size {
+        kind.paper_workload()
+    } else {
+        kind.small_workload()
+    };
+    let config = PlatformConfig::variant(variant, latency)
+        .with_clusters(clusters)
+        .with_fabric_contention();
+    let mut platform = Platform::new(config)?;
+    let report = OffloadRunner::new(0xFAB).run_device_only(&mut platform, workload.as_ref())?;
+
+    let initiators = platform
+        .mem
+        .fabric_stats()
+        .into_iter()
+        .map(|snap| InitiatorRow {
+            initiator: snap.id.label(),
+            accesses: snap.stats.accesses(),
+            bytes: snap.stats.bytes,
+            occupancy_cycles: snap.stats.occupancy_cycles,
+            queue_cycles: snap.stats.queue_cycles,
+            contended_grants: snap.stats.contended_grants,
+        })
+        .collect();
+
+    Ok(FabricPoint {
+        kernel: workload.name().to_string(),
+        clusters,
+        variant,
+        dram_latency: latency,
+        total: report.stats.total.raw(),
+        compute: report.stats.compute.raw(),
+        dma_wait: report.stats.dma_wait.raw(),
+        iotlb_hit_rate: report.iommu.iotlb.hit_rate(),
+        verified: report.verified,
+        grant_switches: platform.mem.fabric().grant_switches(),
+        initiators,
+    })
+}
+
+/// Runs the full grid sequentially (the `sva_bench` driver parallelises over
+/// [`run_point`] instead).
+///
+/// # Errors
+///
+/// Propagates platform construction and execution failures.
+pub fn run(
+    kind: KernelKind,
+    paper_size: bool,
+    clusters: &[usize],
+    variants: &[SocVariant],
+    latencies: &[u64],
+) -> Result<FabricSweepResult> {
+    let mut result = FabricSweepResult::default();
+    for &n in clusters {
+        for &variant in variants {
+            for &latency in latencies {
+                result
+                    .points
+                    .push(run_point(kind, paper_size, n, variant, latency)?);
+            }
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_scales_and_reports_contention() {
+        let result = run(
+            KernelKind::Gemm,
+            false,
+            &[1, 2, 4],
+            &[SocVariant::IommuLlc],
+            &[200],
+        )
+        .unwrap();
+        assert_eq!(result.points.len(), 3);
+        assert!(result.points.iter().all(|p| p.verified));
+
+        let one = result.get(1, SocVariant::IommuLlc, 200).unwrap();
+        let four = result.get(4, SocVariant::IommuLlc, 200).unwrap();
+        assert!(four.total < one.total, "sharding must cut wall-clock");
+        // A single cluster observes no cross-initiator queueing; four
+        // overlapping DMA streams must.
+        assert_eq!(one.queue_cycles(), 0);
+        assert!(four.queue_cycles() > 0);
+        // One DMA initiator per cluster shows up in the fabric stats.
+        let dma_rows = |p: &FabricPoint| {
+            p.initiators
+                .iter()
+                .filter(|r| r.initiator.starts_with("dma"))
+                .count()
+        };
+        assert_eq!(dma_rows(one), 1);
+        assert_eq!(dma_rows(four), 4);
+    }
+
+    #[test]
+    fn render_and_json_contain_every_point() {
+        let result = run(
+            KernelKind::Axpy,
+            false,
+            &[1, 2],
+            &[SocVariant::Baseline, SocVariant::IommuLlc],
+            &[200],
+        )
+        .unwrap();
+        let text = result.render();
+        assert!(text.contains("Baseline") && text.contains("IOMMU+LLC"));
+        let json = result.to_json();
+        assert_eq!(json.matches("\"kernel\"").count(), 4);
+        assert!(json.contains("\"initiators\""));
+        assert!(json.contains("dma[1]"));
+    }
+}

@@ -46,7 +46,12 @@ pub struct KernelRuntimeResult {
 
 impl KernelRuntimeResult {
     /// Finds the point for a given combination.
-    pub fn get(&self, kernel: &str, latency: u64, variant: SocVariant) -> Option<&KernelRuntimePoint> {
+    pub fn get(
+        &self,
+        kernel: &str,
+        latency: u64,
+        variant: SocVariant,
+    ) -> Option<&KernelRuntimePoint> {
         self.points
             .iter()
             .find(|p| p.kernel == kernel && p.dram_latency == latency && p.variant == variant)
@@ -54,7 +59,12 @@ impl KernelRuntimeResult {
 
     /// Runtime overhead of a variant relative to the baseline at the same
     /// latency (Figure 4's annotations), as a fraction.
-    pub fn overhead_vs_baseline(&self, kernel: &str, latency: u64, variant: SocVariant) -> Option<f64> {
+    pub fn overhead_vs_baseline(
+        &self,
+        kernel: &str,
+        latency: u64,
+        variant: SocVariant,
+    ) -> Option<f64> {
         let base = self.get(kernel, latency, SocVariant::Baseline)?;
         let v = self.get(kernel, latency, variant)?;
         Some(v.total as f64 / base.total as f64 - 1.0)
@@ -100,7 +110,11 @@ impl KernelRuntimeResult {
     /// overhead annotation for the IOMMU variants.
     pub fn render_fig4(&self, latencies: &[u64]) -> String {
         let mut table = TextTable::new(vec![
-            "Kernel", "Latency", "Config", "Relative runtime", "IOMMU overhead",
+            "Kernel",
+            "Latency",
+            "Config",
+            "Relative runtime",
+            "IOMMU overhead",
         ]);
         let kernels: Vec<String> = {
             let mut seen = Vec::new();
@@ -148,7 +162,11 @@ impl KernelRuntimeResult {
 /// # Errors
 ///
 /// Propagates platform construction and execution failures.
-pub fn run(kernels: &[KernelKind], latencies: &[u64], paper_size: bool) -> Result<KernelRuntimeResult> {
+pub fn run(
+    kernels: &[KernelKind],
+    latencies: &[u64],
+    paper_size: bool,
+) -> Result<KernelRuntimeResult> {
     let mut result = KernelRuntimeResult::default();
     for &kind in kernels {
         let workload = if paper_size {
@@ -159,7 +177,8 @@ pub fn run(kernels: &[KernelKind], latencies: &[u64], paper_size: bool) -> Resul
         for &latency in latencies {
             for variant in SocVariant::ALL {
                 let mut platform = Platform::new(PlatformConfig::variant(variant, latency))?;
-                let report = OffloadRunner::new(0xBEEF).run_device_only(&mut platform, workload.as_ref())?;
+                let report =
+                    OffloadRunner::new(0xBEEF).run_device_only(&mut platform, workload.as_ref())?;
                 result.points.push(KernelRuntimePoint {
                     kernel: workload.name().to_string(),
                     dram_latency: latency,
@@ -181,12 +200,7 @@ mod tests {
 
     #[test]
     fn small_sweep_reproduces_the_papers_shape() {
-        let result = run(
-            &[KernelKind::Gemm, KernelKind::Heat3d],
-            &[200, 1000],
-            false,
-        )
-        .unwrap();
+        let result = run(&[KernelKind::Gemm, KernelKind::Heat3d], &[200, 1000], false).unwrap();
         assert_eq!(result.points.len(), 2 * 2 * 3);
         assert!(result.points.iter().all(|p| p.verified));
 
@@ -213,7 +227,10 @@ mod tests {
                 .overhead_vs_baseline(kernel, 1000, SocVariant::IommuLlc)
                 .unwrap();
             assert!(no_llc > with_llc, "{kernel}: {no_llc} !> {with_llc}");
-            assert!(with_llc < 0.10, "{kernel}: LLC overhead should be small, got {with_llc}");
+            assert!(
+                with_llc < 0.10,
+                "{kernel}: LLC overhead should be small, got {with_llc}"
+            );
         }
     }
 

@@ -14,15 +14,18 @@
 //! | [`copy_vs_map`] | Figure 2 (right) and Figure 3 — copy vs map time over input size and latency |
 //! | [`ptw_time`] | Figure 5 — average page-table-walk time with/without LLC and host interference |
 //! | [`ablation`] | Design-choice ablations called out in DESIGN.md (IOTLB size, DMA bypass, outstanding bursts, flush-before-map) |
+//! | [`fabric`] | Beyond the paper — N-cluster fabric scaling with per-initiator contention statistics |
 
 pub mod ablation;
 pub mod copy_vs_map;
+pub mod fabric;
 pub mod kernel_runtime;
 pub mod offload_breakdown;
 pub mod ptw_time;
 pub mod table1;
 
 pub use copy_vs_map::{CopyVsMapPoint, CopyVsMapResult};
+pub use fabric::{FabricPoint, FabricSweepResult};
 pub use kernel_runtime::{KernelRuntimePoint, KernelRuntimeResult};
 pub use offload_breakdown::{OffloadBreakdownResult, OffloadCase};
 pub use ptw_time::{PtwPoint, PtwResultSet};

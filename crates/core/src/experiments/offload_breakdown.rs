@@ -62,7 +62,12 @@ impl OffloadBreakdownResult {
     /// Renders the Figure 2 (left) stacked-bar data as a table.
     pub fn render(&self) -> String {
         let mut table = TextTable::new(vec![
-            "Scenario", "Copy/Map", "Offload overhead", "Compute", "Total", "Verified",
+            "Scenario",
+            "Copy/Map",
+            "Offload overhead",
+            "Compute",
+            "Total",
+            "Verified",
         ]);
         for case in &self.cases {
             table.row(vec![
@@ -99,7 +104,11 @@ impl OffloadBreakdownResult {
 pub fn run(elems: usize, dram_latency: u64) -> Result<OffloadBreakdownResult> {
     let workload = AxpyWorkload::with_elems(elems);
     let mut cases = Vec::new();
-    for mode in [OffloadMode::HostOnly, OffloadMode::CopyOffload, OffloadMode::ZeroCopy] {
+    for mode in [
+        OffloadMode::HostOnly,
+        OffloadMode::CopyOffload,
+        OffloadMode::ZeroCopy,
+    ] {
         // Each scenario runs on a freshly booted platform of the paper's full
         // configuration (IOMMU + LLC) so caches do not leak state across bars.
         let mut platform = Platform::new(PlatformConfig::iommu_with_llc(dram_latency))?;

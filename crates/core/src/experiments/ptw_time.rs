@@ -89,7 +89,11 @@ impl PtwResultSet {
     /// Renders the Figure 5 data.
     pub fn render(&self) -> String {
         let mut table = TextTable::new(vec![
-            "DRAM latency", "LLC", "Host traffic", "Avg PTW cycles", "Walks",
+            "DRAM latency",
+            "LLC",
+            "Host traffic",
+            "Avg PTW cycles",
+            "Walks",
         ]);
         for p in &self.points {
             table.row(vec![
@@ -123,7 +127,11 @@ pub fn run(elems: usize, latencies: &[u64]) -> Result<PtwResultSet> {
     for &latency in latencies {
         for llc in [false, true] {
             for interference in [false, true] {
-                let variant = if llc { SocVariant::IommuLlc } else { SocVariant::Iommu };
+                let variant = if llc {
+                    SocVariant::IommuLlc
+                } else {
+                    SocVariant::Iommu
+                };
                 let level = if interference {
                     InterferenceLevel::RandomTraffic
                 } else {
@@ -131,7 +139,8 @@ pub fn run(elems: usize, latencies: &[u64]) -> Result<PtwResultSet> {
                 };
                 let config = PlatformConfig::variant(variant, latency).with_interference(level);
                 let mut platform = Platform::new(config)?;
-                let report = OffloadRunner::new(0xF165).run_device_only(&mut platform, &workload)?;
+                let report =
+                    OffloadRunner::new(0xF165).run_device_only(&mut platform, &workload)?;
                 result.points.push(PtwPoint {
                     dram_latency: latency,
                     llc,
@@ -160,7 +169,11 @@ mod tests {
 
         // The LLC reduces the walk time by an order of magnitude and keeps it
         // below ~200 cycles.
-        assert!(result.llc_speedup() > 5.0, "speedup {:.1}", result.llc_speedup());
+        assert!(
+            result.llc_speedup() > 5.0,
+            "speedup {:.1}",
+            result.llc_speedup()
+        );
         assert!(
             with_llc.avg_ptw_cycles < 200.0,
             "avg walk with LLC should stay under 200 cycles, got {:.1}",

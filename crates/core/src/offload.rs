@@ -19,7 +19,7 @@
 //! Table II / Figure 4, which exclude offload and synchronisation time).
 
 use serde::{Deserialize, Serialize};
-use sva_cluster::KernelRunStats;
+use sva_cluster::{block_partition, KernelRunStats, TileRange};
 use sva_common::rng::DeterministicRng;
 use sva_common::{Cycles, Error, Iova, PhysAddr, Result, VirtAddr};
 use sva_host::{HostKernelRunner, HostRunStats, MappingHandle};
@@ -70,8 +70,12 @@ pub struct OffloadReport {
     pub copy_or_map: Cycles,
     /// Cycles spent triggering the offload and synchronising (fork/join).
     pub offload_overhead: Cycles,
-    /// Device-side breakdown (absent for host-only runs).
+    /// Device-side breakdown (absent for host-only runs). On a multi-cluster
+    /// platform this is the parallel merge of the per-cluster shards.
     pub device: Option<KernelRunStats>,
+    /// Per-cluster device breakdowns (one entry per cluster for offloaded
+    /// runs; empty for host-only runs).
+    pub device_per_cluster: Vec<KernelRunStats>,
     /// Host-side breakdown (present for host-only runs).
     pub host: Option<HostRunStats>,
     /// Cycles spent tearing the mapping down again (zero-copy only; not part
@@ -97,8 +101,10 @@ impl OffloadReport {
 pub struct DeviceOnlyReport {
     /// Kernel name.
     pub kernel: String,
-    /// Device-side breakdown.
+    /// Device-side breakdown (parallel merge of the per-cluster shards).
     pub stats: KernelRunStats,
+    /// Per-cluster device breakdowns, indexed like `Platform::clusters`.
+    pub per_cluster: Vec<KernelRunStats>,
     /// IOMMU statistics accumulated during the run.
     pub iommu: IommuStats,
     /// Whether the results matched the host reference.
@@ -184,17 +190,14 @@ impl OffloadRunner {
             platform.iommu.reset_stats();
 
             let device_ptrs: Vec<Iova> = buffers.iter().map(|b| Iova::from_virt(b.va)).collect();
-            let mut kernel = workload.device_kernel(&device_ptrs);
-            let stats = platform.cluster.run(
-                &mut platform.mem,
-                &mut platform.iommu,
-                kernel.as_mut(),
-            )?;
+            let (stats, per_cluster) =
+                Self::run_device_sharded(platform, workload, &device_ptrs, None)?;
             let actual = self.read_back_virtual(platform, workload, &buffers)?;
             let verified = workload.verify(&expected, &actual).is_ok();
             Ok(DeviceOnlyReport {
                 kernel: workload.name().to_string(),
                 stats,
+                per_cluster,
                 iommu: platform.iommu.stats(),
                 verified,
             })
@@ -204,21 +207,57 @@ impl OffloadRunner {
                 .iter()
                 .map(|pa| Iova::new(platform.mem.map().remap().to_bypass(*pa).raw()))
                 .collect();
-            let mut kernel = workload.device_kernel(&device_ptrs);
-            let stats = platform.cluster.run(
-                &mut platform.mem,
-                &mut platform.iommu,
-                kernel.as_mut(),
-            )?;
+            let (stats, per_cluster) =
+                Self::run_device_sharded(platform, workload, &device_ptrs, None)?;
             let actual = self.read_back_physical(platform, workload, &placements)?;
             let verified = workload.verify(&expected, &actual).is_ok();
             Ok(DeviceOnlyReport {
                 kernel: workload.name().to_string(),
                 stats,
+                per_cluster,
                 iommu: platform.iommu.stats(),
                 verified,
             })
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded device execution
+    // ------------------------------------------------------------------
+
+    /// Runs the workload's device kernel sharded across every cluster of the
+    /// platform with static block scheduling: cluster `i` executes the
+    /// `i`-th contiguous block of tiles on its own TCDM while all DMA traffic
+    /// shares the IOMMU and the memory fabric. Returns the parallel-merged
+    /// breakdown (wall-clock = slowest shard) plus the per-cluster shards.
+    ///
+    /// With one cluster this degenerates to exactly the paper's single
+    /// `ClusterExecutor::run` call.
+    fn run_device_sharded(
+        platform: &mut Platform,
+        workload: &dyn Workload,
+        device_ptrs: &[Iova],
+        iommu_override: Option<&mut Iommu>,
+    ) -> Result<(KernelRunStats, Vec<KernelRunStats>)> {
+        let num_clusters = platform.clusters.len();
+        let total_tiles = workload.device_kernel(device_ptrs).num_tiles();
+        let blocks = block_partition(total_tiles, num_clusters);
+        let mut shards = Vec::with_capacity(num_clusters);
+        let mut override_iommu = iommu_override;
+        for (cluster_idx, (start, len)) in blocks.into_iter().enumerate() {
+            if len == 0 {
+                shards.push(KernelRunStats::default());
+                continue;
+            }
+            let mut shard = TileRange::new(workload.device_kernel(device_ptrs), start, len);
+            let iommu: &mut Iommu = match override_iommu.as_deref_mut() {
+                Some(i) => i,
+                None => &mut platform.iommu,
+            };
+            let stats = platform.clusters[cluster_idx].run(&mut platform.mem, iommu, &mut shard)?;
+            shards.push(stats);
+        }
+        Ok((KernelRunStats::merge_parallel(&shards), shards))
     }
 
     // ------------------------------------------------------------------
@@ -234,9 +273,11 @@ impl OffloadRunner {
         let specs = workload.buffers();
         let mut out = Vec::with_capacity(specs.len());
         for (spec, data) in specs.iter().zip(initial) {
-            let va = platform
-                .space
-                .alloc_buffer(&mut platform.mem, &mut platform.frames, spec.bytes())?;
+            let va = platform.space.alloc_buffer(
+                &mut platform.mem,
+                &mut platform.frames,
+                spec.bytes(),
+            )?;
             platform
                 .space
                 .write_virt(&mut platform.mem, va, &f32s_to_bytes(data))?;
@@ -275,7 +316,9 @@ impl OffloadRunner {
         let mut out = Vec::with_capacity(specs.len());
         for (spec, buf) in specs.iter().zip(buffers) {
             let mut bytes = vec![0u8; spec.bytes() as usize];
-            platform.space.read_virt(&platform.mem, buf.va, &mut bytes)?;
+            platform
+                .space
+                .read_virt(&platform.mem, buf.va, &mut bytes)?;
             out.push(bytes_to_f32s(&bytes));
         }
         Ok(out)
@@ -346,6 +389,7 @@ impl OffloadRunner {
             copy_or_map: Cycles::ZERO,
             offload_overhead: Cycles::ZERO,
             device: None,
+            device_per_cluster: Vec::new(),
             host: Some(host),
             unmap: Cycles::ZERO,
             total: host.total,
@@ -391,12 +435,8 @@ impl OffloadRunner {
             .map(|pa| Iova::new(platform.mem.map().remap().to_bypass(*pa).raw()))
             .collect();
         let mut bypass_iommu = Iommu::new(IommuConfig::disabled());
-        let mut kernel = workload.device_kernel(&device_ptrs);
-        let device = platform.cluster.run(
-            &mut platform.mem,
-            &mut bypass_iommu,
-            kernel.as_mut(),
-        )?;
+        let (device, device_per_cluster) =
+            Self::run_device_sharded(platform, workload, &device_ptrs, Some(&mut bypass_iommu))?;
 
         // Copy the results back into the user buffers.
         for (buf, pa) in buffers.iter().zip(&shadows) {
@@ -423,6 +463,7 @@ impl OffloadRunner {
             copy_or_map: copy_cycles,
             offload_overhead: overhead,
             device: Some(device),
+            device_per_cluster,
             host: None,
             unmap: Cycles::ZERO,
             total: copy_cycles + overhead + device.total,
@@ -462,14 +503,10 @@ impl OffloadRunner {
         }
         map_cycles += platform.cpu.flush_l1();
 
-        // Device execution on IO virtual addresses.
+        // Device execution on IO virtual addresses, sharded across clusters.
         let device_ptrs: Vec<Iova> = buffers.iter().map(|b| Iova::from_virt(b.va)).collect();
-        let mut kernel = workload.device_kernel(&device_ptrs);
-        let device = platform.cluster.run(
-            &mut platform.mem,
-            &mut platform.iommu,
-            kernel.as_mut(),
-        )?;
+        let (device, device_per_cluster) =
+            Self::run_device_sharded(platform, workload, &device_ptrs, None)?;
 
         // Tear the mappings down (reported separately, like the paper).
         let mut unmap_cycles = Cycles::ZERO;
@@ -493,6 +530,7 @@ impl OffloadRunner {
             copy_or_map: map_cycles,
             offload_overhead: overhead,
             device: Some(device),
+            device_per_cluster,
             host: None,
             unmap: unmap_cycles,
             total: map_cycles + overhead + device.total,
@@ -546,7 +584,11 @@ mod tests {
     #[test]
     fn all_three_modes_produce_verified_results_for_axpy() {
         let wl = AxpyWorkload::with_elems(6_000);
-        for mode in [OffloadMode::HostOnly, OffloadMode::CopyOffload, OffloadMode::ZeroCopy] {
+        for mode in [
+            OffloadMode::HostOnly,
+            OffloadMode::CopyOffload,
+            OffloadMode::ZeroCopy,
+        ] {
             let mut platform = Platform::new(PlatformConfig::iommu_with_llc(200)).unwrap();
             let report = OffloadRunner::new(3).run(&mut platform, &wl, mode).unwrap();
             assert!(report.verified, "{mode:?} must produce correct results");
@@ -596,7 +638,9 @@ mod tests {
         let wl = GemmWorkload::with_dim(32);
         for variant in SocVariant::ALL {
             let mut platform = Platform::new(PlatformConfig::variant(variant, 200)).unwrap();
-            let report = OffloadRunner::new(11).run_device_only(&mut platform, &wl).unwrap();
+            let report = OffloadRunner::new(11)
+                .run_device_only(&mut platform, &wl)
+                .unwrap();
             assert!(report.verified, "{variant:?} gemm results must verify");
             assert!(report.stats.total.raw() > 0);
             if variant.has_iommu() {
@@ -615,7 +659,68 @@ mod tests {
             let report = OffloadRunner::new(13)
                 .run_device_only(&mut platform, wl.as_ref())
                 .unwrap();
-            assert!(report.verified, "{kind:?} device results must match the reference");
+            assert!(
+                report.verified,
+                "{kind:?} device results must match the reference"
+            );
         }
+    }
+
+    #[test]
+    fn multi_cluster_offloads_verify_and_shard_every_tile() {
+        let wl = GemmWorkload::with_dim(96);
+        for clusters in [1usize, 2, 3, 4] {
+            let config = PlatformConfig::iommu_with_llc(200).with_clusters(clusters);
+            let mut platform = Platform::new(config).unwrap();
+            let report = OffloadRunner::new(21)
+                .run_device_only(&mut platform, &wl)
+                .unwrap();
+            assert!(report.verified, "{clusters} clusters must verify");
+            assert_eq!(report.per_cluster.len(), clusters);
+            let shard_tiles: u64 = report.per_cluster.iter().map(|s| s.tiles).sum();
+            assert_eq!(report.stats.tiles, shard_tiles);
+            // Wall-clock is the slowest shard.
+            let slowest = report.per_cluster.iter().map(|s| s.total).max().unwrap();
+            assert_eq!(report.stats.total, slowest);
+        }
+    }
+
+    #[test]
+    fn sharding_speeds_up_the_device_wall_clock() {
+        let wl = GemmWorkload::with_dim(64);
+        let run = |clusters| {
+            let config = PlatformConfig::iommu_with_llc(200).with_clusters(clusters);
+            let mut platform = Platform::new(config).unwrap();
+            OffloadRunner::new(7)
+                .run_device_only(&mut platform, &wl)
+                .unwrap()
+                .stats
+                .total
+                .raw()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            (four as f64) < one as f64 * 0.5,
+            "4 clusters ({four}) should at least halve the 1-cluster wall clock ({one})"
+        );
+    }
+
+    #[test]
+    fn multi_cluster_zero_copy_application_verifies() {
+        let wl = AxpyWorkload::with_elems(16_384);
+        let config = PlatformConfig::iommu_with_llc(200).with_clusters(2);
+        let mut platform = Platform::new(config).unwrap();
+        let report = OffloadRunner::new(9)
+            .run(&mut platform, &wl, OffloadMode::ZeroCopy)
+            .unwrap();
+        assert!(report.verified);
+        assert_eq!(report.device_per_cluster.len(), 2);
+        // Both clusters' DMA streams translated through the shared IOMMU.
+        let per_device = platform.iommu.device_iotlb_stats();
+        assert!(
+            per_device.len() >= 2,
+            "both data devices present: {per_device:?}"
+        );
     }
 }

@@ -1,4 +1,12 @@
-//! The assembled prototype platform (Figure 1 of the paper).
+//! The assembled prototype platform (Figure 1 of the paper), scaled to N
+//! accelerator clusters.
+//!
+//! The paper's prototype instantiates one Snitch cluster behind the IOMMU.
+//! [`Platform`] generalises that to `num_clusters` executors sharing the
+//! IOMMU and the memory fabric: cluster `i` presents IOMMU device ID
+//! `base + 2·i` for data traffic and `base + 2·i + 1` (a bypassed context)
+//! for instruction fetches, all attached to the same process address space.
+//! With `num_clusters == 1` the platform is exactly the paper's.
 
 use sva_cluster::ClusterExecutor;
 use sva_common::rng::DeterministicRng;
@@ -10,7 +18,7 @@ use sva_vm::{AddressSpace, FrameAllocator};
 
 use crate::config::PlatformConfig;
 
-/// The full SoC: host subsystem, IOMMU, accelerator cluster, memory system
+/// The full SoC: host subsystem, IOMMU, accelerator clusters, memory system
 /// and the software state (process address space, driver, allocators).
 #[derive(Clone, Debug)]
 pub struct Platform {
@@ -19,10 +27,12 @@ pub struct Platform {
     pub mem: MemorySystem,
     /// The CVA6 host core.
     pub cpu: HostCpu,
-    /// The RISC-V IOMMU (disabled/translating depending on the variant).
+    /// The RISC-V IOMMU (disabled/translating depending on the variant),
+    /// shared by every cluster.
     pub iommu: Iommu,
-    /// The Snitch cluster executor.
-    pub cluster: ClusterExecutor,
+    /// The Snitch cluster executors. Cluster `i`'s DMA engine presents
+    /// device ID [`Platform::cluster_device_id`]`(i)`.
+    pub clusters: Vec<ClusterExecutor>,
     /// The user process running the heterogeneous application.
     pub space: AddressSpace,
     /// Frame allocator for Linux-managed memory (user pages, page tables).
@@ -39,8 +49,10 @@ pub struct Platform {
 
 impl Platform {
     /// Builds and boots a platform: constructs the memory system, creates the
-    /// user process, and — when the variant has an IOMMU — attaches the
-    /// accelerator to a fresh IOMMU domain through the driver.
+    /// user process, and — when the variant has an IOMMU — attaches every
+    /// cluster to the process's IOMMU domain (cluster 0 through the driver,
+    /// the paper's flow; further clusters directly against the same IO page
+    /// table).
     ///
     /// # Errors
     ///
@@ -52,7 +64,14 @@ impl Platform {
 
         let mut cpu = HostCpu::new(config.cpu);
         let mut iommu = Iommu::new(config.iommu);
-        let cluster = ClusterExecutor::new(config.cluster);
+        let num_clusters = config.num_clusters.max(1);
+        let clusters = (0..num_clusters)
+            .map(|i| {
+                let mut cluster_cfg = config.cluster;
+                cluster_cfg.dma.device_id = config.driver.device_id + 2 * i as u32;
+                ClusterExecutor::new(cluster_cfg)
+            })
+            .collect();
         let mut frames = FrameAllocator::linux_pool();
         let reserved = FrameAllocator::reserved_pool();
         let space = AddressSpace::new(&mut mem, &mut frames)?;
@@ -60,9 +79,17 @@ impl Platform {
 
         if iommu.is_translating() {
             driver.attach(&mut cpu, &mut mem, &mut iommu, &mut frames, space.pscid())?;
-            // The instruction-fetch path of the cluster uses a second device
+            // The instruction-fetch path of each cluster uses a second device
             // ID with a bypassed device context (Section III-B).
             iommu.attach_bypass_device(&mut mem, &mut frames, config.driver.device_id + 1)?;
+            // Clusters beyond the first share the IO page table the driver
+            // built for cluster 0 — same process, same mappings.
+            let root = driver.io_table().expect("driver attached").root();
+            for i in 1..num_clusters {
+                let data_id = config.driver.device_id + 2 * i as u32;
+                iommu.attach_device(&mut mem, &mut frames, data_id, space.pscid(), root)?;
+                iommu.attach_bypass_device(&mut mem, &mut frames, data_id + 1)?;
+            }
         }
 
         Ok(Self {
@@ -71,7 +98,7 @@ impl Platform {
             mem,
             cpu,
             iommu,
-            cluster,
+            clusters,
             space,
             frames,
             reserved,
@@ -83,6 +110,26 @@ impl Platform {
     /// The configuration this platform was built from.
     pub const fn config(&self) -> &PlatformConfig {
         &self.config
+    }
+
+    /// Number of accelerator clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The first cluster executor (the paper's single cluster).
+    pub fn cluster(&self) -> &ClusterExecutor {
+        &self.clusters[0]
+    }
+
+    /// Mutable access to the first cluster executor.
+    pub fn cluster_mut(&mut self) -> &mut ClusterExecutor {
+        &mut self.clusters[0]
+    }
+
+    /// IOMMU device ID presented by cluster `index`'s DMA data traffic.
+    pub fn cluster_device_id(&self, index: usize) -> u32 {
+        self.config.driver.device_id + 2 * index as u32
     }
 
     /// Convenience: the DRAM latency knob of this instance.
@@ -118,6 +165,37 @@ mod tests {
     #[test]
     fn baseline_platform_has_no_device_directory() {
         let platform = Platform::new(PlatformConfig::baseline(200)).unwrap();
+        assert!(platform.iommu.ddt().is_none());
+    }
+
+    #[test]
+    fn default_platform_has_one_cluster() {
+        let platform = Platform::new(PlatformConfig::iommu_with_llc(200)).unwrap();
+        assert_eq!(platform.num_clusters(), 1);
+        assert_eq!(platform.cluster_device_id(0), 1);
+        assert_eq!(platform.iommu.attached_devices(), &[1, 2]);
+    }
+
+    #[test]
+    fn multi_cluster_platform_attaches_every_device_pair() {
+        let config = PlatformConfig::iommu_with_llc(200).with_clusters(4);
+        let platform = Platform::new(config).unwrap();
+        assert_eq!(platform.num_clusters(), 4);
+        for i in 0..4 {
+            assert_eq!(
+                platform.clusters[i].config().dma.device_id,
+                platform.cluster_device_id(i)
+            );
+        }
+        // Data + instruction-fetch contexts for each cluster: 1..=8.
+        assert_eq!(platform.iommu.attached_devices(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn multi_cluster_baseline_boots_without_iommu_state() {
+        let config = PlatformConfig::baseline(200).with_clusters(3);
+        let platform = Platform::new(config).unwrap();
+        assert_eq!(platform.num_clusters(), 3);
         assert!(platform.iommu.ddt().is_none());
     }
 }

@@ -140,7 +140,12 @@ impl HostCpu {
     /// # Errors
     ///
     /// Propagates decode errors from the memory system.
-    pub fn store_u64(&mut self, mem: &mut MemorySystem, addr: PhysAddr, value: u64) -> Result<Cycles> {
+    pub fn store_u64(
+        &mut self,
+        mem: &mut MemorySystem,
+        addr: PhysAddr,
+        value: u64,
+    ) -> Result<Cycles> {
         let mut cycles = self.config.l1_hit_latency;
         if mem.map().is_llc_cacheable(addr) && self.l1d.probe(addr) {
             self.l1d.access(addr, false);

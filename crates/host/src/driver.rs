@@ -159,6 +159,9 @@ impl IommuDriver {
     ///
     /// Returns [`Error::IommuNotPresent`] if [`IommuDriver::attach`] has not
     /// been called, plus page faults for unmapped user pages.
+    // The signature mirrors the kernel driver entry point: every platform
+    // component the real ioctl touches is threaded through explicitly.
+    #[allow(clippy::too_many_arguments)]
     pub fn map_buffer(
         &mut self,
         cpu: &mut HostCpu,
@@ -291,7 +294,10 @@ mod tests {
     use super::*;
     use sva_mem::MemSysConfig;
 
-    fn setup(latency: u64, llc: bool) -> (MemorySystem, FrameAllocator, AddressSpace, HostCpu, Iommu) {
+    fn setup(
+        latency: u64,
+        llc: bool,
+    ) -> (MemorySystem, FrameAllocator, AddressSpace, HostCpu, Iommu) {
         let mut mem = MemorySystem::new(MemSysConfig {
             dram_latency: Cycles::new(latency),
             llc_enabled: llc,
@@ -313,7 +319,15 @@ mod tests {
             .attach(&mut cpu, &mut mem, &mut iommu, &mut frames, space.pscid())
             .unwrap();
         let (handle, cost) = driver
-            .map_buffer(&mut cpu, &mut mem, &mut iommu, &space, &mut frames, va, 16 * PAGE_SIZE)
+            .map_buffer(
+                &mut cpu,
+                &mut mem,
+                &mut iommu,
+                &space,
+                &mut frames,
+                va,
+                16 * PAGE_SIZE,
+            )
             .unwrap();
         assert_eq!(handle.pages, 16);
         assert_eq!(cost.pages, 16);
@@ -333,10 +347,20 @@ mod tests {
     #[test]
     fn mapping_without_attach_fails() {
         let (mut mem, mut frames, mut space, mut cpu, mut iommu) = setup(200, true);
-        let va = space.alloc_buffer(&mut mem, &mut frames, PAGE_SIZE).unwrap();
+        let va = space
+            .alloc_buffer(&mut mem, &mut frames, PAGE_SIZE)
+            .unwrap();
         let mut driver = IommuDriver::default();
         assert!(matches!(
-            driver.map_buffer(&mut cpu, &mut mem, &mut iommu, &space, &mut frames, va, PAGE_SIZE),
+            driver.map_buffer(
+                &mut cpu,
+                &mut mem,
+                &mut iommu,
+                &space,
+                &mut frames,
+                va,
+                PAGE_SIZE
+            ),
             Err(Error::IommuNotPresent)
         ));
     }
@@ -344,13 +368,23 @@ mod tests {
     #[test]
     fn unmap_revokes_translations() {
         let (mut mem, mut frames, mut space, mut cpu, mut iommu) = setup(200, true);
-        let va = space.alloc_buffer(&mut mem, &mut frames, 2 * PAGE_SIZE).unwrap();
+        let va = space
+            .alloc_buffer(&mut mem, &mut frames, 2 * PAGE_SIZE)
+            .unwrap();
         let mut driver = IommuDriver::default();
         driver
             .attach(&mut cpu, &mut mem, &mut iommu, &mut frames, space.pscid())
             .unwrap();
         let (handle, _) = driver
-            .map_buffer(&mut cpu, &mut mem, &mut iommu, &space, &mut frames, va, 2 * PAGE_SIZE)
+            .map_buffer(
+                &mut cpu,
+                &mut mem,
+                &mut iommu,
+                &space,
+                &mut frames,
+                va,
+                2 * PAGE_SIZE,
+            )
             .unwrap();
         iommu.translate(&mut mem, 1, handle.iova, false).unwrap();
         driver
@@ -375,7 +409,15 @@ mod tests {
                 .unwrap();
             cpu.reset_elapsed();
             let (_, cost) = driver
-                .map_buffer(&mut cpu, &mut mem, &mut iommu, &space, &mut frames, va, 16 * PAGE_SIZE)
+                .map_buffer(
+                    &mut cpu,
+                    &mut mem,
+                    &mut iommu,
+                    &space,
+                    &mut frames,
+                    va,
+                    16 * PAGE_SIZE,
+                )
                 .unwrap();
             cost.cycles.as_f64()
         };
@@ -389,19 +431,31 @@ mod tests {
     #[test]
     fn mapping_leaves_ptes_in_the_llc() {
         let (mut mem, mut frames, mut space, mut cpu, mut iommu) = setup(1000, true);
-        let va = space.alloc_buffer(&mut mem, &mut frames, 8 * PAGE_SIZE).unwrap();
+        let va = space
+            .alloc_buffer(&mut mem, &mut frames, 8 * PAGE_SIZE)
+            .unwrap();
         let mut driver = IommuDriver::default();
         driver
             .attach(&mut cpu, &mut mem, &mut iommu, &mut frames, space.pscid())
             .unwrap();
         driver
-            .map_buffer(&mut cpu, &mut mem, &mut iommu, &space, &mut frames, va, 8 * PAGE_SIZE)
+            .map_buffer(
+                &mut cpu,
+                &mut mem,
+                &mut iommu,
+                &space,
+                &mut frames,
+                va,
+                8 * PAGE_SIZE,
+            )
             .unwrap();
         // Warm the device-context cache with one translation, then check that
         // a walk of a *different* page (IOTLB miss, but PTE lines written by
         // the driver) hits in the LLC: two orders of magnitude below the
         // 3x DRAM latency a cold walk would pay.
-        iommu.translate(&mut mem, 1, Iova::from_virt(va), false).unwrap();
+        iommu
+            .translate(&mut mem, 1, Iova::from_virt(va), false)
+            .unwrap();
         let (_, cycles) = iommu
             .translate(&mut mem, 1, Iova::from_virt(va + PAGE_SIZE), false)
             .unwrap();

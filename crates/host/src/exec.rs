@@ -148,8 +148,12 @@ mod tests {
     #[test]
     fn host_run_charges_memory_and_compute() {
         let (mut mem, mut frames, mut space) = setup(200);
-        let x = space.alloc_buffer(&mut mem, &mut frames, 4 * PAGE_SIZE).unwrap();
-        let y = space.alloc_buffer(&mut mem, &mut frames, 4 * PAGE_SIZE).unwrap();
+        let x = space
+            .alloc_buffer(&mut mem, &mut frames, 4 * PAGE_SIZE)
+            .unwrap();
+        let y = space
+            .alloc_buffer(&mut mem, &mut frames, 4 * PAGE_SIZE)
+            .unwrap();
         let mut cpu = HostCpu::default();
         let runner = HostKernelRunner::new();
         let stats = runner
@@ -171,7 +175,9 @@ mod tests {
     fn host_run_slows_down_with_memory_latency() {
         let run = |latency| {
             let (mut mem, mut frames, mut space) = setup(latency);
-            let x = space.alloc_buffer(&mut mem, &mut frames, 16 * PAGE_SIZE).unwrap();
+            let x = space
+                .alloc_buffer(&mut mem, &mut frames, 16 * PAGE_SIZE)
+                .unwrap();
             let mut cpu = HostCpu::default();
             HostKernelRunner::new()
                 .run(
@@ -191,7 +197,9 @@ mod tests {
     #[test]
     fn multiple_passes_multiply_memory_cost() {
         let (mut mem, mut frames, mut space) = setup(200);
-        let x = space.alloc_buffer(&mut mem, &mut frames, 32 * PAGE_SIZE).unwrap();
+        let x = space
+            .alloc_buffer(&mut mem, &mut frames, 32 * PAGE_SIZE)
+            .unwrap();
         let mut cpu = HostCpu::default();
         let runner = HostKernelRunner::new();
         let one = runner

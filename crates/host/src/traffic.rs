@@ -76,6 +76,12 @@ mod tests {
             InterferenceLevel::RandomTraffic.label(),
             InterferenceLevel::Saturating.label(),
         ];
-        assert_eq!(labels.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
     }
 }

@@ -92,6 +92,7 @@ pub struct DeviceDirectory {
     capacity: u32,
     cache: Option<(u32, DeviceContext)>,
     cache_stats: HitMiss,
+    installed: Vec<u32>,
 }
 
 impl DeviceDirectory {
@@ -113,7 +114,13 @@ impl DeviceDirectory {
             capacity: (4096 / DEVICE_CONTEXT_BYTES) as u32,
             cache: None,
             cache_stats: HitMiss::new(),
+            installed: Vec::new(),
         }
+    }
+
+    /// Device IDs with an installed context, in ascending order.
+    pub fn device_ids(&self) -> &[u32] {
+        &self.installed
     }
 
     /// Physical base address of the directory (what `ddtp` points at).
@@ -154,6 +161,9 @@ impl DeviceDirectory {
         // the hardware-visible effect here, the command itself is issued by
         // the driver through the command queue.
         self.cache = None;
+        if let Err(pos) = self.installed.binary_search(&device_id) {
+            self.installed.insert(pos, device_id);
+        }
         Ok(())
     }
 
@@ -259,8 +269,12 @@ mod tests {
         let mut mem = MemorySystem::default();
         let mut frames = FrameAllocator::linux_pool();
         let mut ddt = DeviceDirectory::create(&mut frames).unwrap();
-        ddt.install(&mut mem, 1, DeviceContext::translating(1, PhysAddr::new(0x8000_1000)))
-            .unwrap();
+        ddt.install(
+            &mut mem,
+            1,
+            DeviceContext::translating(1, PhysAddr::new(0x8000_1000)),
+        )
+        .unwrap();
         ddt.lookup(&mut mem, 1).unwrap();
         // Re-installing with a new root must not serve the stale cached copy.
         let new_ctx = DeviceContext::translating(1, PhysAddr::new(0x8000_2000));

@@ -356,6 +356,18 @@ impl Iommu {
         &self.iotlb
     }
 
+    /// Per-device IOTLB hit/miss statistics, ordered by device ID. Devices
+    /// that never presented a translation are absent.
+    pub fn device_iotlb_stats(&self) -> &[(u32, sva_common::stats::HitMiss)] {
+        self.iotlb.per_device_stats()
+    }
+
+    /// Device IDs with an installed device context, in ascending order
+    /// (empty when no directory has been programmed).
+    pub fn attached_devices(&self) -> &[u32] {
+        self.ddt.as_ref().map(|d| d.device_ids()).unwrap_or(&[])
+    }
+
     /// Clears all statistics; cached state (IOTLB, DC cache) is preserved.
     pub fn reset_stats(&mut self) {
         self.iotlb.reset_stats();
@@ -410,7 +422,10 @@ mod tests {
         for page in 0..8u64 {
             let iova = Iova::from_virt(va + page * PAGE_SIZE + 16);
             let (pa, _) = iommu.translate(&mut mem, 1, iova, false).unwrap();
-            assert_eq!(pa, space.translate(&mem, va + page * PAGE_SIZE + 16).unwrap());
+            assert_eq!(
+                pa,
+                space.translate(&mem, va + page * PAGE_SIZE + 16).unwrap()
+            );
         }
     }
 
@@ -424,8 +439,10 @@ mod tests {
         let iova = Iova::from_virt(va);
         let (_, miss_cycles) = iommu.translate(&mut mem, 1, iova, false).unwrap();
         let (_, hit_cycles) = iommu.translate(&mut mem, 1, iova + 64, false).unwrap();
-        assert!(miss_cycles.raw() > 10 * hit_cycles.raw(),
-            "miss {miss_cycles} should dwarf hit {hit_cycles}");
+        assert!(
+            miss_cycles.raw() > 10 * hit_cycles.raw(),
+            "miss {miss_cycles} should dwarf hit {hit_cycles}"
+        );
         let stats = iommu.stats();
         assert_eq!(stats.iotlb.misses, 1);
         assert_eq!(stats.iotlb.hits, 1);
@@ -469,7 +486,9 @@ mod tests {
     fn bypass_device_context_skips_translation() {
         let (mut mem, mut frames, _space, _) = setup();
         let mut iommu = Iommu::default();
-        iommu.attach_bypass_device(&mut mem, &mut frames, 2).unwrap();
+        iommu
+            .attach_bypass_device(&mut mem, &mut frames, 2)
+            .unwrap();
         let addr = Iova::new(0x7800_0000);
         let (pa, _) = iommu.translate(&mut mem, 2, addr, false).unwrap();
         assert_eq!(pa, PhysAddr::new(addr.raw()));

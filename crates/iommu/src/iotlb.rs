@@ -34,12 +34,17 @@ impl IoTlbEntry {
 }
 
 /// A fully-associative IOTLB with LRU replacement.
+///
+/// Entries are tagged by `(device_id, vpn)`, so several translating devices
+/// (one per accelerator cluster in the scaled platform) share the capacity;
+/// hit/miss statistics are kept both globally and per device.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct IoTlb {
     capacity: usize,
     entries: Vec<IoTlbEntry>,
     clock: u64,
     stats: HitMiss,
+    per_device: Vec<(u32, HitMiss)>,
     invalidations: u64,
 }
 
@@ -56,8 +61,23 @@ impl IoTlb {
             entries: Vec::with_capacity(capacity),
             clock: 0,
             stats: HitMiss::new(),
+            per_device: Vec::new(),
             invalidations: 0,
         }
+    }
+
+    fn device_slot(&mut self, device_id: u32) -> &mut HitMiss {
+        let pos = match self
+            .per_device
+            .binary_search_by_key(&device_id, |(d, _)| *d)
+        {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.per_device.insert(pos, (device_id, HitMiss::new()));
+                pos
+            }
+        };
+        &mut self.per_device[pos].1
     }
 
     /// Number of entries the IOTLB can hold.
@@ -80,18 +100,23 @@ impl IoTlb {
     pub fn lookup(&mut self, device_id: u32, iova: Iova) -> Option<IoTlbEntry> {
         self.clock += 1;
         let vpn = iova.page_number();
-        if let Some(e) = self
+        let clock = self.clock;
+        let entry = self
             .entries
             .iter_mut()
             .find(|e| e.device_id == device_id && e.vpn == vpn)
-        {
-            e.lru = self.clock;
+            .map(|e| {
+                e.lru = clock;
+                *e
+            });
+        if entry.is_some() {
             self.stats.hit();
-            Some(*e)
+            self.device_slot(device_id).hit();
         } else {
             self.stats.miss();
-            None
+            self.device_slot(device_id).miss();
         }
+        entry
     }
 
     /// Peeks whether a translation is cached without touching LRU or
@@ -162,6 +187,19 @@ impl IoTlb {
         self.stats
     }
 
+    /// Hit/miss statistics for one device (zero if it never looked up).
+    pub fn device_stats(&self, device_id: u32) -> HitMiss {
+        self.per_device
+            .binary_search_by_key(&device_id, |(d, _)| *d)
+            .map(|pos| self.per_device[pos].1)
+            .unwrap_or_default()
+    }
+
+    /// Per-device hit/miss statistics, ordered by device ID.
+    pub fn per_device_stats(&self) -> &[(u32, HitMiss)] {
+        &self.per_device
+    }
+
     /// Number of invalidation operations processed.
     pub const fn invalidations(&self) -> u64 {
         self.invalidations
@@ -170,6 +208,7 @@ impl IoTlb {
     /// Clears statistics (entries are preserved).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        self.per_device.clear();
         self.invalidations = 0;
     }
 }
@@ -189,7 +228,10 @@ mod tests {
         assert!(tlb.lookup(1, iova).is_none());
         tlb.fill(1, iova, 0x8_0000, entry_flags());
         let e = tlb.lookup(1, iova + 0x123).expect("hit after fill");
-        assert_eq!(e.translate(iova + 0x123), PhysAddr::new(0x8_0000 << 12 | 0x123));
+        assert_eq!(
+            e.translate(iova + 0x123),
+            PhysAddr::new(0x8_0000 << 12 | 0x123)
+        );
         assert_eq!(tlb.stats().hits, 1);
         assert_eq!(tlb.stats().misses, 1);
     }
@@ -214,7 +256,10 @@ mod tests {
         tlb.fill(1, Iova::new(4 << 12), 4, entry_flags());
         assert_eq!(tlb.len(), 4);
         assert!(tlb.probe(1, Iova::new(0)));
-        assert!(!tlb.probe(1, Iova::new(1 << 12)), "LRU page 1 should be evicted");
+        assert!(
+            !tlb.probe(1, Iova::new(1 << 12)),
+            "LRU page 1 should be evicted"
+        );
         assert!(tlb.probe(1, Iova::new(4 << 12)));
     }
 
@@ -252,5 +297,24 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = IoTlb::new(0);
+    }
+
+    #[test]
+    fn per_device_stats_split_the_global_counts() {
+        let mut tlb = IoTlb::new(4);
+        let iova = Iova::new(0x1000);
+        tlb.fill(1, iova, 0x100, entry_flags());
+        tlb.lookup(1, iova); // hit for device 1
+        tlb.lookup(2, iova); // miss for device 2
+        tlb.lookup(2, iova); // miss again
+        assert_eq!(tlb.device_stats(1).hits, 1);
+        assert_eq!(tlb.device_stats(1).misses, 0);
+        assert_eq!(tlb.device_stats(2).misses, 2);
+        assert_eq!(tlb.device_stats(7).total(), 0, "unseen device is zero");
+        let global = tlb.stats();
+        let summed: u64 = tlb.per_device_stats().iter().map(|(_, s)| s.total()).sum();
+        assert_eq!(global.total(), summed);
+        tlb.reset_stats();
+        assert!(tlb.per_device_stats().is_empty());
     }
 }

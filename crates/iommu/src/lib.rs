@@ -55,5 +55,5 @@ pub use ddt::{DeviceContext, DeviceDirectory};
 pub use iommu::{Iommu, IommuConfig, IommuMode, IommuStats};
 pub use iotlb::{IoTlb, IoTlbEntry};
 pub use ptw::{PageTableWalker, PtwResult};
-pub use queues::{Command, FaultRecord, FaultReason};
+pub use queues::{Command, FaultReason, FaultRecord};
 pub use regs::RegisterFile;

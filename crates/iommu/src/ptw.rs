@@ -47,6 +47,9 @@ impl PageTableWalker {
     ///
     /// Returns [`Error::IoPageFault`] if the walk reaches an invalid entry or
     /// the leaf does not permit the requested access.
+    // `reads` counts PTE fetches, which is not a plain loop counter: the walk
+    // breaks at the leaf level.
+    #[allow(clippy::explicit_counter_loop)]
     pub fn walk(
         &mut self,
         mem: &mut MemorySystem,
@@ -147,7 +150,10 @@ mod tests {
         assert_eq!(res.reads, 3);
         assert_eq!(
             res.leaf.phys_addr(),
-            space.translate(&mem, VirtAddr::from_iova(iova)).unwrap().page_base()
+            space
+                .translate(&mem, VirtAddr::from_iova(iova))
+                .unwrap()
+                .page_base()
         );
         assert_eq!(ptw.walks(), 1);
         assert_eq!(ptw.faults(), 0);
@@ -189,9 +195,12 @@ mod tests {
         let warm = ptw
             .walk(&mut mem, space.root(), iova + PAGE_SIZE, false)
             .unwrap();
-        assert!(warm.cycles.raw() * 10 < cold.cycles.raw(),
+        assert!(
+            warm.cycles.raw() * 10 < cold.cycles.raw(),
             "warm walk ({}) should be an order of magnitude cheaper than cold ({})",
-            warm.cycles, cold.cycles);
+            warm.cycles,
+            cold.cycles
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl RegOffset {
 /// configuration used in the paper: Sv39 first-stage, no MSI translation).
 pub const CAPABILITIES: u64 = (1 << 9)   // Sv39 support
     | (1 << 38)                          // end-to-end ATS not supported -> 0, keep AMO bit space
-    | 0x10;                              // version 1.0 in the low byte
+    | 0x10; // version 1.0 in the low byte
 
 /// DDTP mode field: one-level device directory table.
 pub const DDTP_MODE_1LVL: u64 = 2;
@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn reset_state_advertises_capabilities() {
         let rf = RegisterFile::new();
-        assert_eq!(rf.read(RegOffset::Capabilities as u64).unwrap(), CAPABILITIES);
+        assert_eq!(
+            rf.read(RegOffset::Capabilities as u64).unwrap(),
+            CAPABILITIES
+        );
         assert_eq!(rf.read(RegOffset::Ddtp as u64).unwrap(), 0);
     }
 
@@ -152,7 +155,10 @@ mod tests {
     fn capabilities_are_read_only() {
         let mut rf = RegisterFile::new();
         rf.write(RegOffset::Capabilities as u64, 0).unwrap();
-        assert_eq!(rf.read(RegOffset::Capabilities as u64).unwrap(), CAPABILITIES);
+        assert_eq!(
+            rf.read(RegOffset::Capabilities as u64).unwrap(),
+            CAPABILITIES
+        );
     }
 
     #[test]

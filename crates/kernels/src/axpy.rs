@@ -183,7 +183,9 @@ mod tests {
     fn device_kernel_tiles_cover_whole_vector() {
         let wl = AxpyWorkload::with_elems(10_000);
         let dev = wl.device_kernel(&[Iova::new(0x1000_0000), Iova::new(0x2000_0000)]);
-        let total: u64 = (0..dev.num_tiles()).map(|t| dev.tile_io(t).output_bytes()).sum();
+        let total: u64 = (0..dev.num_tiles())
+            .map(|t| dev.tile_io(t).output_bytes())
+            .sum();
         assert_eq!(total, 10_000 * 4);
         // Last tile is a partial tile.
         assert_eq!(dev.num_tiles(), 3);
@@ -196,7 +198,10 @@ mod tests {
         let t0 = dev.tile_io(0);
         let t1 = dev.tile_io(1);
         assert_ne!(t0.inputs[0].tcdm_offset, t1.inputs[0].tcdm_offset);
-        assert_eq!(t0.inputs[0].tcdm_offset, dev.tile_io(2).inputs[0].tcdm_offset);
+        assert_eq!(
+            t0.inputs[0].tcdm_offset,
+            dev.tile_io(2).inputs[0].tcdm_offset
+        );
     }
 
     #[test]

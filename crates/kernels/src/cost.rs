@@ -76,6 +76,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn gemm_is_the_most_efficient_per_op() {
         assert!(GEMM_CYCLES_PER_MAC <= GESUMMV_CYCLES_PER_MAC);
         assert!(GEMM_CYCLES_PER_MAC < HEAT3D_CYCLES_PER_POINT);
@@ -83,7 +84,13 @@ mod tests {
 
     #[test]
     fn cost_models_produce_nonzero_cycles() {
-        for cost in [gemm_cost(), gesummv_cost(), heat3d_cost(), axpy_cost(), sort_local_cost()] {
+        for cost in [
+            gemm_cost(),
+            gesummv_cost(),
+            heat3d_cost(),
+            axpy_cost(),
+            sort_local_cost(),
+        ] {
             assert!(cost.parallel_region(1000).raw() > 0);
         }
     }

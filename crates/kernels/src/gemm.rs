@@ -39,7 +39,10 @@ impl GemmWorkload {
     ///
     /// Panics if `n` is not a positive multiple of 32.
     pub fn with_dim(n: usize) -> Self {
-        assert!(n > 0 && n % BLOCK == 0, "gemm dimension must be a multiple of 32");
+        assert!(
+            n > 0 && n % BLOCK == 0,
+            "gemm dimension must be a multiple of 32"
+        );
         Self { n }
     }
 
@@ -254,7 +257,9 @@ mod tests {
             Iova::new(0x3000_0000),
         ]);
         assert_eq!(dev.num_tiles(), 16);
-        let out_bytes: u64 = (0..dev.num_tiles()).map(|t| dev.tile_io(t).output_bytes()).sum();
+        let out_bytes: u64 = (0..dev.num_tiles())
+            .map(|t| dev.tile_io(t).output_bytes())
+            .sum();
         assert_eq!(out_bytes, (128 * 128 * 4) as u64);
     }
 

@@ -249,10 +249,14 @@ mod tests {
         let ptrs: Vec<Iova> = (0..4).map(|i| Iova::new(0x1000_0000 * (i + 1))).collect();
         let dev = wl.device_kernel(&ptrs);
         assert_eq!(dev.num_tiles(), 64);
-        let y_bytes: u64 = (0..dev.num_tiles()).map(|t| dev.tile_io(t).output_bytes()).sum();
+        let y_bytes: u64 = (0..dev.num_tiles())
+            .map(|t| dev.tile_io(t).output_bytes())
+            .sum();
         assert_eq!(y_bytes, 512 * 4);
         // Matrix traffic: both matrices are streamed exactly once, x once per tile.
-        let in_bytes: u64 = (0..dev.num_tiles()).map(|t| dev.tile_io(t).input_bytes()).sum();
+        let in_bytes: u64 = (0..dev.num_tiles())
+            .map(|t| dev.tile_io(t).input_bytes())
+            .sum();
         assert_eq!(in_bytes, (2 * 512 * 512 * 4 + 64 * 512 * 4) as u64);
     }
 
@@ -262,6 +266,9 @@ mod tests {
         let ptrs: Vec<Iova> = (0..4).map(|i| Iova::new(0x1000_0000 * (i + 1))).collect();
         let dev = wl.device_kernel(&ptrs);
         let per_set = dev.tile_io(0).input_bytes() + dev.tile_io(0).output_bytes();
-        assert!(2 * per_set <= 128 * 1024, "double-buffered tile must fit the TCDM");
+        assert!(
+            2 * per_set <= 128 * 1024,
+            "double-buffered tile must fit the TCDM"
+        );
     }
 }

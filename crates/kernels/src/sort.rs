@@ -206,7 +206,12 @@ impl SortDevice {
         let ai1 = Self::merge_partition(a, b, off + CHUNK);
         let bi0 = off - ai0;
         let bi1 = off + CHUNK - ai1;
-        (pair_base + ai0, ai1 - ai0, pair_base + run_len + bi0, bi1 - bi0)
+        (
+            pair_base + ai0,
+            ai1 - ai0,
+            pair_base + run_len + bi0,
+            bi1 - bi0,
+        )
     }
 
     /// TCDM layout of one buffer set: run-A segment, run-B segment, output.

@@ -127,8 +127,12 @@ mod tests {
     fn registry_matches_table1() {
         let rows = KernelSuite::table1_rows();
         assert_eq!(rows.len(), 5);
-        assert!(rows.iter().any(|(n, s, _)| *n == "gemm" && *s == "128 x 128"));
-        assert!(rows.iter().any(|(n, s, _)| *n == "merge sort" && *s == "65536"));
+        assert!(rows
+            .iter()
+            .any(|(n, s, _)| *n == "gemm" && *s == "128 x 128"));
+        assert!(rows
+            .iter()
+            .any(|(n, s, _)| *n == "merge sort" && *s == "65536"));
     }
 
     #[test]
@@ -139,7 +143,10 @@ mod tests {
             assert!(wl.device_bytes() > 0);
             assert!(wl.flops() > 0);
         }
-        assert_eq!(KernelKind::Gemm.paper_workload().device_bytes(), 3 * 64 * 1024);
+        assert_eq!(
+            KernelKind::Gemm.paper_workload().device_bytes(),
+            3 * 64 * 1024
+        );
         assert_eq!(
             KernelKind::Heat3d.paper_workload().device_bytes(),
             2 * 1024 * 1024

@@ -42,7 +42,10 @@ impl SparseMemory {
     }
 
     fn check_range(&self, offset: u64, len: u64) -> Result<()> {
-        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity)
+        {
             return Err(Error::OutOfBounds {
                 addr: sva_common::PhysAddr::new(offset),
                 len,

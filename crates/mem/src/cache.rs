@@ -48,7 +48,10 @@ impl CacheConfig {
     /// set).
     pub fn validate(&self) -> Result<(), String> {
         if !self.line_bytes.is_power_of_two() {
-            return Err(format!("line size {} is not a power of two", self.line_bytes));
+            return Err(format!(
+                "line size {} is not a power of two",
+                self.line_bytes
+            ));
         }
         if self.ways == 0 {
             return Err("cache must have at least one way".to_string());
@@ -215,9 +218,8 @@ impl Cache {
                 line.valid = false;
                 let was_dirty = line.dirty;
                 line.dirty = false;
-                return was_dirty.then(|| {
-                    PhysAddr::new((tag * sets_len + set_idx as u64) * line_bytes)
-                });
+                return was_dirty
+                    .then(|| PhysAddr::new((tag * sets_len + set_idx as u64) * line_bytes));
             }
         }
         None
@@ -321,7 +323,7 @@ mod tests {
         let set_stride = 8 * 64;
         let a = PhysAddr::new(0x10000);
         let b = a + set_stride;
-        let d = a + 2 * set_stride as u64;
+        let d = a + 2 * set_stride;
         c.access(a, false);
         c.access(b, false);
         // Touch `a` so `b` becomes LRU.
@@ -338,7 +340,7 @@ mod tests {
         let set_stride = 8 * 64;
         let a = PhysAddr::new(0x20000);
         let b = a + set_stride;
-        let d = a + 2 * set_stride as u64;
+        let d = a + 2 * set_stride;
         c.access(a, true); // dirty
         c.access(b, false);
         let out = c.access(d, false); // evicts dirty a
@@ -353,7 +355,7 @@ mod tests {
         let a = PhysAddr::new(0x20000);
         c.access(a, true);
         c.access(a + set_stride, true);
-        let out = c.access(a + 2 * set_stride as u64, true);
+        let out = c.access(a + 2 * set_stride, true);
         assert_eq!(out.writeback(), None);
         assert_eq!(c.writebacks(), 0);
         assert_eq!(c.flush_all(), 0);

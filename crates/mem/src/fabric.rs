@@ -1,0 +1,413 @@
+//! Arbitration and per-initiator accounting of the unified memory fabric.
+//!
+//! Every timed access entering [`crate::MemorySystem::access`] passes through
+//! the [`Fabric`]: it registers the initiator on first contact, keeps
+//! per-initiator [`InitiatorStats`], and models the shared DRAM data bus as a
+//! virtual timeline so overlapping traffic from *different* initiators is
+//! observed as queueing (contention).
+//!
+//! # Timing model
+//!
+//! The simulator is call-driven: each initiator simulates its own activity
+//! and presents accesses in program order, stamped with its *local* issue
+//! time when it tracks one (DMA bursts do — the engine tracks its pipeline
+//! clock). The fabric reserves the shared data bus as **intervals**
+//! `[start, start + occupancy)` on a common virtual timeline. A new timed
+//! grant is placed at the earliest point at or after its arrival that does
+//! not overlap an interval reserved by a *different* initiator; the shift is
+//! the access's queueing delay. Intervals owned by the same initiator are
+//! ignored — serialising an engine's own payloads is that engine's
+//! pipelining model, and charging it again here would double-count.
+//!
+//! Because placement works on arrival timestamps rather than call order,
+//! streams that are simulated sequentially but *conceptually concurrent*
+//! (the per-cluster DMA shards of a multi-cluster offload, whose local
+//! clocks all start at zero) interleave correctly: a later-simulated shard
+//! slots its bursts into the bus idle gaps the earlier shard left between
+//! its compute phases, and only genuinely overlapping occupancy queues.
+//!
+//! # Policy and known bias
+//!
+//! Placement is **first-fit in simulation order**: a shard simulated earlier
+//! reserves the bus first and never dodges later shards, so measured
+//! queueing forms a staircase across shards (the first-simulated DMA stream
+//! reports zero queue cycles, the last reports the most). Aggregate queueing
+//! and the wall-clock of the *slowest* shard are therefore conservative
+//! (pessimistic for the last shard), not a fair-arbitration prediction. A
+//! [`MemPortReq::priority`] above zero wins arbitration outright: the access
+//! is placed at its arrival without queueing (its occupancy still blocks
+//! priority-0 traffic). True rotating arbitration among equal priorities
+//! needs a global simulation clock — see the ROADMAP; [`Fabric::rr_cursor`]
+//! is the diagnostic hook kept for that work.
+//!
+//! Accesses without a timestamp (host loads/stores, page-table walks) only
+//! contribute byte/latency accounting, never queueing.
+//!
+//! By default the measured queueing delay is **accounting only** — returned
+//! latencies are unchanged, so a single-cluster platform reproduces the
+//! paper's prototype cycle-for-cycle. Setting
+//! [`FabricConfig::contention_enabled`] adds the delay to the returned
+//! latency, which turns fabric contention into a sweepable dimension. With a
+//! single initiator nothing ever queues, so charging is also
+//! timing-neutral at `N = 1`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sva_common::{Cycles, InitiatorId, InitiatorStats, MemPortReq, PortTiming};
+
+/// Configuration of the fabric arbitration layer.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// When `true`, cross-initiator queueing delay (waiting for the shared
+    /// data bus) is added to returned latencies. Off by default so
+    /// single-initiator timing exactly reproduces the paper's prototype.
+    pub contention_enabled: bool,
+}
+
+/// Snapshot of one initiator's accounting, labelled by identity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InitiatorSnapshot {
+    /// Who the numbers belong to.
+    pub id: InitiatorId,
+    /// The accumulated statistics.
+    pub stats: InitiatorStats,
+}
+
+/// The arbitration/accounting layer in front of the shared memory path.
+#[derive(Clone, Debug, Default)]
+pub struct Fabric {
+    config: FabricConfig,
+    /// Registration order; the order in which streams were first simulated,
+    /// which is also the order first-fit placement implicitly favours.
+    initiators: Vec<(InitiatorId, InitiatorStats)>,
+    /// Diagnostic cursor recording which slot a rotating arbiter would
+    /// favour next; not consulted by the first-fit timing model (a true
+    /// arbitration policy needs the global-clock engine — see ROADMAP).
+    rr_cursor: usize,
+    /// Bus reservations of timed grants, keyed by `(start, insertion seq)`
+    /// with `(end, owner slot)` values. Grows with the number of timed
+    /// accesses in a measurement window; cleared by [`Fabric::reset`]
+    /// (experiments reset between measurement phases).
+    reservations: BTreeMap<(u64, u64), (u64, usize)>,
+    /// Longest single reservation seen, bounding how far below a placement
+    /// point a conflicting interval can start.
+    max_reservation_len: u64,
+    /// Monotonic insertion counter disambiguating equal-start reservations.
+    reservation_seq: u64,
+    /// Initiator holding the most recent grant.
+    last_owner: Option<InitiatorId>,
+    grants: u64,
+    grant_switches: u64,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given configuration.
+    pub fn new(config: FabricConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration this fabric was built with.
+    pub const fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Registers `id` if needed and returns its slot index.
+    fn slot(&mut self, id: InitiatorId) -> usize {
+        if let Some(i) = self.initiators.iter().position(|(x, _)| *x == id) {
+            i
+        } else {
+            self.initiators.push((id, InitiatorStats::default()));
+            self.initiators.len() - 1
+        }
+    }
+
+    /// Grants one access and returns the cross-initiator queueing delay the
+    /// access observed on the shared-bus timeline.
+    ///
+    /// `start` is the initiator-local issue time when the caller tracks one
+    /// (DMA bursts); `None` means "back-to-back after the previous grant".
+    /// The caller is responsible for adding the returned delay to the
+    /// access's latency if [`FabricConfig::contention_enabled`] is set, and
+    /// for reporting the final latency via [`Fabric::note_latency`].
+    pub fn grant(&mut self, req: &MemPortReq, start: Option<Cycles>, timing: PortTiming) -> Cycles {
+        let slot = self.slot(req.initiator);
+        {
+            let stats = &mut self.initiators[slot].1;
+            if req.dir.is_write() {
+                stats.writes += 1;
+            } else {
+                stats.reads += 1;
+            }
+            if req.burst {
+                stats.bursts += 1;
+            }
+            stats.bytes += req.len;
+            stats.occupancy_cycles += timing.occupancy.raw();
+        }
+
+        // Shared-bus timeline: only timed grants reserve it (see module
+        // docs). Priority > 0 wins arbitration outright and is placed at its
+        // arrival; priority 0 takes the earliest placement at or after the
+        // arrival that avoids every interval owned by a different initiator.
+        let mut queue = Cycles::ZERO;
+        if let Some(arrival) = start {
+            let arrival = arrival.raw();
+            let occupancy = timing.occupancy.raw();
+            let mut placed = arrival;
+            if req.priority == 0 {
+                loop {
+                    // A conflicting interval satisfies start < placed + occ
+                    // and end > placed; since no reservation is longer than
+                    // max_reservation_len, its start also exceeds
+                    // placed - max_reservation_len. Range-scan that window.
+                    let lo = placed.saturating_sub(self.max_reservation_len);
+                    let hi = placed + occupancy;
+                    // Upper bound (hi, 0) excludes reservations starting at
+                    // exactly `hi` (they abut ours without overlapping;
+                    // sequence numbers start at 1).
+                    let conflict = self
+                        .reservations
+                        .range((lo, 0)..(hi, 0))
+                        .find(|(_, &(end, owner))| owner != slot && end > placed)
+                        .map(|(_, &(end, _))| end);
+                    match conflict {
+                        Some(end) => placed = end,
+                        None => break,
+                    }
+                }
+            }
+            if placed > arrival {
+                queue = Cycles::new(placed - arrival);
+                let stats = &mut self.initiators[slot].1;
+                stats.queue_cycles += queue.raw();
+                stats.contended_grants += 1;
+            }
+            if occupancy > 0 {
+                self.reservation_seq += 1;
+                self.reservations
+                    .insert((placed, self.reservation_seq), (placed + occupancy, slot));
+                self.max_reservation_len = self.max_reservation_len.max(occupancy);
+            }
+        }
+
+        if self.last_owner != Some(req.initiator) {
+            if self.last_owner.is_some() {
+                self.grant_switches += 1;
+            }
+            self.last_owner = Some(req.initiator);
+        }
+        self.grants += 1;
+        self.rr_cursor = (slot + 1) % self.initiators.len();
+        queue
+    }
+
+    /// Records the final latency (including any charged queueing) the
+    /// initiator observed for its most recent grant.
+    pub fn note_latency(&mut self, id: InitiatorId, latency: Cycles) {
+        let slot = self.slot(id);
+        self.initiators[slot].1.latency_cycles += latency.raw();
+    }
+
+    /// Statistics of one initiator, if it has accessed the fabric.
+    pub fn initiator_stats(&self, id: InitiatorId) -> Option<InitiatorStats> {
+        self.initiators
+            .iter()
+            .find(|(x, _)| *x == id)
+            .map(|(_, s)| *s)
+    }
+
+    /// Snapshot of every initiator's statistics, in registration order.
+    pub fn snapshot(&self) -> Vec<InitiatorSnapshot> {
+        self.initiators
+            .iter()
+            .map(|&(id, stats)| InitiatorSnapshot { id, stats })
+            .collect()
+    }
+
+    /// Sum of all per-initiator statistics.
+    pub fn total(&self) -> InitiatorStats {
+        let mut total = InitiatorStats::default();
+        for (_, s) in &self.initiators {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Number of distinct initiators that have accessed the fabric.
+    pub fn initiator_count(&self) -> usize {
+        self.initiators.len()
+    }
+
+    /// Total grants issued since the last reset.
+    pub const fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Grants whose initiator differed from the previous grant's (a measure
+    /// of how interleaved the traffic is).
+    pub const fn grant_switches(&self) -> u64 {
+        self.grant_switches
+    }
+
+    /// Diagnostic cursor: the slot a rotating arbiter would favour next. Not
+    /// consulted by the first-fit timing model (see the module docs).
+    pub const fn rr_cursor(&self) -> usize {
+        self.rr_cursor
+    }
+
+    /// Clears all statistics and the bus timeline; registered initiators are
+    /// forgotten so a fresh measurement window starts clean.
+    pub fn reset(&mut self) {
+        let config = self.config;
+        *self = Self::new(config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sva_common::PhysAddr;
+
+    fn burst_req(device: u32, len: u64) -> MemPortReq {
+        MemPortReq::read(InitiatorId::dma(device), PhysAddr::new(0x8000_0000), len).as_burst()
+    }
+
+    fn timing(latency: u64, occupancy: u64) -> PortTiming {
+        PortTiming {
+            latency: Cycles::new(latency),
+            occupancy: Cycles::new(occupancy),
+        }
+    }
+
+    #[test]
+    fn untimed_accesses_never_queue() {
+        let mut fabric = Fabric::default();
+        for _ in 0..10 {
+            let q = fabric.grant(
+                &MemPortReq::read(InitiatorId::Host, PhysAddr::new(0x1000), 8),
+                None,
+                timing(30, 1),
+            );
+            assert_eq!(q, Cycles::ZERO);
+        }
+        let host = fabric.initiator_stats(InitiatorId::Host).unwrap();
+        assert_eq!(host.reads, 10);
+        assert_eq!(host.queue_cycles, 0);
+    }
+
+    #[test]
+    fn overlapping_timed_streams_record_contention() {
+        let mut fabric = Fabric::default();
+        // Cluster 0 occupies the bus for [0, 256).
+        let q0 = fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        assert_eq!(q0, Cycles::ZERO);
+        // Cluster 1 arrives at cycle 10 while the bus is busy.
+        let q1 = fabric.grant(&burst_req(3, 2048), Some(Cycles::new(10)), timing(200, 256));
+        assert_eq!(q1, Cycles::new(246));
+        let s1 = fabric.initiator_stats(InitiatorId::dma(3)).unwrap();
+        assert_eq!(s1.queue_cycles, 246);
+        assert_eq!(s1.contended_grants, 1);
+        assert_eq!(fabric.grant_switches(), 1);
+    }
+
+    #[test]
+    fn same_initiator_pipelining_is_not_contention() {
+        let mut fabric = Fabric::default();
+        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        // The same engine's next burst at cycle 1 overlaps its own traffic:
+        // that pipelining is modelled by the DMA engine, not the fabric.
+        let q = fabric.grant(&burst_req(1, 2048), Some(Cycles::new(1)), timing(200, 256));
+        assert_eq!(q, Cycles::ZERO);
+        assert_eq!(
+            fabric
+                .initiator_stats(InitiatorId::dma(1))
+                .unwrap()
+                .queue_cycles,
+            0
+        );
+    }
+
+    #[test]
+    fn totals_merge_all_initiators() {
+        let mut fabric = Fabric::default();
+        fabric.grant(&burst_req(1, 100), Some(Cycles::ZERO), timing(10, 5));
+        fabric.grant(
+            &MemPortReq::write(InitiatorId::Host, PhysAddr::new(0x2000), 50),
+            None,
+            timing(10, 2),
+        );
+        fabric.note_latency(InitiatorId::dma(1), Cycles::new(10));
+        fabric.note_latency(InitiatorId::Host, Cycles::new(12));
+        let total = fabric.total();
+        assert_eq!(total.accesses(), 2);
+        assert_eq!(total.bytes, 150);
+        assert_eq!(total.latency_cycles, 22);
+        assert_eq!(fabric.initiator_count(), 2);
+        assert_eq!(fabric.grants(), 2);
+    }
+
+    #[test]
+    fn reset_clears_registry_and_timeline() {
+        let mut fabric = Fabric::new(FabricConfig {
+            contention_enabled: true,
+        });
+        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        fabric.reset();
+        assert_eq!(fabric.initiator_count(), 0);
+        assert_eq!(fabric.grants(), 0);
+        assert!(fabric.config().contention_enabled, "config survives reset");
+        // A burst arriving at cycle 0 after reset sees a free bus.
+        let q = fabric.grant(&burst_req(3, 2048), Some(Cycles::ZERO), timing(200, 256));
+        assert_eq!(q, Cycles::ZERO);
+    }
+
+    #[test]
+    fn priority_wins_arbitration_without_queueing() {
+        let mut fabric = Fabric::default();
+        // A priority-0 stream holds the bus for [0, 256).
+        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        // A priority-1 access arriving mid-interval does not queue...
+        let req = burst_req(3, 2048).with_priority(1);
+        let q = fabric.grant(&req, Some(Cycles::new(10)), timing(200, 256));
+        assert_eq!(q, Cycles::ZERO);
+        assert_eq!(
+            fabric
+                .initiator_stats(InitiatorId::dma(3))
+                .unwrap()
+                .queue_cycles,
+            0
+        );
+        // ...but its occupancy [10, 266) still blocks later priority-0
+        // traffic from a third initiator.
+        let q0 = fabric.grant(&burst_req(5, 2048), Some(Cycles::new(20)), timing(200, 256));
+        assert_eq!(q0, Cycles::new(246), "queues behind the priority grant");
+    }
+
+    #[test]
+    fn reservation_window_prunes_correctly_across_magnitudes() {
+        // Long-lived timeline: early large interval, then far-future small
+        // ones; the max-length window must still find the early conflict.
+        let mut fabric = Fabric::default();
+        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(0, 10_000));
+        let q = fabric.grant(&burst_req(3, 64), Some(Cycles::new(9_999)), timing(0, 8));
+        assert_eq!(q, Cycles::new(1), "tail of the long interval conflicts");
+        let q2 = fabric.grant(&burst_req(3, 64), Some(Cycles::new(50_000)), timing(0, 8));
+        assert_eq!(q2, Cycles::ZERO, "far beyond every reservation");
+    }
+
+    #[test]
+    fn rr_cursor_rotates_past_the_granted_slot() {
+        let mut fabric = Fabric::default();
+        fabric.grant(&burst_req(1, 64), Some(Cycles::ZERO), timing(10, 8));
+        assert_eq!(fabric.rr_cursor(), 0, "one slot: cursor wraps to itself");
+        fabric.grant(&burst_req(2, 64), Some(Cycles::new(1000)), timing(10, 8));
+        // Slot 1 granted last, cursor favours slot 0 next.
+        assert_eq!(fabric.rr_cursor(), 0);
+        fabric.grant(&burst_req(1, 64), Some(Cycles::new(2000)), timing(10, 8));
+        assert_eq!(fabric.rr_cursor(), 1);
+    }
+}

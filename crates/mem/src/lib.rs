@@ -14,9 +14,12 @@
 //! * [`spm`] — the 1 MiB on-chip L2 scratchpad;
 //! * [`interference`] — the synthetic host-traffic interference model used in
 //!   Figure 5;
+//! * [`fabric`] — the arbitration and per-initiator accounting layer of the
+//!   unified memory fabric (round-robin grants, contention measurement);
 //! * [`system`] — [`MemorySystem`], the composition of all of the above
-//!   behind the initiator-facing API used by the host, the DMA engine and the
-//!   IOMMU page-table walker.
+//!   behind the unified [`MemorySystem::access`](system::MemorySystem::access)
+//!   fabric port used by the host, every cluster's DMA engine and the IOMMU
+//!   page-table walker.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 pub mod backing;
 pub mod cache;
 pub mod dram;
+pub mod fabric;
 pub mod interference;
 pub mod llc;
 pub mod spm;
@@ -53,7 +57,8 @@ pub mod system;
 pub use backing::SparseMemory;
 pub use cache::{Cache, CacheConfig, CacheOutcome};
 pub use dram::{Dram, DramConfig};
+pub use fabric::{Fabric, FabricConfig, InitiatorSnapshot};
 pub use interference::Interference;
 pub use llc::{Llc, LlcConfig};
 pub use spm::Scratchpad;
-pub use system::{BurstTiming, MemSysConfig, MemSysStats, MemorySystem};
+pub use system::{BurstTiming, MemData, MemReq, MemRsp, MemSysConfig, MemSysStats, MemorySystem};

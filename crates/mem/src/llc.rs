@@ -119,7 +119,12 @@ impl Llc {
     }
 
     /// Looks up (and on miss, fills) the line containing `addr`.
-    pub fn access(&mut self, requester: LlcRequester, addr: PhysAddr, is_write: bool) -> CacheOutcome {
+    pub fn access(
+        &mut self,
+        requester: LlcRequester,
+        addr: PhysAddr,
+        is_write: bool,
+    ) -> CacheOutcome {
         let outcome = self.cache.access(addr, is_write);
         let stats = match requester {
             LlcRequester::Host => &mut self.host_stats,

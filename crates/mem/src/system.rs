@@ -1,17 +1,25 @@
 //! The composed memory system: crossbar + LLC + L2 SPM + DRAM behind the
-//! initiator-facing access paths of the platform.
+//! unified initiator-facing fabric port of the platform.
 //!
-//! Three initiators reach memory in the prototype (Figure 1 of the paper),
-//! and each sees a different path:
+//! Every initiator reaches memory through the single [`MemorySystem::access`]
+//! entry point, presenting a [`MemReq`] that names the initiator
+//! ([`InitiatorId`]) and carries the payload buffer. The fabric routes the
+//! access by the initiator's *class*:
 //!
-//! * the **host** (CVA6 through its L1): cached DRAM goes through the LLC,
+//! * **host** (CVA6 through its L1): cached DRAM goes through the LLC,
 //!   the reserved contiguous DMA area and the L2 SPM are uncached;
-//! * the **IOMMU page-table walker**: 8-byte reads that go through the LLC
+//! * **PTW** (the IOMMU page-table walker): reads that go through the LLC
 //!   when it is present (this is the architectural property the paper
 //!   leverages to make SVA cheap);
-//! * the **cluster DMA engine**: bursts that normally use the LLC-bypass
-//!   window straight to DRAM; routing them through the LLC is possible for
-//!   ablation (`llc_serves_dma`).
+//! * **DMA** (one initiator per accelerator cluster): bursts that normally
+//!   use the LLC-bypass window straight to DRAM; routing them through the
+//!   LLC is possible for ablation (`llc_serves_dma`).
+//!
+//! Arbitration and per-initiator accounting live in [`crate::fabric`];
+//! the legacy per-initiator entry points ([`MemorySystem::host_read`],
+//! [`MemorySystem::ptw_read`], [`MemorySystem::dma_read_burst`], …) are thin
+//! wrappers over [`MemorySystem::access`] kept so call sites can migrate
+//! incrementally.
 //!
 //! All timed accesses also move functional data, so kernels computing on the
 //! simulated memory can be verified bit-exactly against host references.
@@ -20,10 +28,14 @@ use serde::{Deserialize, Serialize};
 use sva_axi::addrmap::{AddressMap, RegionKind, DRAM_SIZE};
 use sva_axi::{AccessKind, BusConfig, Crossbar, MasterPort, MemTxn};
 use sva_common::stats::Counter;
-use sva_common::{Cycles, Error, PhysAddr, Result, CACHE_LINE_SIZE};
+use sva_common::{
+    Cycles, Error, InitiatorClass, InitiatorId, MemPortReq, PhysAddr, PortTiming, Result,
+    CACHE_LINE_SIZE,
+};
 
 use crate::backing::SparseMemory;
 use crate::dram::{Dram, DramConfig, DramTiming};
+use crate::fabric::{Fabric, FabricConfig, InitiatorSnapshot};
 use crate::interference::{Interference, InterferenceConfig};
 use crate::llc::{Llc, LlcConfig, LlcRequester};
 use crate::spm::{Scratchpad, ScratchpadConfig};
@@ -56,6 +68,9 @@ pub struct MemSysConfig {
     /// Extra fixed cost of an uncached posted write as seen by the host
     /// (store-buffer drain amortisation).
     pub posted_write_cost: Cycles,
+    /// Fabric arbitration layer (per-initiator accounting, optional
+    /// contention charging).
+    pub fabric: FabricConfig,
 }
 
 impl Default for MemSysConfig {
@@ -70,7 +85,98 @@ impl Default for MemSysConfig {
             spm: ScratchpadConfig::default(),
             bus: BusConfig::AXI64,
             posted_write_cost: Cycles::new(16),
+            fabric: FabricConfig::default(),
         }
+    }
+}
+
+/// Payload of a fabric access: the buffer data moves through.
+///
+/// The buffer length is authoritative for the access length.
+#[derive(Debug)]
+pub enum MemData<'a> {
+    /// Read `buf.len()` bytes from memory into the buffer.
+    ReadInto(&'a mut [u8]),
+    /// Write the buffer's bytes to memory.
+    WriteFrom(&'a [u8]),
+}
+
+/// One access presented at the unified fabric port of [`MemorySystem`].
+#[derive(Debug)]
+pub struct MemReq<'a> {
+    /// The access descriptor (initiator, direction, address, burstiness,
+    /// priority). Its `len` is overwritten from the payload buffer.
+    pub port: MemPortReq,
+    /// Initiator-local issue time, when the caller tracks one (DMA bursts).
+    /// Accesses without a timestamp are treated as issued back-to-back and
+    /// never observe cross-initiator queueing.
+    pub start: Option<Cycles>,
+    /// The payload buffer.
+    pub data: MemData<'a>,
+}
+
+impl<'a> MemReq<'a> {
+    /// A read of `buf.len()` bytes at `addr` on behalf of `initiator`.
+    pub fn read(initiator: InitiatorId, addr: PhysAddr, buf: &'a mut [u8]) -> Self {
+        Self {
+            port: MemPortReq::read(initiator, addr, buf.len() as u64),
+            start: None,
+            data: MemData::ReadInto(buf),
+        }
+    }
+
+    /// A write of `buf` at `addr` on behalf of `initiator`.
+    pub fn write(initiator: InitiatorId, addr: PhysAddr, buf: &'a [u8]) -> Self {
+        Self {
+            port: MemPortReq::write(initiator, addr, buf.len() as u64),
+            start: None,
+            data: MemData::WriteFrom(buf),
+        }
+    }
+
+    /// Marks the access as a streaming burst (separate latency/occupancy).
+    #[must_use]
+    pub fn burst(mut self) -> Self {
+        self.port = self.port.as_burst();
+        self
+    }
+
+    /// Attaches the initiator-local issue time of the access.
+    #[must_use]
+    pub fn at(mut self, start: Cycles) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// Sets the arbitration priority.
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.port = self.port.with_priority(priority);
+        self
+    }
+}
+
+/// Response of a fabric access.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRsp {
+    /// Latency to first data and data-bus occupancy of the access. When
+    /// [`FabricConfig::contention_enabled`] is set, the latency includes the
+    /// queueing delay.
+    pub timing: PortTiming,
+    /// Cross-initiator queueing delay the access observed on the shared-bus
+    /// timeline (zero for untimed accesses).
+    pub queue_delay: Cycles,
+}
+
+impl MemRsp {
+    /// Latency to first data.
+    pub const fn latency(&self) -> Cycles {
+        self.timing.latency
+    }
+
+    /// Total blocking time (latency + occupancy).
+    pub fn total(&self) -> Cycles {
+        self.timing.total()
     }
 }
 
@@ -100,6 +206,7 @@ pub struct MemorySystem {
     spm: Scratchpad,
     llc: Option<Llc>,
     interference: Option<Interference>,
+    fabric: Fabric,
     stats: MemSysStats,
     host_stall_cycles: Counter,
 }
@@ -121,6 +228,7 @@ impl MemorySystem {
             spm: Scratchpad::new(config.spm),
             llc: config.llc_enabled.then(|| Llc::new(config.llc)),
             interference: None,
+            fabric: Fabric::new(config.fabric),
             stats: MemSysStats::default(),
             host_stall_cycles: Counter::new(),
             config,
@@ -162,6 +270,16 @@ impl MemorySystem {
         &self.stats
     }
 
+    /// The fabric arbitration layer (per-initiator statistics).
+    pub const fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Per-initiator fabric statistics, in registration order.
+    pub fn fabric_stats(&self) -> Vec<InitiatorSnapshot> {
+        self.fabric.snapshot()
+    }
+
     /// Installs (or removes) the synthetic host-interference stream.
     pub fn set_interference(&mut self, config: Option<InterferenceConfig>) {
         self.interference = config.map(Interference::new);
@@ -177,6 +295,7 @@ impl MemorySystem {
         self.stats = MemSysStats::default();
         self.xbar.reset_stats();
         self.dram.reset_stats();
+        self.fabric.reset();
         self.host_stall_cycles.reset();
         if let Some(llc) = &mut self.llc {
             llc.reset_stats();
@@ -320,33 +439,140 @@ impl MemorySystem {
                 let t = self.dram.access(AccessKind::Read, line);
                 total += t.total();
             }
-            cur = cur + line;
+            cur += line;
         }
         total
+    }
+
+    /// The single timed entry point of the memory fabric.
+    ///
+    /// Moves the payload functionally, computes the timing of the access
+    /// according to the initiator's class and the region's policy, passes the
+    /// grant through the fabric arbiter (per-initiator accounting, optional
+    /// contention charging) and updates the aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the access does not decode to a
+    /// memory-backed region.
+    pub fn access(&mut self, req: MemReq<'_>) -> Result<MemRsp> {
+        let MemReq {
+            mut port,
+            start,
+            data,
+        } = req;
+        let (kind, len) = match &data {
+            MemData::ReadInto(buf) => (AccessKind::Read, buf.len() as u64),
+            MemData::WriteFrom(buf) => (AccessKind::Write, buf.len() as u64),
+        };
+        port.len = len;
+        match data {
+            MemData::ReadInto(buf) => self.read_phys(port.addr, buf)?,
+            MemData::WriteFrom(buf) => self.write_phys(port.addr, buf)?,
+        }
+
+        let class = port.initiator.class();
+        let master = match class {
+            InitiatorClass::Host => MasterPort::Host,
+            InitiatorClass::Device => MasterPort::Device,
+            InitiatorClass::Ptw => MasterPort::Ptw,
+        };
+        let txn = match kind {
+            AccessKind::Read => MemTxn::read(port.addr, len),
+            AccessKind::Write => MemTxn::write(port.addr, len),
+        };
+        let hop = self.xbar.route(master, &txn);
+        let mut timing = self.class_timing(class, kind, port.addr, len, hop)?;
+
+        let queue = self.fabric.grant(&port, start, timing);
+        if self.config.fabric.contention_enabled {
+            timing.latency += queue;
+        }
+        self.fabric.note_latency(port.initiator, timing.latency);
+
+        match class {
+            InitiatorClass::Host => {
+                self.stats.host_accesses += 1;
+                self.host_stall_cycles.add(timing.latency.raw());
+            }
+            InitiatorClass::Ptw => self.stats.ptw_accesses += 1,
+            InitiatorClass::Device => {
+                self.stats.dma_bursts += 1;
+                self.stats.dma_bytes += len;
+            }
+        }
+        Ok(MemRsp {
+            timing,
+            queue_delay: queue,
+        })
+    }
+
+    /// Timing of one access by initiator class, mirroring the three paths of
+    /// the prototype (Figure 1): cached host traffic, LLC-served page-table
+    /// walks and bypassing DMA bursts.
+    fn class_timing(
+        &mut self,
+        class: InitiatorClass,
+        kind: AccessKind,
+        addr: PhysAddr,
+        len: u64,
+        hop: Cycles,
+    ) -> Result<PortTiming> {
+        let timing = match class {
+            InitiatorClass::Host => {
+                let region = self.map.decode(addr)?.kind;
+                let path = match region {
+                    RegionKind::L2Spm => self.spm.access_latency(),
+                    _ if self.llc_path_enabled_for(LlcRequester::Host, addr) => {
+                        self.llc_access(LlcRequester::Host, kind, addr, len)
+                    }
+                    _ if kind.is_write() => {
+                        // Posted uncached write: the host only pays the bus
+                        // occupancy plus a small store-buffer cost.
+                        let t = self.dram.access(AccessKind::Write, len);
+                        t.occupancy + self.config.posted_write_cost
+                    }
+                    _ => self.dram.access(kind, len).total(),
+                };
+                PortTiming {
+                    latency: hop + path,
+                    occupancy: Cycles::ZERO,
+                }
+            }
+            InitiatorClass::Ptw => {
+                let base = if self.llc_path_enabled_for(LlcRequester::Ptw, addr) {
+                    self.llc_access(LlcRequester::Ptw, kind, addr, len)
+                } else {
+                    self.dram.access(kind, len).total()
+                };
+                let penalty = self.interference_penalty(base);
+                PortTiming {
+                    latency: hop + base + penalty,
+                    occupancy: Cycles::ZERO,
+                }
+            }
+            InitiatorClass::Device => {
+                let t = self.dma_burst_timing(kind, addr, len, hop);
+                PortTiming {
+                    latency: t.latency,
+                    occupancy: t.occupancy,
+                }
+            }
+        };
+        Ok(timing)
     }
 
     /// Timed + functional host read. Returns the latency seen by the host
     /// (excluding its own L1, which is modelled by the host crate).
     ///
+    /// Compatibility wrapper over [`MemorySystem::access`].
+    ///
     /// # Errors
     ///
     /// Returns a decode error if `addr` is not memory-backed.
     pub fn host_read(&mut self, addr: PhysAddr, buf: &mut [u8]) -> Result<Cycles> {
-        let len = buf.len() as u64;
-        self.read_phys(addr, buf)?;
-        let txn = MemTxn::read(addr, len);
-        let mut latency = self.xbar.route(MasterPort::Host, &txn);
-        let kind = self.map.decode(addr)?.kind;
-        latency += match kind {
-            RegionKind::L2Spm => self.spm.access_latency(),
-            _ if self.llc_path_enabled_for(LlcRequester::Host, addr) => {
-                self.llc_access(LlcRequester::Host, AccessKind::Read, addr, len)
-            }
-            _ => self.dram.access(AccessKind::Read, len).total(),
-        };
-        self.stats.host_accesses += 1;
-        self.host_stall_cycles.add(latency.raw());
-        Ok(latency)
+        let rsp = self.access(MemReq::read(InitiatorId::Host, addr, buf))?;
+        Ok(rsp.latency())
     }
 
     /// Timed + functional host write.
@@ -354,50 +580,29 @@ impl MemorySystem {
     /// Writes to uncached regions are posted: the host only pays the bus
     /// occupancy plus a small store-buffer cost, not the full DRAM latency.
     ///
+    /// Compatibility wrapper over [`MemorySystem::access`].
+    ///
     /// # Errors
     ///
     /// Returns a decode error if `addr` is not memory-backed.
     pub fn host_write(&mut self, addr: PhysAddr, buf: &[u8]) -> Result<Cycles> {
-        let len = buf.len() as u64;
-        self.write_phys(addr, buf)?;
-        let txn = MemTxn::write(addr, len);
-        let mut latency = self.xbar.route(MasterPort::Host, &txn);
-        let kind = self.map.decode(addr)?.kind;
-        latency += match kind {
-            RegionKind::L2Spm => self.spm.access_latency(),
-            _ if self.llc_path_enabled_for(LlcRequester::Host, addr) => {
-                self.llc_access(LlcRequester::Host, AccessKind::Write, addr, len)
-            }
-            _ => {
-                let t = self.dram.access(AccessKind::Write, len);
-                t.occupancy + self.config.posted_write_cost
-            }
-        };
-        self.stats.host_accesses += 1;
-        self.host_stall_cycles.add(latency.raw());
-        Ok(latency)
+        let rsp = self.access(MemReq::write(InitiatorId::Host, addr, buf))?;
+        Ok(rsp.latency())
     }
 
     /// Timed + functional 8-byte read on the IOMMU page-table-walk port.
     ///
     /// Returns the page-table entry value and the latency of the access.
     ///
+    /// Compatibility wrapper over [`MemorySystem::access`].
+    ///
     /// # Errors
     ///
     /// Returns a decode error if `addr` is not memory-backed.
     pub fn ptw_read(&mut self, addr: PhysAddr) -> Result<(u64, Cycles)> {
-        let value = self.read_u64_phys(addr)?;
-        let txn = MemTxn::read(addr, 8);
-        let mut latency = self.xbar.route(MasterPort::Ptw, &txn);
-        let base = if self.llc_path_enabled_for(LlcRequester::Ptw, addr) {
-            self.llc_access(LlcRequester::Ptw, AccessKind::Read, addr, 8)
-        } else {
-            self.dram.access(AccessKind::Read, 8).total()
-        };
-        latency += base;
-        latency += self.interference_penalty(base);
-        self.stats.ptw_accesses += 1;
-        Ok((value, latency))
+        let mut buf = [0u8; 8];
+        let rsp = self.access(MemReq::read(InitiatorId::Ptw, addr, &mut buf))?;
+        Ok((u64::from_le_bytes(buf), rsp.latency()))
     }
 
     /// Timed + functional DMA burst read (device port).
@@ -405,34 +610,35 @@ impl MemorySystem {
     /// `addr` is the physical address after IOMMU translation (or the bypass
     /// bus address when translation is disabled).
     ///
+    /// Compatibility wrapper over [`MemorySystem::access`] presenting DMA
+    /// device 0; the cluster DMA engines call [`MemorySystem::access`]
+    /// directly with their own device identity and issue time.
+    ///
     /// # Errors
     ///
     /// Returns a decode error if the burst does not decode to memory.
     pub fn dma_read_burst(&mut self, addr: PhysAddr, buf: &mut [u8]) -> Result<BurstTiming> {
-        let len = buf.len() as u64;
-        self.read_phys(addr, buf)?;
-        let txn = MemTxn::read(addr, len);
-        let hop = self.xbar.route(MasterPort::Device, &txn);
-        let timing = self.dma_burst_timing(AccessKind::Read, addr, len, hop);
-        self.stats.dma_bursts += 1;
-        self.stats.dma_bytes += len;
-        Ok(timing)
+        let rsp = self.access(MemReq::read(InitiatorId::dma(0), addr, buf).burst())?;
+        Ok(BurstTiming {
+            latency: rsp.timing.latency,
+            occupancy: rsp.timing.occupancy,
+        })
     }
 
     /// Timed + functional DMA burst write (device port).
+    ///
+    /// Compatibility wrapper over [`MemorySystem::access`]; see
+    /// [`MemorySystem::dma_read_burst`].
     ///
     /// # Errors
     ///
     /// Returns a decode error if the burst does not decode to memory.
     pub fn dma_write_burst(&mut self, addr: PhysAddr, buf: &[u8]) -> Result<BurstTiming> {
-        let len = buf.len() as u64;
-        self.write_phys(addr, buf)?;
-        let txn = MemTxn::write(addr, len);
-        let hop = self.xbar.route(MasterPort::Device, &txn);
-        let timing = self.dma_burst_timing(AccessKind::Write, addr, len, hop);
-        self.stats.dma_bursts += 1;
-        self.stats.dma_bytes += len;
-        Ok(timing)
+        let rsp = self.access(MemReq::write(InitiatorId::dma(0), addr, buf).burst())?;
+        Ok(BurstTiming {
+            latency: rsp.timing.latency,
+            occupancy: rsp.timing.occupancy,
+        })
     }
 
     fn dma_burst_timing(
@@ -442,7 +648,11 @@ impl MemorySystem {
         len: u64,
         hop: Cycles,
     ) -> BurstTiming {
-        let kind_region = self.map.decode(addr).map(|d| d.kind).unwrap_or(RegionKind::DramBypass);
+        let kind_region = self
+            .map
+            .decode(addr)
+            .map(|d| d.kind)
+            .unwrap_or(RegionKind::DramBypass);
         let mut timing = match kind_region {
             RegionKind::L2Spm => BurstTiming {
                 latency: self.spm.access_latency(),
@@ -577,7 +787,10 @@ mod tests {
         let mut m = sys(1000, true);
         let addr = m.map().reserved_dram_base();
         let lat = m.host_write(addr, &[0u8; 64]).unwrap();
-        assert!(lat.raw() < 100, "posted write should not pay full latency, got {lat}");
+        assert!(
+            lat.raw() < 100,
+            "posted write should not pay full latency, got {lat}"
+        );
     }
 
     #[test]
@@ -596,8 +809,14 @@ mod tests {
         let (v2, t2) = without.ptw_read(pte_addr).unwrap();
         assert_eq!(v1, 0x55);
         assert_eq!(v2, 0x55);
-        assert!(t1.raw() < 40, "PTW through warm LLC should be fast, got {t1}");
-        assert!(t2.raw() > 1000, "PTW without LLC pays DRAM latency, got {t2}");
+        assert!(
+            t1.raw() < 40,
+            "PTW through warm LLC should be fast, got {t1}"
+        );
+        assert!(
+            t2.raw() > 1000,
+            "PTW without LLC pays DRAM latency, got {t2}"
+        );
     }
 
     #[test]
@@ -664,7 +883,8 @@ mod tests {
         let mut m = sys(200, true);
         let empty_flush = m.flush_llc();
         for i in 0..64u64 {
-            m.host_write(PhysAddr::new(DRAM_BASE + i * 64), &[1u8; 8]).unwrap();
+            m.host_write(PhysAddr::new(DRAM_BASE + i * 64), &[1u8; 8])
+                .unwrap();
         }
         let dirty_flush = m.flush_llc();
         assert!(dirty_flush > empty_flush);

@@ -10,10 +10,10 @@
 //! variants and prints the runtime, the DMA share and the IOMMU overhead
 //! relative to the baseline.
 
-use riscv_sva_repro::kernels::{GemmWorkload, Workload};
-use riscv_sva_repro::soc::config::{PlatformConfig, SocVariant, PAPER_LATENCIES};
-use riscv_sva_repro::soc::offload::OffloadRunner;
-use riscv_sva_repro::soc::platform::Platform;
+use sva::kernels::{GemmWorkload, Workload};
+use sva::soc::config::{PlatformConfig, SocVariant, PAPER_LATENCIES};
+use sva::soc::offload::OffloadRunner;
+use sva::soc::platform::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = GemmWorkload::paper();

@@ -9,10 +9,10 @@
 //! directly — useful when extending the IOMMU model or studying how the
 //! shared LLC changes the walker's latency.
 
-use riscv_sva_repro::common::{Cycles, Iova, PAGE_SIZE};
-use riscv_sva_repro::iommu::{Command, Iommu, IommuConfig};
-use riscv_sva_repro::mem::{MemSysConfig, MemorySystem};
-use riscv_sva_repro::vm::{AddressSpace, FrameAllocator};
+use sva::common::{Cycles, Iova, PAGE_SIZE};
+use sva::iommu::{Command, Iommu, IommuConfig};
+use sva::mem::{MemSysConfig, MemorySystem};
+use sva::vm::{AddressSpace, FrameAllocator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A memory system at 600 cycles of DRAM latency, with the shared LLC.
@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("user buffer at {va} backed by scattered physical pages:");
     for page in 0..8u64 {
         let pa = space.translate(&mem, va + page * PAGE_SIZE)?;
-        println!("  page {page}: {va_page} -> {pa}", va_page = va + page * PAGE_SIZE);
+        println!(
+            "  page {page}: {va_page} -> {pa}",
+            va_page = va + page * PAGE_SIZE
+        );
     }
 
     // Attach the accelerator (device id 1) to the process page table.

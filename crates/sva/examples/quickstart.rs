@@ -8,10 +8,10 @@
 //! Snitch cluster) at 200 cycles of DRAM latency, offloads a small `axpy`
 //! with shared virtual addressing and prints the resulting breakdown.
 
-use riscv_sva_repro::kernels::AxpyWorkload;
-use riscv_sva_repro::soc::config::PlatformConfig;
-use riscv_sva_repro::soc::offload::{OffloadMode, OffloadRunner};
-use riscv_sva_repro::soc::platform::Platform;
+use sva::kernels::AxpyWorkload;
+use sva::soc::config::PlatformConfig;
+use sva::soc::offload::{OffloadMode, OffloadRunner};
+use sva::soc::platform::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the platform of Figure 1 (IOMMU + LLC variant).
@@ -41,8 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("unmap cycles    : {}", report.unmap);
     println!("total           : {}", report.total);
     println!("IOTLB           : {}", report.iommu.iotlb);
-    println!("PTW walks       : {} (avg {:.1} cycles)",
-        report.iommu.ptw_walks, report.iommu.ptw_time.mean());
+    println!(
+        "PTW walks       : {} (avg {:.1} cycles)",
+        report.iommu.ptw_walks,
+        report.iommu.ptw_time.mean()
+    );
     println!("results verified: {}", report.verified);
     Ok(())
 }

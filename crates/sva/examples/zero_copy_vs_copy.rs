@@ -9,14 +9,17 @@
 //! offloading — and prints the stacked-bar breakdown plus the zero-copy
 //! speed-up headline.
 
-use riscv_sva_repro::kernels::AxpyWorkload;
-use riscv_sva_repro::soc::config::PlatformConfig;
-use riscv_sva_repro::soc::offload::{OffloadMode, OffloadRunner};
-use riscv_sva_repro::soc::platform::Platform;
+use sva::kernels::AxpyWorkload;
+use sva::soc::config::PlatformConfig;
+use sva::soc::offload::{OffloadMode, OffloadRunner};
+use sva::soc::platform::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = AxpyWorkload::paper();
-    println!("axpy, {} elements per vector, DRAM latency 200 cycles\n", workload.n);
+    println!(
+        "axpy, {} elements per vector, DRAM latency 200 cycles\n",
+        workload.n
+    );
     println!(
         "{:<38} {:>12} {:>12} {:>12} {:>12}",
         "scenario", "copy/map", "overhead", "compute", "total"
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             compute,
             report.total.raw()
         );
-        assert!(report.verified, "all three flows must produce correct results");
+        assert!(
+            report.verified,
+            "all three flows must produce correct results"
+        );
         totals.push((mode, report.total.raw()));
     }
 

@@ -1,10 +1,10 @@
 //! Cross-crate integration tests: every kernel, every platform variant,
 //! every offload flow, verified against the host reference.
 
-use riscv_sva_repro::kernels::{AxpyWorkload, GesummvWorkload, KernelKind};
-use riscv_sva_repro::soc::config::{PlatformConfig, SocVariant};
-use riscv_sva_repro::soc::offload::{OffloadMode, OffloadRunner};
-use riscv_sva_repro::soc::platform::Platform;
+use sva::kernels::{AxpyWorkload, GesummvWorkload, KernelKind};
+use sva::soc::config::{PlatformConfig, SocVariant};
+use sva::soc::offload::{OffloadMode, OffloadRunner};
+use sva::soc::platform::Platform;
 
 /// Every kernel of the suite runs correctly on the accelerator, on every
 /// platform variant, at a reduced problem size.
@@ -115,7 +115,11 @@ fn simulation_is_deterministic() {
         let report = OffloadRunner::new(123)
             .run_device_only(&mut platform, workload.as_ref())
             .expect("device run succeeds");
-        (report.stats.total.raw(), report.stats.dma_wait.raw(), report.iommu.ptw_walks)
+        (
+            report.stats.total.raw(),
+            report.stats.dma_wait.raw(),
+            report.iommu.ptw_walks,
+        )
     };
     assert_eq!(run(), run());
 }

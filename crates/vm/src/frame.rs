@@ -29,8 +29,14 @@ impl FrameAllocator {
     /// Panics if `base` is not page-aligned or `len` is not a multiple of the
     /// page size.
     pub fn new(base: PhysAddr, len: u64) -> Self {
-        assert!(base.is_aligned(PAGE_SIZE), "frame pool base must be page-aligned");
-        assert!(len % PAGE_SIZE == 0, "frame pool length must be page-aligned");
+        assert!(
+            base.is_aligned(PAGE_SIZE),
+            "frame pool base must be page-aligned"
+        );
+        assert!(
+            len % PAGE_SIZE == 0,
+            "frame pool length must be page-aligned"
+        );
         Self {
             range: PhysRange::from_base_len(base, len),
             next: base,
@@ -92,7 +98,7 @@ impl FrameAllocator {
             });
         }
         let base = self.next;
-        self.next = self.next + bytes;
+        self.next += bytes;
         self.allocated_frames += frames;
         Ok(base)
     }

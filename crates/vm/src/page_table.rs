@@ -192,7 +192,10 @@ impl PageTable {
         if path.leaf().is_none() {
             return Err(Error::HostPageFault { addr: va });
         }
-        let (leaf_addr, _) = *path.entries.last().expect("walk returned at least one entry");
+        let (leaf_addr, _) = *path
+            .entries
+            .last()
+            .expect("walk returned at least one entry");
         mem.write_u64_phys(leaf_addr, Pte::INVALID.raw())?;
         Ok(())
     }
@@ -232,7 +235,9 @@ impl PageTable {
 
     /// Returns `true` if the page containing `va` has a valid leaf mapping.
     pub fn is_mapped(&self, mem: &MemorySystem, va: VirtAddr) -> bool {
-        self.walk(mem, va).map(|p| p.leaf().is_some()).unwrap_or(false)
+        self.walk(mem, va)
+            .map(|p| p.leaf().is_some())
+            .unwrap_or(false)
     }
 }
 
@@ -282,7 +287,13 @@ mod tests {
         pt.map_page(&mut mem, &mut frames, va, pa1, PteFlags::user_rw())
             .unwrap();
         let stats = pt
-            .map_page(&mut mem, &mut frames, va + PAGE_SIZE, pa2, PteFlags::user_rw())
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va + PAGE_SIZE,
+                pa2,
+                PteFlags::user_rw(),
+            )
             .unwrap();
         assert_eq!(stats.tables_allocated, 0);
         assert_eq!(stats.pte_writes, 1);
@@ -293,8 +304,15 @@ mod tests {
         let (mut mem, mut frames, pt) = setup();
         let va = VirtAddr::new(0x5000_0000);
         let pa = frames.alloc_contiguous(16).unwrap();
-        pt.map_range(&mut mem, &mut frames, va, pa, 16 * PAGE_SIZE, PteFlags::user_rw())
-            .unwrap();
+        pt.map_range(
+            &mut mem,
+            &mut frames,
+            va,
+            pa,
+            16 * PAGE_SIZE,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
         for i in 0..16u64 {
             assert_eq!(
                 pt.translate(&mem, va + i * PAGE_SIZE).unwrap(),

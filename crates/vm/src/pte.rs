@@ -36,9 +36,7 @@ impl PteFlags {
     /// Flags of a user read-write data page, pre-accessed/dirtied the way the
     /// kernel driver sets them for DMA-mapped pages.
     pub const fn user_rw() -> PteFlags {
-        PteFlags(
-            Self::V.0 | Self::R.0 | Self::W.0 | Self::U.0 | Self::A.0 | Self::D.0,
-        )
+        PteFlags(Self::V.0 | Self::R.0 | Self::W.0 | Self::U.0 | Self::A.0 | Self::D.0)
     }
 
     /// Flags of a user read-only data page.

@@ -110,13 +110,8 @@ impl AddressSpace {
         let pages = len.div_ceil(PAGE_SIZE);
         for i in 0..pages {
             let pa = frames.alloc_frame()?;
-            self.page_table.map_page(
-                mem,
-                frames,
-                va + i * PAGE_SIZE,
-                pa,
-                PteFlags::user_rw(),
-            )?;
+            self.page_table
+                .map_page(mem, frames, va + i * PAGE_SIZE, pa, PteFlags::user_rw())?;
             self.mapped_pages += 1;
         }
         // Leave a guard page between allocations.
@@ -175,13 +170,7 @@ impl AddressSpace {
     }
 
     /// Applies `f` to each physically contiguous chunk of the virtual range.
-    fn for_each_chunk<F>(
-        &self,
-        mem: &MemorySystem,
-        va: VirtAddr,
-        len: u64,
-        mut f: F,
-    ) -> Result<()>
+    fn for_each_chunk<F>(&self, mem: &MemorySystem, va: VirtAddr, len: u64, mut f: F) -> Result<()>
     where
         F: FnMut(&MemorySystem, PhysAddr, (usize, usize)) -> Result<()>,
     {
@@ -271,7 +260,9 @@ mod tests {
         let va = space
             .alloc_buffer(&mut mem, &mut frames, 3 * PAGE_SIZE)
             .unwrap();
-        let data: Vec<u8> = (0..(3 * PAGE_SIZE) as usize).map(|i| (i % 253) as u8).collect();
+        let data: Vec<u8> = (0..(3 * PAGE_SIZE) as usize)
+            .map(|i| (i % 253) as u8)
+            .collect();
         space.write_virt(&mut mem, va, &data).unwrap();
         let mut back = vec![0u8; data.len()];
         space.read_virt(&mem, va, &mut back).unwrap();
@@ -317,7 +308,14 @@ mod tests {
         let target = PhysAddr::new(0x8000_0000 + 0x10_0000);
         let va = VirtAddr::new(0x2000_0000);
         space
-            .map_external(&mut mem, &mut frames, va, target, PAGE_SIZE, PteFlags::user_rw())
+            .map_external(
+                &mut mem,
+                &mut frames,
+                va,
+                target,
+                PAGE_SIZE,
+                PteFlags::user_rw(),
+            )
             .unwrap();
         assert_eq!(space.translate(&mem, va).unwrap(), target);
     }

@@ -1,0 +1,126 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! The environment this workspace builds in has no network access, so the
+//! real statistical harness is unavailable. This stub keeps `cargo bench`
+//! (and `cargo test --benches`) compiling and *executing* every benchmark
+//! body: each `Bencher::iter` closure runs a small fixed number of times and
+//! the wall-clock mean is printed. Numbers are indicative only — swap the
+//! `support/criterion` path entry in the workspace manifest for the real
+//! crates.io `criterion` to get proper statistics.
+
+use std::time::Instant;
+
+/// Iterations each benchmark body is executed by the stub.
+const STUB_ITERS: u32 = 3;
+
+/// Run-once replacement for `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::sample_size` (recorded but unused by the stub).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_named(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Run-once replacement for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_named(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Replacement for `criterion::Bencher`: runs the body a fixed number of
+/// times and records the mean wall-clock time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Executes `f` [`STUB_ITERS`] times, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            black_box(f());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / f64::from(STUB_ITERS);
+    }
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    println!(
+        "bench {name}: {:.0} ns/iter (criterion stub)",
+        b.nanos_per_iter
+    );
+}
+
+/// Identity function mirroring `criterion::black_box` well enough for the
+/// stub's purposes (prevents trivial dead-code elimination of results).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Mirrors `criterion_group!`; only the `name/config/targets` form used in
+/// this workspace is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The simulation crates tag their statistics and configuration types with
+//! `#[derive(Serialize, Deserialize)]` so they stay ready for structured
+//! export, but no code path serializes through serde (the bench drivers emit
+//! JSON by hand). This crate provides the two marker traits and re-exports
+//! the no-op derives from [`serde_derive`], which is all the workspace needs
+//! to build without network access. Replace the `support/serde` path entry in
+//! the workspace manifest with the real crates.io `serde` to get functional
+//! serialization back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in the offline build.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker;
+//! nothing serializes through serde at runtime (JSON output is hand-rolled in
+//! `sva_bench`). These derives therefore expand to nothing, which keeps every
+//! `derive` attribute in the tree compiling without network access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
