@@ -1,6 +1,14 @@
 //! The fabric-scaling sweep driver: cluster count × platform variant × DRAM
-//! latency, fanned out across worker threads, with per-initiator contention
-//! statistics.
+//! latency × channel count × arbitration policy, fanned out across worker
+//! threads, with per-initiator and per-channel contention statistics.
+//!
+//! Two sub-grids are measured:
+//!
+//! * the **scaling grid** — clusters × variants × latencies at the baseline
+//!   fabric (one channel, round-robin), the PR 1 perf trajectory;
+//! * the **QoS grid** — channels {1, 2, 4} × every arbitration policy at the
+//!   highest cluster count on the IOMMU+LLC variant, which is where the
+//!   bandwidth and fairness knobs actually bite.
 //!
 //! Prints the scaling table and writes the machine-readable results to
 //! `BENCH_fabric.json` (override with `--out <path>`), so successive PRs
@@ -10,6 +18,7 @@
 
 use sva_bench::par::par_map;
 use sva_bench::{parse_args, with_banner, RunSize};
+use sva_common::ArbitrationPolicy;
 use sva_kernels::KernelKind;
 use sva_soc::config::SocVariant;
 use sva_soc::experiments::fabric::{self, FabricSweepResult};
@@ -38,25 +47,59 @@ fn main() {
     ];
     let kernel = KernelKind::Gemm;
     let paper_size = size == RunSize::Paper;
+    let max_clusters = *clusters.last().expect("non-empty cluster list");
 
+    // Scaling grid: the PR 1 trajectory at the baseline fabric.
     let mut grid = Vec::new();
     for &n in clusters {
         for &variant in &variants {
             for &latency in &latencies {
-                grid.push((n, variant, latency));
+                grid.push((n, variant, latency, 1usize, ArbitrationPolicy::RoundRobin));
             }
         }
     }
+    // QoS grid: channel and policy knobs under maximal contention. The
+    // single-channel round-robin corner is already in the scaling grid.
+    let base_latency = latencies[0];
+    let policies = [
+        ArbitrationPolicy::RoundRobin,
+        ArbitrationPolicy::Weighted(
+            (0..max_clusters)
+                .map(|i| 1 << (max_clusters - 1 - i))
+                .map(|w: usize| w as u32)
+                .collect(),
+        ),
+        ArbitrationPolicy::FixedPriority,
+    ];
+    for &channels in &[1usize, 2, 4] {
+        for policy in &policies {
+            if channels == 1 && *policy == ArbitrationPolicy::RoundRobin {
+                continue;
+            }
+            grid.push((
+                max_clusters,
+                SocVariant::IommuLlc,
+                base_latency,
+                channels,
+                policy.clone(),
+            ));
+        }
+    }
 
-    let points = par_map(grid, |(n, variant, latency)| {
-        fabric::run_point(kernel, paper_size, n, variant, latency)
-            .unwrap_or_else(|e| panic!("fabric point {n}x {variant:?} @{latency} failed: {e:?}"))
+    let points = par_map(grid, |(n, variant, latency, channels, policy)| {
+        fabric::run_point(kernel, paper_size, n, variant, latency, channels, &policy)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "fabric point {n}x {variant:?} @{latency} ch{channels} {policy:?} failed: {e:?}"
+                )
+            })
     });
     let result = FabricSweepResult { points };
 
-    with_banner("Fabric scaling: clusters x variant x DRAM latency", || {
-        result.render()
-    });
+    with_banner(
+        "Fabric scaling: clusters x variant x latency x channels x policy",
+        || result.render(),
+    );
 
     let path = out_path();
     std::fs::write(&path, result.to_json()).expect("write BENCH_fabric.json");

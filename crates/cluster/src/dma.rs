@@ -81,6 +81,10 @@ pub struct DmaConfig {
     pub issue_overhead: Cycles,
     /// Device ID presented to the IOMMU for data traffic.
     pub device_id: u32,
+    /// Arbitration priority the engine's bursts present at the fabric port
+    /// (see `ArbitrationPolicy` in `sva_common`). Zero — the default — keeps
+    /// the engine in the normal arbitration pool.
+    pub priority: u8,
 }
 
 impl Default for DmaConfig {
@@ -90,6 +94,7 @@ impl Default for DmaConfig {
             max_outstanding: 2,
             issue_overhead: Cycles::new(20),
             device_id: 1,
+            priority: 0,
         }
     }
 }
@@ -203,17 +208,27 @@ impl DmaEngine {
                 // contention is observable in the fabric statistics.
                 let initiator = InitiatorId::dma(self.config.device_id);
                 let chunk = &mut buf[..burst.len as usize];
+                let priority = self.config.priority;
                 let timing = match req.dir {
                     Direction::ToTcdm => {
-                        let rsp =
-                            mem.access(MemReq::read(initiator, pa, chunk).burst().at(issue_t))?;
+                        let rsp = mem.access(
+                            MemReq::read(initiator, pa, chunk)
+                                .burst()
+                                .priority(priority)
+                                .at(issue_t),
+                        )?;
                         tcdm.write(req.tcdm_offset + done, chunk)?;
                         rsp.timing
                     }
                     Direction::FromTcdm => {
                         tcdm.read(req.tcdm_offset + done, chunk)?;
-                        mem.access(MemReq::write(initiator, pa, chunk).burst().at(issue_t))?
-                            .timing
+                        mem.access(
+                            MemReq::write(initiator, pa, chunk)
+                                .burst()
+                                .priority(priority)
+                                .at(issue_t),
+                        )?
+                        .timing
                     }
                 };
                 let data_start = (issue_t + timing.latency).max(data_bus_free);

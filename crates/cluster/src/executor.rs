@@ -136,6 +136,10 @@ impl ClusterExecutor {
             ..KernelRunStats::default()
         };
         if n == 0 {
+            // Empty shard (static block scheduling can hand a cluster zero
+            // tiles): snapshot the engine accounting like the normal exit
+            // path does, so both exits report the same way.
+            stats.dma = *self.dma.stats();
             return Ok(stats);
         }
 

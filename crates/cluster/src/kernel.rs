@@ -214,6 +214,60 @@ mod tests {
     }
 
     #[test]
+    fn block_partition_with_more_shards_than_tiles_leaves_empty_tails() {
+        // tiles < num_clusters: the first `total` shards take one tile each,
+        // the tail shards are empty ranges anchored at `total`.
+        let blocks = block_partition(3, 8);
+        assert_eq!(blocks.len(), 8);
+        assert_eq!(&blocks[..3], &[(0, 1), (1, 1), (2, 1)]);
+        for &(start, len) in &blocks[3..] {
+            assert_eq!((start, len), (3, 0));
+        }
+    }
+
+    #[test]
+    fn empty_tile_range_is_valid_and_runs_to_zero_stats() {
+        use crate::executor::ClusterExecutor;
+        use sva_iommu::{Iommu, IommuConfig};
+        use sva_mem::MemorySystem;
+
+        struct Three;
+        impl DeviceKernel for Three {
+            fn name(&self) -> &str {
+                "three"
+            }
+            fn num_tiles(&self) -> usize {
+                3
+            }
+            fn tile_io(&self, _tile: usize) -> TileIo {
+                TileIo::new()
+            }
+            fn compute_tile(&mut self, _tile: usize, _tcdm: &mut Tcdm) -> Result<Cycles> {
+                Ok(Cycles::new(100))
+            }
+        }
+
+        // The partition tail shard: start == num_tiles, len == 0.
+        let mut shard = TileRange::new(Three, 3, 0);
+        assert_eq!(shard.num_tiles(), 0);
+        assert_eq!(shard.start(), 3);
+
+        let mut mem = MemorySystem::default();
+        let mut iommu = Iommu::new(IommuConfig::disabled());
+        let mut exec = ClusterExecutor::default();
+        // Dirty the engine with a real run first: the empty shard must
+        // report fresh zeroes, not the previous run's accounting.
+        exec.run(&mut mem, &mut iommu, &mut TileRange::new(Three, 0, 3))
+            .unwrap();
+        let stats = exec.run(&mut mem, &mut iommu, &mut shard).unwrap();
+        assert_eq!(stats.tiles, 0);
+        assert_eq!(stats.total, Cycles::ZERO);
+        assert_eq!(stats.compute, Cycles::ZERO);
+        assert_eq!(stats.dma_wait, Cycles::ZERO);
+        assert_eq!(stats.dma.requests, 0, "no stale DMA accounting");
+    }
+
+    #[test]
     #[should_panic(expected = "exceeds")]
     fn tile_range_rejects_out_of_bounds() {
         struct Two;

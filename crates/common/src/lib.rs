@@ -44,7 +44,9 @@ pub mod prelude {
     pub use crate::addr::{Iova, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
     pub use crate::cycles::{ClockDomain, Cycles};
     pub use crate::error::{Error, Result};
-    pub use crate::port::{InitiatorClass, InitiatorId, MemPortReq, PortDir, PortTiming};
+    pub use crate::port::{
+        ArbitrationPolicy, InitiatorClass, InitiatorId, MemPortReq, PortDir, PortTiming,
+    };
     pub use crate::size::{GIB, KIB, MIB};
     pub use crate::stats::{Counter, RunningStats};
 }
@@ -52,5 +54,7 @@ pub mod prelude {
 pub use addr::{Iova, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
 pub use cycles::{ClockDomain, Cycles};
 pub use error::{Error, Result};
-pub use port::{InitiatorClass, InitiatorId, InitiatorStats, MemPortReq, PortDir, PortTiming};
+pub use port::{
+    ArbitrationPolicy, InitiatorClass, InitiatorId, InitiatorStats, MemPortReq, PortDir, PortTiming,
+};
 pub use size::{GIB, KIB, MIB};

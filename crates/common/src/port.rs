@@ -82,6 +82,67 @@ pub enum InitiatorClass {
     Ptw,
 }
 
+/// Pluggable arbitration policy of the shared memory fabric.
+///
+/// The policy decides which already-reserved bus intervals a new grant must
+/// queue behind on its channel timeline (the mechanics live in
+/// `sva_mem::fabric`; this vocabulary type lives here so configuration layers
+/// can name a policy without depending on the fabric implementation).
+///
+/// * [`ArbitrationPolicy::RoundRobin`] — first-fit placement in simulation
+///   order, exactly the PR 1 contention model. A [`MemPortReq::priority`]
+///   above zero wins arbitration outright.
+/// * [`ArbitrationPolicy::Weighted`] — deficit-weighted QoS: an initiator
+///   whose accumulated weighted service lags the conflicting reservation's
+///   owner is granted at its arrival instead of queueing. Weights apply to
+///   timed initiators in the order they first reserve the bus (on the
+///   platform this is cluster shard order); missing entries default to 1.
+///   [`MemPortReq::priority`] is ignored — priorities cannot defeat the
+///   configured service split.
+/// * [`ArbitrationPolicy::FixedPriority`] — strict ordering by
+///   [`MemPortReq::priority`]: a grant queues exactly behind conflicting
+///   reservations of equal or higher priority and ignores lower ones.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbitrationPolicy {
+    /// First-fit interval placement (the PR 1 model); the default.
+    #[default]
+    RoundRobin,
+    /// Deficit-weighted arbitration with one weight per timed initiator (in
+    /// first-reservation order); missing or zero weights count as 1.
+    Weighted(Vec<u32>),
+    /// Strict priority ordering by [`MemPortReq::priority`].
+    FixedPriority,
+}
+
+impl ArbitrationPolicy {
+    /// Stable label for tables and JSON output (e.g. `weighted[4,1]`).
+    pub fn label(&self) -> String {
+        match self {
+            ArbitrationPolicy::RoundRobin => "round_robin".to_string(),
+            ArbitrationPolicy::Weighted(w) => {
+                let ws: Vec<String> = w.iter().map(u32::to_string).collect();
+                format!("weighted[{}]", ws.join(","))
+            }
+            ArbitrationPolicy::FixedPriority => "fixed_priority".to_string(),
+        }
+    }
+
+    /// The weight of the `timed_index`-th timed initiator under this policy.
+    /// Non-weighted policies and missing/zero entries weigh 1.
+    pub fn weight(&self, timed_index: usize) -> u32 {
+        match self {
+            ArbitrationPolicy::Weighted(w) => w.get(timed_index).copied().unwrap_or(1).max(1),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for ArbitrationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// Direction of a fabric access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PortDir {
@@ -222,6 +283,21 @@ impl InitiatorStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arbitration_policy_labels_and_weights() {
+        assert_eq!(ArbitrationPolicy::default(), ArbitrationPolicy::RoundRobin);
+        assert_eq!(ArbitrationPolicy::RoundRobin.label(), "round_robin");
+        assert_eq!(ArbitrationPolicy::FixedPriority.label(), "fixed_priority");
+        let w = ArbitrationPolicy::Weighted(vec![4, 0, 2]);
+        assert_eq!(w.label(), "weighted[4,0,2]");
+        assert_eq!(w.weight(0), 4);
+        assert_eq!(w.weight(1), 1, "zero weights clamp to 1");
+        assert_eq!(w.weight(2), 2);
+        assert_eq!(w.weight(9), 1, "missing weights default to 1");
+        assert_eq!(ArbitrationPolicy::RoundRobin.weight(0), 1);
+        assert_eq!(w.to_string(), "weighted[4,0,2]");
+    }
 
     #[test]
     fn initiator_classes_and_labels() {

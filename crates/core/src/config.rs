@@ -16,10 +16,10 @@
 
 use serde::{Deserialize, Serialize};
 use sva_cluster::{ClusterConfig, DmaConfig};
-use sva_common::Cycles;
+use sva_common::{ArbitrationPolicy, Cycles};
 use sva_host::{DriverConfig, HostCpuConfig, InterferenceLevel};
 use sva_iommu::{IommuConfig, IommuMode};
-use sva_mem::{LlcConfig, MemSysConfig};
+use sva_mem::{DramChannelConfig, LlcConfig, MemSysConfig};
 
 /// The three platform variants of the evaluation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -64,7 +64,7 @@ impl SocVariant {
 pub const PAPER_LATENCIES: [u64; 3] = [200, 600, 1000];
 
 /// Full configuration of a platform instance.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PlatformConfig {
     /// Which of the paper's variants this is.
     pub variant: SocVariant,
@@ -86,6 +86,14 @@ pub struct PlatformConfig {
     /// The paper's prototype has one; offloads are sharded across clusters
     /// with static block scheduling when more are instantiated.
     pub num_clusters: usize,
+    /// Fabric arbitration priority of each cluster's DMA engine (index =
+    /// cluster; missing entries default to 0). Pair with
+    /// [`ArbitrationPolicy::FixedPriority`] for strict ordering. Beware:
+    /// under the default `RoundRobin` policy a non-zero priority takes the
+    /// win-outright escape hatch — that cluster's bursts never queue, which
+    /// disables contention modelling for it; under `Weighted` priorities
+    /// are ignored.
+    pub cluster_priorities: Vec<u8>,
     /// Seed for all stochastic components of a run.
     pub seed: u64,
 }
@@ -124,6 +132,7 @@ impl PlatformConfig {
             driver: DriverConfig::default(),
             interference: InterferenceLevel::Idle,
             num_clusters: 1,
+            cluster_priorities: Vec::new(),
             seed: 0x5EED,
         }
     }
@@ -186,6 +195,38 @@ impl PlatformConfig {
     /// queueing it measures (contention becomes part of reported latencies).
     pub fn with_fabric_contention(mut self) -> Self {
         self.mem.fabric.contention_enabled = true;
+        self
+    }
+
+    /// Returns a copy whose DRAM backend is split into `n` page-interleaved
+    /// channels (clamped to at least one; `n = 1` is the paper's single
+    /// shared data path).
+    pub fn with_memory_channels(mut self, n: usize) -> Self {
+        self.mem.fabric.channels = DramChannelConfig {
+            num_channels: n.max(1),
+            ..self.mem.fabric.channels
+        };
+        self
+    }
+
+    /// Returns a copy with a fully specified multi-channel DRAM geometry
+    /// (channel count, rank folding, interleave granule).
+    pub fn with_channel_config(mut self, channels: DramChannelConfig) -> Self {
+        self.mem.fabric.channels = channels;
+        self
+    }
+
+    /// Returns a copy using the given fabric arbitration policy.
+    pub fn with_arbitration(mut self, policy: ArbitrationPolicy) -> Self {
+        self.mem.fabric.policy = policy;
+        self
+    }
+
+    /// Returns a copy giving cluster `i` the DMA arbitration priority
+    /// `priorities[i]` (missing entries default to 0). Pair with
+    /// [`ArbitrationPolicy::FixedPriority`] for strict QoS ordering.
+    pub fn with_cluster_priorities(mut self, priorities: Vec<u8>) -> Self {
+        self.cluster_priorities = priorities;
         self
     }
 }

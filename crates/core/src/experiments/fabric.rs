@@ -33,7 +33,8 @@ use crate::config::{PlatformConfig, SocVariant};
 use crate::offload::OffloadRunner;
 use crate::platform::Platform;
 use crate::report::{percent, sci, TextTable};
-use sva_common::Result;
+use sva_common::{ArbitrationPolicy, Result};
+use sva_mem::ChannelStats;
 
 /// Per-initiator numbers of one measurement point.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -52,6 +53,15 @@ pub struct InitiatorRow {
     pub contended_grants: u64,
 }
 
+/// Per-channel numbers of one measurement point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChannelRow {
+    /// Channel index.
+    pub channel: usize,
+    /// The channel's fabric-port accounting (see `sva_mem::channels`).
+    pub stats: ChannelStats,
+}
+
 /// One measurement point of the sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FabricPoint {
@@ -63,6 +73,11 @@ pub struct FabricPoint {
     pub variant: SocVariant,
     /// DRAM latency (delayer cycles).
     pub dram_latency: u64,
+    /// Number of DRAM channels.
+    pub channels: usize,
+    /// Arbitration policy label (`round_robin`, `weighted[..]`,
+    /// `fixed_priority`).
+    pub policy: String,
     /// Device wall-clock cycles (slowest shard).
     pub total: u64,
     /// Aggregate compute cycles across shards.
@@ -77,6 +92,8 @@ pub struct FabricPoint {
     pub grant_switches: u64,
     /// Per-initiator fabric statistics.
     pub initiators: Vec<InitiatorRow>,
+    /// Per-channel DRAM statistics.
+    pub per_channel: Vec<ChannelRow>,
 }
 
 impl FabricPoint {
@@ -94,11 +111,29 @@ pub struct FabricSweepResult {
 }
 
 impl FabricSweepResult {
-    /// Finds the point for a given combination.
+    /// Finds the point for a given cluster/variant/latency combination with
+    /// the given channel count and policy label.
+    pub fn get_with(
+        &self,
+        clusters: usize,
+        variant: SocVariant,
+        latency: u64,
+        channels: usize,
+        policy: &str,
+    ) -> Option<&FabricPoint> {
+        self.points.iter().find(|p| {
+            p.clusters == clusters
+                && p.variant == variant
+                && p.dram_latency == latency
+                && p.channels == channels
+                && p.policy == policy
+        })
+    }
+
+    /// Finds the baseline point (single channel, round-robin) for a given
+    /// cluster/variant/latency combination.
     pub fn get(&self, clusters: usize, variant: SocVariant, latency: u64) -> Option<&FabricPoint> {
-        self.points
-            .iter()
-            .find(|p| p.clusters == clusters && p.variant == variant && p.dram_latency == latency)
+        self.get_with(clusters, variant, latency, 1, "round_robin")
     }
 
     /// Renders the scaling table: one row per point with wall-clock, speedup
@@ -108,6 +143,8 @@ impl FabricSweepResult {
             "Clusters",
             "Config",
             "Latency",
+            "Ch",
+            "Policy",
             "Wall cyc",
             "Speedup",
             "%DMA",
@@ -117,7 +154,8 @@ impl FabricSweepResult {
         ]);
         for p in &self.points {
             let speedup = self
-                .get(1, p.variant, p.dram_latency)
+                .get_with(1, p.variant, p.dram_latency, p.channels, &p.policy)
+                .or_else(|| self.get(1, p.variant, p.dram_latency))
                 .map(|one| one.total as f64 / p.total as f64)
                 .map(|s| format!("{s:.2}x"))
                 .unwrap_or_else(|| "-".to_string());
@@ -130,6 +168,8 @@ impl FabricSweepResult {
                 p.clusters.to_string(),
                 p.variant.label().to_string(),
                 p.dram_latency.to_string(),
+                p.channels.to_string(),
+                p.policy.clone(),
                 sci(p.total),
                 speedup,
                 percent(dma_share),
@@ -162,15 +202,33 @@ impl FabricSweepResult {
                     )
                 })
                 .collect();
+            let channels: Vec<String> = p
+                .per_channel
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"channel\": {}, \"grants\": {}, \"bytes\": {}, \
+                         \"occupancy_cycles\": {}, \"queue_cycles\": {}}}",
+                        c.channel,
+                        c.stats.grants,
+                        c.stats.bytes,
+                        c.stats.occupancy_cycles,
+                        c.stats.queue_cycles
+                    )
+                })
+                .collect();
             out.push_str(&format!(
                 "    {{\"kernel\": \"{}\", \"clusters\": {}, \"variant\": \"{}\", \
-                 \"dram_latency\": {}, \"total\": {}, \"compute\": {}, \"dma_wait\": {}, \
+                 \"dram_latency\": {}, \"channels\": {}, \"policy\": \"{}\", \
+                 \"total\": {}, \"compute\": {}, \"dma_wait\": {}, \
                  \"iotlb_hit_rate\": {:.6}, \"verified\": {}, \"grant_switches\": {}, \
-                 \"initiators\": [{}]}}{}\n",
+                 \"initiators\": [{}], \"per_channel\": [{}]}}{}\n",
                 p.kernel,
                 p.clusters,
                 p.variant.label(),
                 p.dram_latency,
+                p.channels,
+                p.policy,
                 p.total,
                 p.compute,
                 p.dma_wait,
@@ -178,6 +236,7 @@ impl FabricSweepResult {
                 p.verified,
                 p.grant_switches,
                 initiators.join(", "),
+                channels.join(", "),
                 if i + 1 == self.points.len() { "" } else { "," }
             ));
         }
@@ -186,8 +245,15 @@ impl FabricSweepResult {
     }
 }
 
-/// Measures one (kernel, clusters, variant, latency) combination on a fresh
-/// platform with fabric-contention charging enabled.
+/// Measures one (kernel, clusters, variant, latency, channels, policy)
+/// combination on a fresh platform with fabric-contention charging enabled.
+///
+/// Under [`ArbitrationPolicy::FixedPriority`] cluster `i` is given DMA
+/// priority `i`, so the strict ordering is observable: shards are simulated
+/// in cluster order, and first-fit placement already lets the earliest
+/// shard reserve first — ascending priorities let *later* shards outrank
+/// those earlier reservations, which is exactly the part round-robin cannot
+/// express (descending or equal priorities would degenerate to it).
 ///
 /// # Errors
 ///
@@ -198,15 +264,22 @@ pub fn run_point(
     clusters: usize,
     variant: SocVariant,
     latency: u64,
+    channels: usize,
+    policy: &ArbitrationPolicy,
 ) -> Result<FabricPoint> {
     let workload = if paper_size {
         kind.paper_workload()
     } else {
         kind.small_workload()
     };
-    let config = PlatformConfig::variant(variant, latency)
+    let mut config = PlatformConfig::variant(variant, latency)
         .with_clusters(clusters)
-        .with_fabric_contention();
+        .with_fabric_contention()
+        .with_memory_channels(channels)
+        .with_arbitration(policy.clone());
+    if matches!(policy, ArbitrationPolicy::FixedPriority) {
+        config = config.with_cluster_priorities((0..clusters).map(|i| i as u8).collect());
+    }
     let mut platform = Platform::new(config)?;
     let report = OffloadRunner::new(0xFAB).run_device_only(&mut platform, workload.as_ref())?;
 
@@ -224,11 +297,21 @@ pub fn run_point(
         })
         .collect();
 
+    let per_channel = platform
+        .mem
+        .channel_stats()
+        .into_iter()
+        .enumerate()
+        .map(|(channel, stats)| ChannelRow { channel, stats })
+        .collect();
+
     Ok(FabricPoint {
         kernel: workload.name().to_string(),
         clusters,
         variant,
         dram_latency: latency,
+        channels: platform.mem.fabric().channel_count(),
+        policy: policy.label(),
         total: report.stats.total.raw(),
         compute: report.stats.compute.raw(),
         dma_wait: report.stats.dma_wait.raw(),
@@ -236,6 +319,7 @@ pub fn run_point(
         verified: report.verified,
         grant_switches: platform.mem.fabric().grant_switches(),
         initiators,
+        per_channel,
     })
 }
 
@@ -251,14 +335,20 @@ pub fn run(
     clusters: &[usize],
     variants: &[SocVariant],
     latencies: &[u64],
+    channels: &[usize],
+    policies: &[ArbitrationPolicy],
 ) -> Result<FabricSweepResult> {
     let mut result = FabricSweepResult::default();
     for &n in clusters {
         for &variant in variants {
             for &latency in latencies {
-                result
-                    .points
-                    .push(run_point(kind, paper_size, n, variant, latency)?);
+                for &ch in channels {
+                    for policy in policies {
+                        result.points.push(run_point(
+                            kind, paper_size, n, variant, latency, ch, policy,
+                        )?);
+                    }
+                }
             }
         }
     }
@@ -277,6 +367,8 @@ mod tests {
             &[1, 2, 4],
             &[SocVariant::IommuLlc],
             &[200],
+            &[1],
+            &[ArbitrationPolicy::RoundRobin],
         )
         .unwrap();
         assert_eq!(result.points.len(), 3);
@@ -308,13 +400,69 @@ mod tests {
             &[1, 2],
             &[SocVariant::Baseline, SocVariant::IommuLlc],
             &[200],
+            &[2],
+            &[ArbitrationPolicy::RoundRobin],
         )
         .unwrap();
         let text = result.render();
         assert!(text.contains("Baseline") && text.contains("IOMMU+LLC"));
+        assert!(text.contains("round_robin"));
         let json = result.to_json();
         assert_eq!(json.matches("\"kernel\"").count(), 4);
         assert!(json.contains("\"initiators\""));
         assert!(json.contains("dma[1]"));
+        assert!(json.contains("\"channels\": 2"));
+        assert!(json.contains("\"policy\": \"round_robin\""));
+        assert!(json.contains("\"per_channel\""));
+    }
+
+    #[test]
+    fn more_channels_do_not_slow_a_contended_platform() {
+        // The acceptance criterion of the multi-channel backend: at 4
+        // clusters, wall-clock is monotonically non-increasing as the DRAM
+        // path splits 1 → 2 → 4 ways.
+        let totals: Vec<u64> = [1usize, 2, 4]
+            .iter()
+            .map(|&ch| {
+                run_point(
+                    KernelKind::Gemm,
+                    false,
+                    4,
+                    SocVariant::IommuLlc,
+                    200,
+                    ch,
+                    &ArbitrationPolicy::RoundRobin,
+                )
+                .unwrap()
+                .total
+            })
+            .collect();
+        assert!(
+            totals[0] >= totals[1] && totals[1] >= totals[2],
+            "wall-clock must not grow with channels: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn policies_sweep_and_verify() {
+        for policy in [
+            ArbitrationPolicy::RoundRobin,
+            ArbitrationPolicy::Weighted(vec![4, 2, 1, 1]),
+            ArbitrationPolicy::FixedPriority,
+        ] {
+            let p = run_point(
+                KernelKind::Axpy,
+                false,
+                4,
+                SocVariant::IommuLlc,
+                200,
+                2,
+                &policy,
+            )
+            .unwrap();
+            assert!(p.verified, "{policy:?} run must verify");
+            assert_eq!(p.policy, policy.label());
+            assert_eq!(p.per_channel.len(), 2);
+        }
     }
 }

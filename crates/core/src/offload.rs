@@ -231,6 +231,12 @@ impl OffloadRunner {
     /// shares the IOMMU and the memory fabric. Returns the parallel-merged
     /// breakdown (wall-clock = slowest shard) plus the per-cluster shards.
     ///
+    /// When the workload has fewer tiles than the platform has clusters, the
+    /// tail clusters receive empty [`TileRange`] shards and report zero
+    /// stats without instantiating a kernel — the executor path would
+    /// return the same zeroes for an empty shard (a unit-tested
+    /// equivalence in `sva_cluster::kernel`), so the shortcut cannot drift.
+    ///
     /// With one cluster this degenerates to exactly the paper's single
     /// `ClusterExecutor::run` call.
     fn run_device_sharded(
@@ -246,6 +252,12 @@ impl OffloadRunner {
         let mut override_iommu = iommu_override;
         for (cluster_idx, (start, len)) in blocks.into_iter().enumerate() {
             if len == 0 {
+                // Empty tail shard: skip building a whole kernel instance
+                // (sort's, for one, allocates n-element mirrors) to run zero
+                // tiles. Default stats are exactly what the executor returns
+                // for an empty shard — pinned by
+                // `empty_tile_range_is_valid_and_runs_to_zero_stats` in
+                // `sva_cluster::kernel`.
                 shards.push(KernelRunStats::default());
                 continue;
             }
@@ -683,6 +695,36 @@ mod tests {
             let slowest = report.per_cluster.iter().map(|s| s.total).max().unwrap();
             assert_eq!(report.stats.total, slowest);
         }
+    }
+
+    #[test]
+    fn more_clusters_than_tiles_runs_empty_shards_cleanly() {
+        // axpy at 10k elements has 3 tiles; shard it across 8 clusters.
+        let small = AxpyWorkload::with_elems(10_000);
+        let big = GemmWorkload::with_dim(96);
+        let config = PlatformConfig::iommu_with_llc(200).with_clusters(8);
+        let mut platform = Platform::new(config).unwrap();
+        let runner = OffloadRunner::new(17);
+        // First occupy every cluster so their DMA engines accumulate stats.
+        let warm = runner.run_device_only(&mut platform, &big).unwrap();
+        assert!(warm.per_cluster.iter().all(|s| s.dma.bytes > 0));
+        // Then the 3-tile workload: the 5 idle clusters report zeroes.
+        let report = runner.run_device_only(&mut platform, &small).unwrap();
+        assert!(report.verified);
+        assert_eq!(report.per_cluster.len(), 8);
+        assert_eq!(
+            report.per_cluster.iter().filter(|s| s.tiles > 0).count(),
+            3,
+            "exactly one shard per tile"
+        );
+        for idle in &report.per_cluster[3..] {
+            assert_eq!(idle.tiles, 0);
+            assert_eq!(idle.total, Cycles::ZERO);
+            assert_eq!(idle.dma.bytes, 0, "idle shard must report zero DMA stats");
+        }
+        assert_eq!(report.stats.tiles, 3);
+        let slowest = report.per_cluster.iter().map(|s| s.total).max().unwrap();
+        assert_eq!(report.stats.total, slowest);
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl Platform {
     /// Returns allocation failures while setting up the address space or the
     /// IOMMU structures.
     pub fn new(config: PlatformConfig) -> Result<Self> {
-        let mut mem = MemorySystem::new(config.mem);
+        let mut mem = MemorySystem::new(config.mem.clone());
         mem.set_interference(config.interference.to_config(config.seed ^ 0xA11CE));
 
         let mut cpu = HostCpu::new(config.cpu);
@@ -69,6 +69,7 @@ impl Platform {
             .map(|i| {
                 let mut cluster_cfg = config.cluster;
                 cluster_cfg.dma.device_id = config.driver.device_id + 2 * i as u32;
+                cluster_cfg.dma.priority = config.cluster_priorities.get(i).copied().unwrap_or(0);
                 ClusterExecutor::new(cluster_cfg)
             })
             .collect();

@@ -1,0 +1,106 @@
+//! Golden regression tests: pinned end-to-end device cycle counts for the
+//! small kernel suite at 1 and 4 clusters, so arbitration and channel
+//! refactors fail loudly instead of silently drifting the timing model.
+//!
+//! The pinned numbers were produced by this exact configuration (seed
+//! `0x601D`, IOMMU+LLC variant at 200 delayer cycles, fabric contention
+//! charged) and are fully deterministic: workload data comes from
+//! `DeterministicRng` and all timing is integer cycle arithmetic. If a
+//! change legitimately alters cycle counts, update the table **in the same
+//! commit** and call the change out in the PR description.
+//!
+//! `sort` is pinned at one cluster only: its merge-path partitioning keeps
+//! per-kernel-instance mirrors of the working arrays, so sharding it across
+//! clusters is a known functional limitation (see ROADMAP).
+
+use sva_kernels::KernelKind;
+use sva_soc::config::PlatformConfig;
+use sva_soc::offload::OffloadRunner;
+use sva_soc::platform::Platform;
+
+const GOLDEN_SEED: u64 = 0x601D;
+const GOLDEN_LATENCY: u64 = 200;
+
+/// (kernel, clusters, device wall-clock cycles).
+const GOLDEN: &[(KernelKind, usize, u64)] = &[
+    (KernelKind::Axpy, 1, 18_151),
+    (KernelKind::Axpy, 4, 15_236),
+    (KernelKind::Gemm, 1, 245_041),
+    (KernelKind::Gemm, 4, 98_455),
+    (KernelKind::Gesummv, 1, 38_714),
+    (KernelKind::Gesummv, 4, 20_379),
+    (KernelKind::Heat3d, 1, 90_652),
+    (KernelKind::Heat3d, 4, 31_903),
+    (KernelKind::Sort, 1, 1_361_325),
+];
+
+fn golden_config(clusters: usize) -> PlatformConfig {
+    PlatformConfig::iommu_with_llc(GOLDEN_LATENCY)
+        .with_clusters(clusters)
+        .with_fabric_contention()
+}
+
+fn device_total(config: PlatformConfig, kind: KernelKind) -> u64 {
+    let wl = kind.small_workload();
+    let mut platform = Platform::new(config).unwrap();
+    let report = OffloadRunner::new(GOLDEN_SEED)
+        .run_device_only(&mut platform, wl.as_ref())
+        .unwrap();
+    assert!(report.verified, "{kind:?} golden run must verify");
+    report.stats.total.raw()
+}
+
+#[test]
+fn pinned_cycle_counts_hold() {
+    let mut failures = Vec::new();
+    for &(kind, clusters, expected) in GOLDEN {
+        let actual = device_total(golden_config(clusters), kind);
+        if actual != expected {
+            failures.push(format!(
+                "{kind:?} @ {clusters} cluster(s): pinned {expected}, measured {actual}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden cycle counts drifted:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// The explicit baseline fabric — one DRAM channel, round-robin arbitration
+/// — is cycle-identical to the default configuration (which is the PR 1
+/// single-timeline model): the channel/policy layer costs nothing when
+/// dialled back to the paper's prototype.
+#[test]
+fn single_channel_round_robin_is_cycle_identical_to_default() {
+    use sva_common::ArbitrationPolicy;
+    for &(kind, clusters, expected) in GOLDEN {
+        let explicit = golden_config(clusters)
+            .with_memory_channels(1)
+            .with_arbitration(ArbitrationPolicy::RoundRobin);
+        let actual = device_total(explicit, kind);
+        assert_eq!(
+            actual, expected,
+            "{kind:?} @ {clusters}: explicit 1-channel round-robin diverged from the default"
+        );
+    }
+}
+
+/// Multi-channel splits must never slow the contended platform down, and
+/// the pinned 4-cluster numbers are an upper bound for every wider split.
+#[test]
+fn more_channels_never_exceed_the_pinned_single_channel_counts() {
+    for &(kind, clusters, expected) in GOLDEN {
+        if clusters == 1 {
+            continue;
+        }
+        for channels in [2usize, 4] {
+            let actual = device_total(golden_config(clusters).with_memory_channels(channels), kind);
+            assert!(
+                actual <= expected,
+                "{kind:?} @ {clusters} with {channels} channels took {actual} > pinned {expected}"
+            );
+        }
+    }
+}

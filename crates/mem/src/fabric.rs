@@ -2,22 +2,25 @@
 //!
 //! Every timed access entering [`crate::MemorySystem::access`] passes through
 //! the [`Fabric`]: it registers the initiator on first contact, keeps
-//! per-initiator [`InitiatorStats`], and models the shared DRAM data bus as a
-//! virtual timeline so overlapping traffic from *different* initiators is
-//! observed as queueing (contention).
+//! per-initiator [`InitiatorStats`], and models the DRAM data path as one or
+//! more **channel timelines** so overlapping traffic from *different*
+//! initiators is observed as queueing (contention).
 //!
 //! # Timing model
 //!
 //! The simulator is call-driven: each initiator simulates its own activity
 //! and presents accesses in program order, stamped with its *local* issue
 //! time when it tracks one (DMA bursts do — the engine tracks its pipeline
-//! clock). The fabric reserves the shared data bus as **intervals**
-//! `[start, start + occupancy)` on a common virtual timeline. A new timed
-//! grant is placed at the earliest point at or after its arrival that does
-//! not overlap an interval reserved by a *different* initiator; the shift is
-//! the access's queueing delay. Intervals owned by the same initiator are
-//! ignored — serialising an engine's own payloads is that engine's
-//! pipelining model, and charging it again here would double-count.
+//! clock). Every access is routed to a DRAM channel by its address (see
+//! [`crate::channels`]); the fabric reserves that channel's data bus as
+//! **intervals** `[start, start + occupancy)` on the channel's virtual
+//! timeline. A new timed grant is placed at the earliest point at or after
+//! its arrival that does not overlap a conflicting interval on *its* channel;
+//! the shift is the access's queueing delay. Intervals owned by the same
+//! initiator are ignored — serialising an engine's own payloads is that
+//! engine's pipelining model, and charging it again here would double-count.
+//! Traffic on different channels never conflicts, which is what turns the
+//! channel count into a bandwidth knob.
 //!
 //! Because placement works on arrival timestamps rather than call order,
 //! streams that are simulated sequentially but *conceptually concurrent*
@@ -26,19 +29,38 @@
 //! slots its bursts into the bus idle gaps the earlier shard left between
 //! its compute phases, and only genuinely overlapping occupancy queues.
 //!
-//! # Policy and known bias
+//! # Arbitration policies
 //!
-//! Placement is **first-fit in simulation order**: a shard simulated earlier
-//! reserves the bus first and never dodges later shards, so measured
-//! queueing forms a staircase across shards (the first-simulated DMA stream
-//! reports zero queue cycles, the last reports the most). Aggregate queueing
-//! and the wall-clock of the *slowest* shard are therefore conservative
-//! (pessimistic for the last shard), not a fair-arbitration prediction. A
-//! [`MemPortReq::priority`] above zero wins arbitration outright: the access
-//! is placed at its arrival without queueing (its occupancy still blocks
-//! priority-0 traffic). True rotating arbitration among equal priorities
-//! needs a global simulation clock — see the ROADMAP; [`Fabric::rr_cursor`]
-//! is the diagnostic hook kept for that work.
+//! Which already-reserved intervals a grant must queue behind is decided by
+//! the configured [`ArbitrationPolicy`]:
+//!
+//! * **RoundRobin** (default) — first-fit in simulation order, exactly the
+//!   pre-channel contention model: a grant queues behind every conflicting
+//!   interval owned by a different initiator. A [`MemPortReq::priority`]
+//!   above zero wins arbitration outright (placed at arrival; its occupancy
+//!   still blocks priority-0 traffic). First-fit placement makes measured
+//!   queueing a staircase across shards (the first-simulated DMA stream
+//!   reports zero queue cycles), so read per-initiator queueing as a
+//!   placement-order-dependent bound, not a fairness split.
+//! * **FixedPriority** — strict ordering by [`MemPortReq::priority`]: a
+//!   grant queues exactly behind conflicting intervals of **equal or
+//!   higher** request priority and ignores lower-priority ones (it is
+//!   granted at arrival over them, like the PR 1 priority escape hatch, and
+//!   its occupancy still blocks them). With all priorities equal this
+//!   degenerates to RoundRobin.
+//! * **Weighted(w)** — deficit-weighted QoS: the fabric tracks each timed
+//!   initiator's accumulated bus occupancy (its *service*). A grant skips a
+//!   conflicting interval when its own weighted service — including the
+//!   access at hand — still lags the interval owner's
+//!   (`(served(me) + occ) · w(owner) < served(owner) · w(me)`), i.e. an
+//!   under-served initiator is granted at its arrival instead of queueing.
+//!   Serving it grows its service counter, so the bypass is self-limiting:
+//!   no initiator with a non-zero weight can be starved, and equal weights
+//!   alternate the queueing burden instead of the round-robin staircase.
+//!   Weights index timed initiators in first-reservation order (cluster
+//!   shard order on the platform). [`MemPortReq::priority`] is ignored under
+//!   this policy — request priorities cannot defeat the configured service
+//!   split.
 //!
 //! Accesses without a timestamp (host loads/stores, page-table walks) only
 //! contribute byte/latency accounting, never queueing.
@@ -54,15 +76,22 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
-use sva_common::{Cycles, InitiatorId, InitiatorStats, MemPortReq, PortTiming};
+use sva_common::{ArbitrationPolicy, Cycles, InitiatorId, InitiatorStats, MemPortReq, PortTiming};
+
+use crate::channels::{ChannelStats, DramChannelConfig};
 
 /// Configuration of the fabric arbitration layer.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FabricConfig {
     /// When `true`, cross-initiator queueing delay (waiting for the shared
     /// data bus) is added to returned latencies. Off by default so
     /// single-initiator timing exactly reproduces the paper's prototype.
     pub contention_enabled: bool,
+    /// Multi-channel DRAM geometry. The default single channel reproduces
+    /// the paper's one shared data-bus timeline cycle-for-cycle.
+    pub channels: DramChannelConfig,
+    /// Which conflicting reservations a grant queues behind.
+    pub policy: ArbitrationPolicy,
 }
 
 /// Snapshot of one initiator's accounting, labelled by identity.
@@ -74,39 +103,67 @@ pub struct InitiatorSnapshot {
     pub stats: InitiatorStats,
 }
 
-/// The arbitration/accounting layer in front of the shared memory path.
+/// The data-bus timeline and accounting of one DRAM channel.
 #[derive(Clone, Debug, Default)]
+struct ChannelTimeline {
+    /// Bus reservations of timed grants, keyed by `(start, insertion seq)`
+    /// with `(end, owner slot, request priority)` values. Grows with the
+    /// number of timed accesses in a measurement window; cleared by
+    /// [`Fabric::reset`] (experiments reset between measurement phases).
+    reservations: BTreeMap<(u64, u64), (u64, usize, u8)>,
+    /// Longest single reservation seen, bounding how far below a placement
+    /// point a conflicting interval can start.
+    max_reservation_len: u64,
+    /// Monotonic insertion counter disambiguating equal-start reservations.
+    reservation_seq: u64,
+    /// Aggregate per-channel statistics.
+    stats: ChannelStats,
+}
+
+/// The arbitration/accounting layer in front of the shared memory path.
+#[derive(Clone, Debug)]
 pub struct Fabric {
     config: FabricConfig,
     /// Registration order; the order in which streams were first simulated,
     /// which is also the order first-fit placement implicitly favours.
     initiators: Vec<(InitiatorId, InitiatorStats)>,
     /// Diagnostic cursor recording which slot a rotating arbiter would
-    /// favour next; not consulted by the first-fit timing model (a true
-    /// arbitration policy needs the global-clock engine — see ROADMAP).
+    /// favour next; not consulted by interval placement.
     rr_cursor: usize,
-    /// Bus reservations of timed grants, keyed by `(start, insertion seq)`
-    /// with `(end, owner slot)` values. Grows with the number of timed
-    /// accesses in a measurement window; cleared by [`Fabric::reset`]
-    /// (experiments reset between measurement phases).
-    reservations: BTreeMap<(u64, u64), (u64, usize)>,
-    /// Longest single reservation seen, bounding how far below a placement
-    /// point a conflicting interval can start.
-    max_reservation_len: u64,
-    /// Monotonic insertion counter disambiguating equal-start reservations.
-    reservation_seq: u64,
+    /// One data-bus timeline per DRAM channel.
+    channels: Vec<ChannelTimeline>,
+    /// Accumulated timed bus occupancy per slot (the service counter of the
+    /// weighted policy).
+    served: Vec<u64>,
+    /// Slots in the order they first placed a timed reservation; the index
+    /// into this list is the weight index of the `Weighted` policy.
+    timed_order: Vec<usize>,
     /// Initiator holding the most recent grant.
     last_owner: Option<InitiatorId>,
     grants: u64,
     grant_switches: u64,
 }
 
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new(FabricConfig::default())
+    }
+}
+
 impl Fabric {
     /// Creates a fabric with the given configuration.
     pub fn new(config: FabricConfig) -> Self {
+        let n = config.channels.channels();
         Self {
             config,
-            ..Self::default()
+            initiators: Vec::new(),
+            rr_cursor: 0,
+            channels: vec![ChannelTimeline::default(); n],
+            served: Vec::new(),
+            timed_order: Vec::new(),
+            last_owner: None,
+            grants: 0,
+            grant_switches: 0,
         }
     }
 
@@ -121,12 +178,45 @@ impl Fabric {
             i
         } else {
             self.initiators.push((id, InitiatorStats::default()));
+            self.served.push(0);
             self.initiators.len() - 1
         }
     }
 
+    /// The weight of `slot` under the weighted policy: its position in the
+    /// timed-reservation order (the current grant registers the slot if it
+    /// has not reserved before).
+    fn weight_of(&self, slot: usize) -> u32 {
+        let idx = self
+            .timed_order
+            .iter()
+            .position(|&s| s == slot)
+            .unwrap_or(self.timed_order.len());
+        self.config.policy.weight(idx)
+    }
+
+    /// Whether a grant by `slot` with occupancy `occ` must queue behind a
+    /// conflicting reservation `(owner, owner_prio)` under the configured
+    /// policy.
+    fn queues_behind(&self, slot: usize, prio: u8, occ: u64, owner: usize, owner_prio: u8) -> bool {
+        if owner == slot {
+            return false;
+        }
+        match &self.config.policy {
+            ArbitrationPolicy::RoundRobin => true,
+            ArbitrationPolicy::FixedPriority => owner_prio >= prio,
+            ArbitrationPolicy::Weighted(_) => {
+                // Queue unless this initiator's weighted service — counting
+                // the access at hand — still lags the owner's.
+                let me = (self.served[slot] + occ) as u128 * self.weight_of(owner) as u128;
+                let them = self.served[owner] as u128 * self.weight_of(slot) as u128;
+                me >= them
+            }
+        }
+    }
+
     /// Grants one access and returns the cross-initiator queueing delay the
-    /// access observed on the shared-bus timeline.
+    /// access observed on its channel's data-bus timeline.
     ///
     /// `start` is the initiator-local issue time when the caller tracks one
     /// (DMA bursts); `None` means "back-to-back after the previous grant".
@@ -148,32 +238,53 @@ impl Fabric {
             stats.bytes += req.len;
             stats.occupancy_cycles += timing.occupancy.raw();
         }
+        let channel = self.config.channels.channel_for(req.addr);
+        {
+            let ch = &mut self.channels[channel].stats;
+            ch.grants += 1;
+            ch.bytes += req.len;
+            ch.occupancy_cycles += timing.occupancy.raw();
+        }
 
-        // Shared-bus timeline: only timed grants reserve it (see module
-        // docs). Priority > 0 wins arbitration outright and is placed at its
-        // arrival; priority 0 takes the earliest placement at or after the
-        // arrival that avoids every interval owned by a different initiator.
+        // Channel timeline: only timed grants reserve it (see module docs).
+        // The priority escape hatch — a priority > 0 placed at its arrival
+        // unconditionally — exists only under RoundRobin (the PR 1
+        // behaviour). FixedPriority folds the priority into the conflict
+        // predicate (equal priorities still queue behind each other), and
+        // Weighted ignores it entirely so request priorities cannot defeat
+        // the configured service split.
         let mut queue = Cycles::ZERO;
         if let Some(arrival) = start {
             let arrival = arrival.raw();
             let occupancy = timing.occupancy.raw();
             let mut placed = arrival;
-            if req.priority == 0 {
+            let wins_outright =
+                req.priority > 0 && matches!(self.config.policy, ArbitrationPolicy::RoundRobin);
+            if !wins_outright {
                 loop {
                     // A conflicting interval satisfies start < placed + occ
                     // and end > placed; since no reservation is longer than
                     // max_reservation_len, its start also exceeds
                     // placed - max_reservation_len. Range-scan that window.
-                    let lo = placed.saturating_sub(self.max_reservation_len);
+                    let lo = placed.saturating_sub(self.channels[channel].max_reservation_len);
                     let hi = placed + occupancy;
                     // Upper bound (hi, 0) excludes reservations starting at
                     // exactly `hi` (they abut ours without overlapping;
                     // sequence numbers start at 1).
-                    let conflict = self
+                    let conflict = self.channels[channel]
                         .reservations
                         .range((lo, 0)..(hi, 0))
-                        .find(|(_, &(end, owner))| owner != slot && end > placed)
-                        .map(|(_, &(end, _))| end);
+                        .find(|(_, &(end, owner, owner_prio))| {
+                            end > placed
+                                && self.queues_behind(
+                                    slot,
+                                    req.priority,
+                                    occupancy,
+                                    owner,
+                                    owner_prio,
+                                )
+                        })
+                        .map(|(_, &(end, _, _))| end);
                     match conflict {
                         Some(end) => placed = end,
                         None => break,
@@ -185,12 +296,20 @@ impl Fabric {
                 let stats = &mut self.initiators[slot].1;
                 stats.queue_cycles += queue.raw();
                 stats.contended_grants += 1;
+                self.channels[channel].stats.queue_cycles += queue.raw();
             }
             if occupancy > 0 {
-                self.reservation_seq += 1;
-                self.reservations
-                    .insert((placed, self.reservation_seq), (placed + occupancy, slot));
-                self.max_reservation_len = self.max_reservation_len.max(occupancy);
+                if !self.timed_order.contains(&slot) {
+                    self.timed_order.push(slot);
+                }
+                self.served[slot] += occupancy;
+                let timeline = &mut self.channels[channel];
+                timeline.reservation_seq += 1;
+                timeline.reservations.insert(
+                    (placed, timeline.reservation_seq),
+                    (placed + occupancy, slot, req.priority),
+                );
+                timeline.max_reservation_len = timeline.max_reservation_len.max(occupancy);
             }
         }
 
@@ -242,6 +361,16 @@ impl Fabric {
         self.initiators.len()
     }
 
+    /// Number of DRAM channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Per-channel statistics, indexed by channel.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.channels.iter().map(|c| c.stats).collect()
+    }
+
     /// Total grants issued since the last reset.
     pub const fn grants(&self) -> u64 {
         self.grants
@@ -253,16 +382,16 @@ impl Fabric {
         self.grant_switches
     }
 
-    /// Diagnostic cursor: the slot a rotating arbiter would favour next. Not
-    /// consulted by the first-fit timing model (see the module docs).
+    /// Diagnostic cursor: the slot a rotating arbiter would favour next (not
+    /// consulted by interval placement).
     pub const fn rr_cursor(&self) -> usize {
         self.rr_cursor
     }
 
-    /// Clears all statistics and the bus timeline; registered initiators are
-    /// forgotten so a fresh measurement window starts clean.
+    /// Clears all statistics and every channel timeline; registered
+    /// initiators are forgotten so a fresh measurement window starts clean.
     pub fn reset(&mut self) {
-        let config = self.config;
+        let config = self.config.clone();
         *self = Self::new(config);
     }
 }
@@ -274,6 +403,10 @@ mod tests {
 
     fn burst_req(device: u32, len: u64) -> MemPortReq {
         MemPortReq::read(InitiatorId::dma(device), PhysAddr::new(0x8000_0000), len).as_burst()
+    }
+
+    fn burst_req_at(device: u32, addr: u64, len: u64) -> MemPortReq {
+        MemPortReq::read(InitiatorId::dma(device), PhysAddr::new(addr), len).as_burst()
     }
 
     fn timing(latency: u64, occupancy: u64) -> PortTiming {
@@ -354,6 +487,7 @@ mod tests {
     fn reset_clears_registry_and_timeline() {
         let mut fabric = Fabric::new(FabricConfig {
             contention_enabled: true,
+            ..FabricConfig::default()
         });
         fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
         fabric.reset();
@@ -409,5 +543,179 @@ mod tests {
         assert_eq!(fabric.rr_cursor(), 0);
         fabric.grant(&burst_req(1, 64), Some(Cycles::new(2000)), timing(10, 8));
         assert_eq!(fabric.rr_cursor(), 1);
+    }
+
+    #[test]
+    fn different_channels_never_conflict() {
+        let mut fabric = Fabric::new(FabricConfig {
+            channels: DramChannelConfig::interleaved(2),
+            ..FabricConfig::default()
+        });
+        // 0x8000_0000 and 0x8000_1000 are consecutive 4 KiB granules: they
+        // land on different channels, so fully overlapping bursts from two
+        // initiators both place at their arrival.
+        fabric.grant(
+            &burst_req_at(1, 0x8000_0000, 2048),
+            Some(Cycles::ZERO),
+            timing(200, 256),
+        );
+        let q = fabric.grant(
+            &burst_req_at(3, 0x8000_1000, 2048),
+            Some(Cycles::new(10)),
+            timing(200, 256),
+        );
+        assert_eq!(q, Cycles::ZERO, "different channel, no conflict");
+        // Same channel as the first burst still conflicts.
+        let q2 = fabric.grant(
+            &burst_req_at(3, 0x8000_0800, 2048),
+            Some(Cycles::new(10)),
+            timing(200, 256),
+        );
+        assert_eq!(q2, Cycles::new(246));
+        let per_channel = fabric.channel_stats();
+        assert_eq!(per_channel.len(), 2);
+        assert_eq!(per_channel[0].grants, 2);
+        assert_eq!(per_channel[1].grants, 1);
+        assert_eq!(per_channel[0].queue_cycles, 246);
+        assert_eq!(per_channel[1].queue_cycles, 0);
+    }
+
+    #[test]
+    fn channel_stats_conserve_totals() {
+        let mut fabric = Fabric::new(FabricConfig {
+            channels: DramChannelConfig::interleaved(4),
+            ..FabricConfig::default()
+        });
+        for i in 0..16u64 {
+            fabric.grant(
+                &burst_req_at(1 + 2 * (i % 3) as u32, 0x8000_0000 + i * 4096, 1024),
+                Some(Cycles::new(i * 10)),
+                timing(100, 128),
+            );
+        }
+        let total = fabric.total();
+        let per_channel = fabric.channel_stats();
+        assert_eq!(
+            per_channel.iter().map(|c| c.bytes).sum::<u64>(),
+            total.bytes
+        );
+        assert_eq!(
+            per_channel.iter().map(|c| c.occupancy_cycles).sum::<u64>(),
+            total.occupancy_cycles
+        );
+        assert_eq!(
+            per_channel.iter().map(|c| c.queue_cycles).sum::<u64>(),
+            total.queue_cycles
+        );
+        assert_eq!(per_channel.iter().map(|c| c.grants).sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn fixed_priority_orders_strictly() {
+        let mut fabric = Fabric::new(FabricConfig {
+            policy: ArbitrationPolicy::FixedPriority,
+            ..FabricConfig::default()
+        });
+        // Low-priority stream reserves [0, 256).
+        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        // A high-priority grant ignores it and places at arrival.
+        let hi = burst_req(3, 2048).with_priority(2);
+        assert_eq!(
+            fabric.grant(&hi, Some(Cycles::new(10)), timing(200, 256)),
+            Cycles::ZERO
+        );
+        // An equal-priority grant queues behind the high one (strict
+        // ordering within a level), not behind the low one it outranks.
+        let eq = burst_req(5, 2048).with_priority(2);
+        let q = fabric.grant(&eq, Some(Cycles::new(20)), timing(200, 256));
+        assert_eq!(
+            q,
+            Cycles::new(246),
+            "queues to the end of the prio-2 interval"
+        );
+    }
+
+    #[test]
+    fn weighted_equal_weights_alternate_the_queueing_burden() {
+        // Under RoundRobin the first-simulated stream never queues; under
+        // Weighted([1, 1]) the deficit counter alternates who waits.
+        let mut fabric = Fabric::new(FabricConfig {
+            policy: ArbitrationPolicy::Weighted(vec![1, 1]),
+            ..FabricConfig::default()
+        });
+        let mut queues = [0u64; 2];
+        for i in 0..8u64 {
+            let t = Some(Cycles::new(i * 10));
+            queues[0] += fabric.grant(&burst_req(1, 2048), t, timing(200, 256)).raw();
+            queues[1] += fabric.grant(&burst_req(3, 2048), t, timing(200, 256)).raw();
+        }
+        assert!(queues[0] > 0, "first stream also queues: {queues:?}");
+        assert!(queues[1] > 0, "second stream also queues: {queues:?}");
+    }
+
+    #[test]
+    fn weighted_ignores_request_priorities() {
+        // A priority > 0 must not bypass the weighted service split: an
+        // over-served initiator queues even when its requests carry the
+        // round-robin escape-hatch priority.
+        let mut fabric = Fabric::new(FabricConfig {
+            policy: ArbitrationPolicy::Weighted(vec![1, 1]),
+            ..FabricConfig::default()
+        });
+        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        let q1 = fabric.grant(
+            &burst_req(3, 2048).with_priority(1),
+            Some(Cycles::ZERO),
+            timing(200, 256),
+        );
+        assert_eq!(
+            q1,
+            Cycles::new(256),
+            "equal service: the later grant queues"
+        );
+        // The same sequence under RoundRobin takes the escape hatch.
+        let mut rr = Fabric::default();
+        rr.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        let q2 = rr.grant(
+            &burst_req(3, 2048).with_priority(1),
+            Some(Cycles::ZERO),
+            timing(200, 256),
+        );
+        assert_eq!(q2, Cycles::ZERO);
+    }
+
+    #[test]
+    fn weighted_favours_the_heavy_initiator() {
+        let run = |weights: Vec<u32>| -> [u64; 2] {
+            let mut fabric = Fabric::new(FabricConfig {
+                policy: ArbitrationPolicy::Weighted(weights),
+                ..FabricConfig::default()
+            });
+            for i in 0..16u64 {
+                let t = Some(Cycles::new(i * 20));
+                fabric.grant(&burst_req(1, 2048), t, timing(200, 256));
+                fabric.grant(&burst_req(3, 2048), t, timing(200, 256));
+            }
+            [
+                fabric
+                    .initiator_stats(InitiatorId::dma(1))
+                    .unwrap()
+                    .queue_cycles,
+                fabric
+                    .initiator_stats(InitiatorId::dma(3))
+                    .unwrap()
+                    .queue_cycles,
+            ]
+        };
+        let fair = run(vec![1, 1]);
+        let skewed = run(vec![8, 1]);
+        assert!(
+            skewed[0] < fair[0],
+            "weight 8 must cut the heavy stream's queueing: {skewed:?} vs {fair:?}"
+        );
+        assert!(
+            skewed[1] >= fair[1],
+            "the light stream absorbs the burden: {skewed:?} vs {fair:?}"
+        );
     }
 }

@@ -14,8 +14,11 @@
 //! * [`spm`] — the 1 MiB on-chip L2 scratchpad;
 //! * [`interference`] — the synthetic host-traffic interference model used in
 //!   Figure 5;
+//! * [`channels`] — the multi-channel DRAM geometry and the address→channel
+//!   interleave mapping;
 //! * [`fabric`] — the arbitration and per-initiator accounting layer of the
-//!   unified memory fabric (round-robin grants, contention measurement);
+//!   unified memory fabric (per-channel interval timelines, round-robin /
+//!   weighted / fixed-priority arbitration, contention measurement);
 //! * [`system`] — [`MemorySystem`], the composition of all of the above
 //!   behind the unified [`MemorySystem::access`](system::MemorySystem::access)
 //!   fabric port used by the host, every cluster's DMA engine and the IOMMU
@@ -47,6 +50,7 @@
 
 pub mod backing;
 pub mod cache;
+pub mod channels;
 pub mod dram;
 pub mod fabric;
 pub mod interference;
@@ -56,6 +60,7 @@ pub mod system;
 
 pub use backing::SparseMemory;
 pub use cache::{Cache, CacheConfig, CacheOutcome};
+pub use channels::{ChannelStats, DramChannelConfig};
 pub use dram::{Dram, DramConfig};
 pub use fabric::{Fabric, FabricConfig, InitiatorSnapshot};
 pub use interference::Interference;

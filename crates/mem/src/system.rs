@@ -34,6 +34,7 @@ use sva_common::{
 };
 
 use crate::backing::SparseMemory;
+use crate::channels::ChannelStats;
 use crate::dram::{Dram, DramConfig, DramTiming};
 use crate::fabric::{Fabric, FabricConfig, InitiatorSnapshot};
 use crate::interference::{Interference, InterferenceConfig};
@@ -45,7 +46,7 @@ use crate::spm::{Scratchpad, ScratchpadConfig};
 pub type BurstTiming = DramTiming;
 
 /// Configuration of the whole memory system.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MemSysConfig {
     /// Extra DRAM latency inserted by the AXI delayer (the paper's knob).
     pub dram_latency: Cycles,
@@ -228,7 +229,7 @@ impl MemorySystem {
             spm: Scratchpad::new(config.spm),
             llc: config.llc_enabled.then(|| Llc::new(config.llc)),
             interference: None,
-            fabric: Fabric::new(config.fabric),
+            fabric: Fabric::new(config.fabric.clone()),
             stats: MemSysStats::default(),
             host_stall_cycles: Counter::new(),
             config,
@@ -278,6 +279,11 @@ impl MemorySystem {
     /// Per-initiator fabric statistics, in registration order.
     pub fn fabric_stats(&self) -> Vec<InitiatorSnapshot> {
         self.fabric.snapshot()
+    }
+
+    /// Per-channel DRAM statistics, indexed by channel.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.fabric.channel_stats()
     }
 
     /// Installs (or removes) the synthetic host-interference stream.

@@ -1,0 +1,219 @@
+//! Property tests of the multi-channel DRAM backend, driven by
+//! `DeterministicRng` (the build is offline; no proptest). Three invariants
+//! lock the channel layer down:
+//!
+//! 1. splitting the DRAM path into channels never changes *what* is
+//!    accounted — total bytes and occupancy are conserved across channel
+//!    counts, and the per-channel rows always sum to the fabric totals;
+//! 2. the address interleave is a partition of the address space — every
+//!    address maps to exactly one channel and whole granules never straddle;
+//! 3. `num_channels = 1` reproduces the single-timeline fabric
+//!    cycle-for-cycle, checked against an independent naive reimplementation
+//!    of first-fit interval placement.
+
+use sva_common::rng::DeterministicRng;
+use sva_common::{Cycles, InitiatorId, MemPortReq, PhysAddr, PortTiming};
+use sva_mem::channels::DramChannelConfig;
+use sva_mem::fabric::{Fabric, FabricConfig};
+
+const DRAM_BASE: u64 = 0x8000_0000;
+
+/// One randomly drawn timed access.
+#[derive(Clone, Copy, Debug)]
+struct Access {
+    device: u32,
+    addr: u64,
+    len: u64,
+    arrival: u64,
+    occupancy: u64,
+}
+
+fn random_accesses(rng: &mut DeterministicRng, n: usize) -> Vec<Access> {
+    (0..n)
+        .map(|_| {
+            let len = 64 * (1 + rng.next_below(32));
+            Access {
+                device: 1 + 2 * rng.next_below(4) as u32,
+                addr: DRAM_BASE + rng.next_below(1 << 14) * 512,
+                len,
+                arrival: rng.next_below(50_000),
+                occupancy: len / 8,
+            }
+        })
+        .collect()
+}
+
+fn drive(fabric: &mut Fabric, accesses: &[Access]) -> Vec<u64> {
+    accesses
+        .iter()
+        .map(|a| {
+            let req = MemPortReq::read(InitiatorId::dma(a.device), PhysAddr::new(a.addr), a.len)
+                .as_burst();
+            fabric
+                .grant(
+                    &req,
+                    Some(Cycles::new(a.arrival)),
+                    PortTiming {
+                        latency: Cycles::new(100),
+                        occupancy: Cycles::new(a.occupancy),
+                    },
+                )
+                .raw()
+        })
+        .collect()
+}
+
+#[test]
+fn totals_are_conserved_across_channel_counts() {
+    let mut rng = DeterministicRng::new(0xC4A77E1);
+    for case in 0..12 {
+        let mut case_rng = rng.fork(case);
+        let n = 1 + case_rng.next_below(150) as usize;
+        let accesses = random_accesses(&mut case_rng, n);
+        let mut reference: Option<(u64, u64, u64)> = None;
+        for channels in [1usize, 2, 3, 4, 8] {
+            let mut fabric = Fabric::new(FabricConfig {
+                channels: DramChannelConfig::interleaved(channels),
+                ..FabricConfig::default()
+            });
+            drive(&mut fabric, &accesses);
+            let total = fabric.total();
+            let per_channel = fabric.channel_stats();
+            assert_eq!(per_channel.len(), channels);
+
+            // Per-channel rows sum to the fabric totals, whatever the split.
+            assert_eq!(
+                per_channel.iter().map(|c| c.bytes).sum::<u64>(),
+                total.bytes
+            );
+            assert_eq!(
+                per_channel.iter().map(|c| c.occupancy_cycles).sum::<u64>(),
+                total.occupancy_cycles
+            );
+            assert_eq!(
+                per_channel.iter().map(|c| c.queue_cycles).sum::<u64>(),
+                total.queue_cycles
+            );
+            assert_eq!(
+                per_channel.iter().map(|c| c.grants).sum::<u64>(),
+                accesses.len() as u64
+            );
+
+            // Bytes and occupancy do not depend on the channel count.
+            let key = (total.bytes, total.occupancy_cycles, total.accesses());
+            match reference {
+                None => reference = Some(key),
+                Some(k) => assert_eq!(k, key, "case {case}, {channels} channels"),
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaving_is_a_partition_of_the_address_space() {
+    let mut rng = DeterministicRng::new(0x9A57171);
+    for case in 0..40 {
+        let mut case_rng = rng.fork(case);
+        let cfg = DramChannelConfig {
+            num_channels: 1 + case_rng.next_below(8) as usize,
+            rank_bits: case_rng.next_below(5) as u32,
+            interleave_granule: 1 << (6 + case_rng.next_below(8)),
+        };
+        let granule = cfg.interleave_granule;
+        for _ in 0..200 {
+            let addr = case_rng.next_below(1 << 40);
+            // Total: every address maps to exactly one in-range channel
+            // (channel_for is a function, so disjointness is structural).
+            let ch = cfg.channel_for(PhysAddr::new(addr));
+            assert!(ch < cfg.channels());
+            // Granules never straddle: first and last byte agree.
+            let base = addr / granule * granule;
+            assert_eq!(
+                cfg.channel_for(PhysAddr::new(base)),
+                cfg.channel_for(PhysAddr::new(base + granule - 1)),
+                "granule at {base:#x} straddles channels"
+            );
+        }
+        // Without rank folding, a contiguous run of granules spreads evenly:
+        // each channel serves an equal share of every full rotation.
+        if cfg.rank_bits == 0 && cfg.channels() > 1 {
+            let n = cfg.channels();
+            let mut counts = vec![0usize; n];
+            let start = case_rng.next_below(1 << 30) * granule;
+            for g in 0..(4 * n as u64) {
+                counts[cfg.channel_for(PhysAddr::new(start + g * granule))] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 4), "uneven spread: {counts:?}");
+        }
+    }
+}
+
+/// Naive reimplementation of the single shared-bus first-fit placement the
+/// pre-channel fabric used: scan every reservation in (start, insertion)
+/// order, jump past the first conflict, repeat until free.
+struct NaiveTimeline {
+    /// `(start, end, owner)` in insertion order.
+    reservations: Vec<(u64, u64, usize)>,
+}
+
+impl NaiveTimeline {
+    fn place(&mut self, arrival: u64, occupancy: u64, owner: usize) -> u64 {
+        let mut placed = arrival;
+        loop {
+            let conflict = self
+                .reservations
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(s, e, o))| o != owner && s < placed + occupancy && e > placed)
+                .min_by_key(|&(idx, &(s, _, _))| (s, idx))
+                .map(|(_, &(_, e, _))| e);
+            match conflict {
+                Some(end) => placed = end,
+                None => break,
+            }
+        }
+        if occupancy > 0 {
+            self.reservations.push((placed, placed + occupancy, owner));
+        }
+        placed - arrival
+    }
+}
+
+#[test]
+fn single_channel_reproduces_the_single_timeline_fabric_cycle_for_cycle() {
+    let mut rng = DeterministicRng::new(0x1D3A1);
+    for case in 0..16 {
+        let mut case_rng = rng.fork(case);
+        let n = 1 + case_rng.next_below(120) as usize;
+        let accesses = random_accesses(&mut case_rng, n);
+
+        let mut fabric = Fabric::new(FabricConfig {
+            channels: DramChannelConfig::SINGLE,
+            ..FabricConfig::default()
+        });
+        let fabric_queues = drive(&mut fabric, &accesses);
+
+        let mut naive = NaiveTimeline {
+            reservations: Vec::new(),
+        };
+        let mut owners: Vec<u32> = Vec::new();
+        let naive_queues: Vec<u64> = accesses
+            .iter()
+            .map(|a| {
+                let owner = match owners.iter().position(|&d| d == a.device) {
+                    Some(i) => i,
+                    None => {
+                        owners.push(a.device);
+                        owners.len() - 1
+                    }
+                };
+                naive.place(a.arrival, a.occupancy, owner)
+            })
+            .collect();
+
+        assert_eq!(
+            fabric_queues, naive_queues,
+            "case {case}: single-channel fabric diverged from the reference"
+        );
+    }
+}
