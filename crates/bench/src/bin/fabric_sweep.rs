@@ -2,13 +2,17 @@
 //! latency × channel count × arbitration policy, fanned out across worker
 //! threads, with per-initiator and per-channel contention statistics.
 //!
-//! Two sub-grids are measured:
+//! Three sub-grids are measured:
 //!
 //! * the **scaling grid** — clusters × variants × latencies at the baseline
 //!   fabric (one channel, round-robin), the PR 1 perf trajectory;
 //! * the **QoS grid** — channels {1, 2, 4} × every arbitration policy at the
 //!   highest cluster count on the IOMMU+LLC variant, which is where the
-//!   bandwidth and fairness knobs actually bite.
+//!   bandwidth and fairness knobs actually bite;
+//! * the **global-clock grid** — timed host interference × MSHR-style PTW
+//!   batching at the highest cluster count (single channel, round-robin):
+//!   the engine where host loads/stores and page-table walks queue on the
+//!   fabric timelines like every other initiator.
 //!
 //! Prints the scaling table and writes the machine-readable results to
 //! `BENCH_fabric.json` (override with `--out <path>`), so successive PRs
@@ -21,7 +25,7 @@ use sva_bench::{parse_args, with_banner, RunSize};
 use sva_common::ArbitrationPolicy;
 use sva_kernels::KernelKind;
 use sva_soc::config::SocVariant;
-use sva_soc::experiments::fabric::{self, FabricSweepResult};
+use sva_soc::experiments::fabric::{self, FabricKnobs, FabricSweepResult};
 
 fn out_path() -> String {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,11 +54,19 @@ fn main() {
     let max_clusters = *clusters.last().expect("non-empty cluster list");
 
     // Scaling grid: the PR 1 trajectory at the baseline fabric.
+    let baseline = FabricKnobs::default();
     let mut grid = Vec::new();
     for &n in clusters {
         for &variant in &variants {
             for &latency in &latencies {
-                grid.push((n, variant, latency, 1usize, ArbitrationPolicy::RoundRobin));
+                grid.push((
+                    n,
+                    variant,
+                    latency,
+                    1usize,
+                    ArbitrationPolicy::RoundRobin,
+                    baseline,
+                ));
             }
         }
     }
@@ -82,17 +94,32 @@ fn main() {
                 base_latency,
                 channels,
                 policy.clone(),
+                baseline,
             ));
         }
     }
+    // Global-clock grid: host interference × PTW batching at maximal
+    // contention (the baseline knob corner is already in the scaling grid).
+    for &knobs in &FabricKnobs::ALL[1..] {
+        grid.push((
+            max_clusters,
+            SocVariant::IommuLlc,
+            base_latency,
+            1usize,
+            ArbitrationPolicy::RoundRobin,
+            knobs,
+        ));
+    }
 
-    let points = par_map(grid, |(n, variant, latency, channels, policy)| {
-        fabric::run_point(kernel, paper_size, n, variant, latency, channels, &policy)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "fabric point {n}x {variant:?} @{latency} ch{channels} {policy:?} failed: {e:?}"
-                )
-            })
+    let points = par_map(grid, |(n, variant, latency, channels, policy, knobs)| {
+        fabric::run_point(
+            kernel, paper_size, n, variant, latency, channels, &policy, knobs,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "fabric point {n}x {variant:?} @{latency} ch{channels} {policy:?} {knobs:?} failed: {e:?}"
+            )
+        })
     });
     let result = FabricSweepResult { points };
 

@@ -190,14 +190,17 @@ impl DmaEngine {
                 }
 
                 // Translation: the engine presents the burst address to the
-                // IOMMU; IOTLB hits are cheap, misses serialise the burst
-                // behind the page-table walk.
+                // IOMMU at its issue time, so an IOTLB miss's page-table
+                // walk lands at the right point on the fabric timelines;
+                // IOTLB hits are cheap, misses serialise the burst behind
+                // the walk.
                 let is_write = req.dir == Direction::FromTcdm;
-                let (pa, trans) = iommu.translate(
+                let (pa, trans) = iommu.translate_at(
                     mem,
                     self.config.device_id,
                     Iova::new(burst.addr.raw()),
                     is_write,
+                    issue_t,
                 )?;
                 self.stats.translations += 1;
                 self.stats.translation_cycles += trans.raw();

@@ -15,12 +15,12 @@
 //! — that difference is Table II.
 
 use serde::{Deserialize, Serialize};
-use sva_common::{Cycles, Result};
+use sva_common::{Cycles, GlobalClock, Result};
 use sva_iommu::Iommu;
 use sva_mem::MemorySystem;
 
 use crate::dma::{DmaConfig, DmaEngine, DmaStats};
-use crate::kernel::DeviceKernel;
+use crate::kernel::{DeviceKernel, TileCtx};
 use crate::pe::ClusterGeometry;
 use crate::tcdm::Tcdm;
 
@@ -91,11 +91,31 @@ impl KernelRunStats {
 }
 
 /// The cluster executor: TCDM + DMA engine + run loop.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ClusterExecutor {
     config: ClusterConfig,
     tcdm: Tcdm,
     dma: DmaEngine,
+    /// The cluster's local cursor on the shared virtual timeline. Every
+    /// shard of an offload restarts its cursor at zero when a run begins —
+    /// shards execute concurrently in simulated time even though they are
+    /// simulated sequentially — so each executor keeps its own
+    /// [`GlobalClock`] instance rather than sharing the platform's.
+    clock: GlobalClock,
+}
+
+impl Clone for ClusterExecutor {
+    /// Clones get their own time cursor ([`GlobalClock`] handles share
+    /// their counter, and a cursor must belong to exactly one executor);
+    /// the cursor is restarted at every run, so no reading is carried over.
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            tcdm: self.tcdm.clone(),
+            dma: self.dma.clone(),
+            clock: GlobalClock::new(),
+        }
+    }
 }
 
 impl ClusterExecutor {
@@ -104,6 +124,7 @@ impl ClusterExecutor {
         Self {
             tcdm: Tcdm::new(config.geometry.tcdm_bytes),
             dma: DmaEngine::new(config.dma),
+            clock: GlobalClock::new(),
             config,
         }
     }
@@ -143,36 +164,47 @@ impl ClusterExecutor {
             return Ok(stats);
         }
 
-        let mut now = Cycles::ZERO;
+        // The cluster's cursor on the shared virtual timeline: every shard
+        // restarts at zero (shards of one offload run concurrently in
+        // simulated time).
+        self.clock.restart();
+        let device_id = self.config.dma.device_id;
         // Completion time of the input transfers of each tile.
         let mut input_ready: Vec<Option<Cycles>> = vec![None; n];
 
         // Prefetch the first tile. `dma_free` tracks the completion time of
         // the most recently issued DMA batch; the engine processes batches in
-        // issue order.
+        // issue order. Each tile is planned (address-generation pre-pass on
+        // shared functional memory) before its descriptors are first read.
+        kernel.plan_tile(0, &TileCtx::new(mem, iommu, device_id))?;
         let first_io = kernel.tile_io(0);
-        let mut dma_free = self
-            .dma
-            .execute(mem, iommu, &mut self.tcdm, &first_io.inputs, now)?;
+        let mut dma_free = self.dma.execute(
+            mem,
+            iommu,
+            &mut self.tcdm,
+            &first_io.inputs,
+            self.clock.now(),
+        )?;
         input_ready[0] = Some(dma_free);
 
         for tile in 0..n {
             // Wait for this tile's inputs.
             let ready = input_ready[tile].expect("inputs of the current tile were issued");
-            if ready > now {
-                stats.dma_wait += ready - now;
-                now = ready;
+            if ready > self.clock.now() {
+                stats.dma_wait += ready - self.clock.now();
+                self.clock.advance_to(ready);
             }
 
             // Kick off the next tile's inputs so they overlap with compute.
             if self.config.double_buffer && tile + 1 < n {
+                kernel.plan_tile(tile + 1, &TileCtx::new(mem, iommu, device_id))?;
                 let next_io = kernel.tile_io(tile + 1);
                 dma_free = self.dma.execute(
                     mem,
                     iommu,
                     &mut self.tcdm,
                     &next_io.inputs,
-                    now.max(dma_free),
+                    self.clock.now().max(dma_free),
                 )?;
                 input_ready[tile + 1] = Some(dma_free);
             }
@@ -180,30 +212,35 @@ impl ClusterExecutor {
             // Compute the tile.
             let compute = kernel.compute_tile(tile, &mut self.tcdm)?;
             stats.compute += compute;
-            now += compute;
+            self.clock.advance(compute);
 
             // Write back this tile's outputs (overlaps with the next tile's
             // compute when double buffering).
             let io = kernel.tile_io(tile);
-            dma_free =
-                self.dma
-                    .execute(mem, iommu, &mut self.tcdm, &io.outputs, now.max(dma_free))?;
+            dma_free = self.dma.execute(
+                mem,
+                iommu,
+                &mut self.tcdm,
+                &io.outputs,
+                self.clock.now().max(dma_free),
+            )?;
 
             if !self.config.double_buffer {
                 // Single-buffered ablation: wait for the write-back before
                 // reusing the buffers, and only then fetch the next tile.
-                if dma_free > now {
-                    stats.dma_wait += dma_free - now;
-                    now = dma_free;
+                if dma_free > self.clock.now() {
+                    stats.dma_wait += dma_free - self.clock.now();
+                    self.clock.advance_to(dma_free);
                 }
                 if tile + 1 < n {
+                    kernel.plan_tile(tile + 1, &TileCtx::new(mem, iommu, device_id))?;
                     let next_io = kernel.tile_io(tile + 1);
                     dma_free = self.dma.execute(
                         mem,
                         iommu,
                         &mut self.tcdm,
                         &next_io.inputs,
-                        now.max(dma_free),
+                        self.clock.now().max(dma_free),
                     )?;
                     input_ready[tile + 1] = Some(dma_free);
                 }
@@ -211,12 +248,12 @@ impl ClusterExecutor {
         }
 
         // Drain the final write-backs.
-        if dma_free > now {
-            stats.dma_wait += dma_free - now;
-            now = dma_free;
+        if dma_free > self.clock.now() {
+            stats.dma_wait += dma_free - self.clock.now();
+            self.clock.advance_to(dma_free);
         }
 
-        stats.total = now;
+        stats.total = self.clock.now();
         stats.dma = *self.dma.stats();
         Ok(stats)
     }

@@ -7,10 +7,81 @@
 //! schedules these phases with double buffering, exactly like the
 //! hand-written Snitch kernels of the paper.
 
-use sva_common::{Cycles, Result};
+use sva_common::{Cycles, Iova, Result};
+use sva_iommu::Iommu;
+use sva_mem::MemorySystem;
 
 use crate::dma::DmaRequest;
 use crate::tcdm::Tcdm;
+
+/// Functional view of device-visible external memory, handed to
+/// [`DeviceKernel::plan_tile`] before a tile's DMA descriptors are read.
+///
+/// Real PMCA kernels run cheap address-generation pre-passes on the DMA
+/// core (e.g. the merge-path binary search of the sort kernel) that *read
+/// DRAM-resident data* to compute the next tile's transfer ranges. The
+/// context models exactly that: untimed functional reads of external
+/// memory through the device's own translation view (IOVA under the IOMMU,
+/// bus addresses otherwise). Because the reads go to the **shared**
+/// functional memory — not a per-kernel-instance mirror — pre-passes stay
+/// correct when one kernel is sharded across several clusters.
+pub struct TileCtx<'a> {
+    mem: &'a MemorySystem,
+    iommu: &'a Iommu,
+    device_id: u32,
+}
+
+impl<'a> TileCtx<'a> {
+    /// A context reading through `device_id`'s translation view.
+    pub fn new(mem: &'a MemorySystem, iommu: &'a Iommu, device_id: u32) -> Self {
+        Self {
+            mem,
+            iommu,
+            device_id,
+        }
+    }
+
+    /// The device ID whose translation view the reads use.
+    pub const fn device_id(&self) -> u32 {
+        self.device_id
+    }
+
+    /// Functional read of `buf.len()` bytes of external memory at `iova`
+    /// (split at page boundaries, since consecutive IOVA pages may map to
+    /// scattered frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns translation faults for unmapped addresses and decode errors
+    /// for non-memory regions.
+    pub fn read(&self, iova: Iova, buf: &mut [u8]) -> Result<()> {
+        let mut done = 0u64;
+        let len = buf.len() as u64;
+        while done < len {
+            let cur = iova + done;
+            let in_page = sva_common::PAGE_SIZE - cur.page_offset();
+            let chunk = in_page.min(len - done);
+            let pa = self
+                .iommu
+                .probe_translation(self.mem, self.device_id, cur)?;
+            self.mem
+                .read_phys(pa, &mut buf[done as usize..(done + chunk) as usize])?;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Functional read of one little-endian `f32` at `iova`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TileCtx::read`].
+    pub fn read_f32(&self, iova: Iova) -> Result<f32> {
+        let mut b = [0u8; 4];
+        self.read(iova, &mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+}
 
 /// The DMA work attached to one tile.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -50,6 +121,21 @@ pub trait DeviceKernel {
 
     /// Number of tiles the kernel is split into.
     fn num_tiles(&self) -> usize;
+
+    /// Address-generation pre-pass for tile `tile`: called by the executor
+    /// before the first [`DeviceKernel::tile_io`] of that tile, with a
+    /// functional view of the shared external memory. Kernels whose
+    /// transfer ranges depend on data (sort's merge-path partitions) compute
+    /// and cache them here; the default does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns translation faults or decode errors from the functional
+    /// reads.
+    fn plan_tile(&mut self, tile: usize, ctx: &TileCtx<'_>) -> Result<()> {
+        let _ = (tile, ctx);
+        Ok(())
+    }
 
     /// The DMA transfers of tile `tile`.
     ///
@@ -116,6 +202,10 @@ impl<K: DeviceKernel> DeviceKernel for TileRange<K> {
         self.len
     }
 
+    fn plan_tile(&mut self, tile: usize, ctx: &TileCtx<'_>) -> Result<()> {
+        self.inner.plan_tile(self.start + tile, ctx)
+    }
+
     fn tile_io(&self, tile: usize) -> TileIo {
         self.inner.tile_io(self.start + tile)
     }
@@ -132,6 +222,10 @@ impl<'a> DeviceKernel for Box<dyn DeviceKernel + 'a> {
 
     fn num_tiles(&self) -> usize {
         self.as_ref().num_tiles()
+    }
+
+    fn plan_tile(&mut self, tile: usize, ctx: &TileCtx<'_>) -> Result<()> {
+        self.as_mut().plan_tile(tile, ctx)
     }
 
     fn tile_io(&self, tile: usize) -> TileIo {

@@ -29,6 +29,6 @@ pub mod tcdm;
 
 pub use dma::{Direction, DmaConfig, DmaEngine, DmaRequest, DmaStats};
 pub use executor::{ClusterConfig, ClusterExecutor, KernelRunStats};
-pub use kernel::{block_partition, DeviceKernel, TileIo, TileRange};
+pub use kernel::{block_partition, DeviceKernel, TileCtx, TileIo, TileRange};
 pub use pe::{ClusterGeometry, PeCost};
 pub use tcdm::{Tcdm, TcdmAllocator};

@@ -32,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addr;
+pub mod clock;
 pub mod cycles;
 pub mod error;
 pub mod port;
@@ -42,6 +43,7 @@ pub mod stats;
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::addr::{Iova, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+    pub use crate::clock::{GlobalClock, TimeSource};
     pub use crate::cycles::{ClockDomain, Cycles};
     pub use crate::error::{Error, Result};
     pub use crate::port::{
@@ -52,6 +54,7 @@ pub mod prelude {
 }
 
 pub use addr::{Iova, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
+pub use clock::{GlobalClock, TimeSource};
 pub use cycles::{ClockDomain, Cycles};
 pub use error::{Error, Result};
 pub use port::{

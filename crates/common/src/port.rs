@@ -5,8 +5,9 @@
 //! *fabric initiator*. The memory system exposes one unified entry point
 //! (`MemorySystem::access` in `sva_mem`) that takes a [`MemPortReq`]
 //! describing who is asking ([`InitiatorId`]), what for (read/write, length,
-//! burstiness, priority) and optionally *when* (so overlapping traffic from
-//! different initiators can be arbitrated and accounted).
+//! burstiness, priority) and *when* ([`MemPortReq::arrival`], a point on the
+//! global simulation clock), so overlapping traffic from different
+//! initiators can be arbitrated and accounted.
 //!
 //! The vocabulary lives here in `sva_common` so that `sva_mem` (the fabric),
 //! `sva_cluster` (DMA initiators), `sva_host` and `sva_iommu` all agree on it
@@ -95,8 +96,10 @@ pub enum InitiatorClass {
 /// * [`ArbitrationPolicy::Weighted`] — deficit-weighted QoS: an initiator
 ///   whose accumulated weighted service lags the conflicting reservation's
 ///   owner is granted at its arrival instead of queueing. Weights apply to
-///   timed initiators in the order they first reserve the bus (on the
-///   platform this is cluster shard order); missing entries default to 1.
+///   DMA initiators in the order they first reserve the bus (on the
+///   platform this is cluster shard order); missing entries default to 1,
+///   and host/PTW traffic always weighs 1 (it never consumes a slot, even
+///   when the global-clock engine gives it bus occupancy).
 ///   [`MemPortReq::priority`] is ignored — priorities cannot defeat the
 ///   configured service split.
 /// * [`ArbitrationPolicy::FixedPriority`] — strict ordering by
@@ -178,10 +181,17 @@ pub struct MemPortReq {
     /// any higher value wins arbitration outright and never queues (see
     /// `sva_mem::fabric` for the exact policy and its known biases).
     pub priority: u8,
+    /// Arrival time of the access on the global simulation clock. Every
+    /// access carries one: initiators that track their own pipeline (DMA
+    /// engines, the page-table walker, the host-traffic stream) stamp it
+    /// explicitly via [`MemPortReq::at`]; for everything else the memory
+    /// system fills in the current [`crate::clock::GlobalClock`] reading
+    /// before the grant reaches the fabric.
+    pub arrival: Cycles,
 }
 
 impl MemPortReq {
-    /// Descriptor for a read of `len` bytes at `addr`.
+    /// Descriptor for a read of `len` bytes at `addr`, arriving at cycle 0.
     pub const fn read(initiator: InitiatorId, addr: PhysAddr, len: u64) -> Self {
         Self {
             initiator,
@@ -190,10 +200,11 @@ impl MemPortReq {
             len,
             burst: false,
             priority: 0,
+            arrival: Cycles::ZERO,
         }
     }
 
-    /// Descriptor for a write of `len` bytes at `addr`.
+    /// Descriptor for a write of `len` bytes at `addr`, arriving at cycle 0.
     pub const fn write(initiator: InitiatorId, addr: PhysAddr, len: u64) -> Self {
         Self {
             initiator,
@@ -202,6 +213,7 @@ impl MemPortReq {
             len,
             burst: false,
             priority: 0,
+            arrival: Cycles::ZERO,
         }
     }
 
@@ -216,6 +228,13 @@ impl MemPortReq {
     #[must_use]
     pub const fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Stamps the arrival time of the access on the global clock.
+    #[must_use]
+    pub const fn at(mut self, arrival: Cycles) -> Self {
+        self.arrival = arrival;
         self
     }
 }
@@ -314,13 +333,16 @@ mod tests {
         assert_eq!(r.dir, PortDir::Read);
         assert!(!r.dir.is_write());
         assert!(!r.burst);
+        assert_eq!(r.arrival, Cycles::ZERO);
         let w = MemPortReq::write(InitiatorId::dma(1), PhysAddr::new(0x2000), 2048)
             .as_burst()
-            .with_priority(2);
+            .with_priority(2)
+            .at(Cycles::new(640));
         assert!(w.dir.is_write());
         assert!(w.burst);
         assert_eq!(w.priority, 2);
         assert_eq!(w.len, 2048);
+        assert_eq!(w.arrival, Cycles::new(640));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 use sva_cluster::{ClusterConfig, DmaConfig};
 use sva_common::{ArbitrationPolicy, Cycles};
-use sva_host::{DriverConfig, HostCpuConfig, InterferenceLevel};
+use sva_host::{DriverConfig, HostCpuConfig, HostTrafficConfig, InterferenceLevel};
 use sva_iommu::{IommuConfig, IommuMode};
 use sva_mem::{DramChannelConfig, LlcConfig, MemSysConfig};
 
@@ -80,8 +80,16 @@ pub struct PlatformConfig {
     pub cluster: ClusterConfig,
     /// Driver cost model.
     pub driver: DriverConfig,
-    /// Synthetic host interference while the device runs (Figure 5).
+    /// Synthetic host interference while the device runs (Figure 5's
+    /// statistical model; superseded by [`PlatformConfig::host_traffic`]
+    /// for fabric sweeps).
     pub interference: InterferenceLevel,
+    /// Timed host-traffic stream injected into device measurement windows
+    /// (`None` = host idle). Setting it turns on the global-clock engine
+    /// (`FabricConfig::timed_host_ptw`), so the stream's accesses reserve
+    /// bus occupancy and host/PTW queueing is charged when fabric
+    /// contention charging is enabled.
+    pub host_traffic: Option<HostTrafficConfig>,
     /// Number of accelerator clusters sharing the IOMMU and memory fabric.
     /// The paper's prototype has one; offloads are sharded across clusters
     /// with static block scheduling when more are instantiated.
@@ -131,6 +139,7 @@ impl PlatformConfig {
             },
             driver: DriverConfig::default(),
             interference: InterferenceLevel::Idle,
+            host_traffic: None,
             num_clusters: 1,
             cluster_priorities: Vec::new(),
             seed: 0x5EED,
@@ -227,6 +236,40 @@ impl PlatformConfig {
     /// [`ArbitrationPolicy::FixedPriority`] for strict QoS ordering.
     pub fn with_cluster_priorities(mut self, priorities: Vec<u8>) -> Self {
         self.cluster_priorities = priorities;
+        self
+    }
+
+    /// Returns a copy with the global-clock engine on: host and PTW
+    /// accesses reserve bus occupancy on the fabric timelines and their
+    /// measured queueing is charged into latencies whenever fabric
+    /// contention charging is also enabled.
+    pub fn with_global_clock(mut self) -> Self {
+        self.mem.fabric.timed_host_ptw = true;
+        self
+    }
+
+    /// Returns a copy that injects a timed host-traffic stream into every
+    /// device measurement window (and turns the global-clock engine on —
+    /// untimed host traffic could not contend).
+    pub fn with_host_traffic(mut self, traffic: HostTrafficConfig) -> Self {
+        self.host_traffic = Some(traffic);
+        self.mem.fabric.timed_host_ptw = true;
+        self
+    }
+
+    /// Returns a copy with the IOMMU's MSHR-style batched page-table walker
+    /// enabled: concurrent walks that need a PTE read already in flight
+    /// coalesce onto it instead of issuing their own.
+    pub fn with_ptw_batching(mut self) -> Self {
+        self.iommu.ptw_batching = true;
+        self
+    }
+
+    /// Returns a copy with the batched walker enabled and its walk table
+    /// sized to `entries` in-flight PTE reads.
+    pub fn with_ptw_mshr_entries(mut self, entries: usize) -> Self {
+        self.iommu.ptw_batching = true;
+        self.iommu.ptw_mshr_entries = entries.max(1);
         self
     }
 }

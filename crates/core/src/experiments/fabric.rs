@@ -1,4 +1,6 @@
-//! Fabric-scaling sweep: cluster count × platform variant × DRAM latency.
+//! Fabric-scaling sweep: cluster count × platform variant × DRAM latency,
+//! plus the global-clock sub-grid (timed host interference × MSHR-style
+//! PTW batching, [`FabricKnobs`]).
 //!
 //! This experiment goes beyond the paper: it scales the platform to N
 //! accelerator clusters sharing the IOMMU and the memory fabric, shards one
@@ -7,9 +9,9 @@
 //! * the device wall-clock (slowest shard) and its compute/DMA-wait split,
 //! * the run's IOTLB hit rate (entries are tagged per device ID; note that
 //!   shards are *simulated* sequentially, so cross-device thrashing of the
-//!   four entries only appears at shard boundaries — truly concurrent
-//!   IOTLB pressure needs the global-clock engine on the ROADMAP, and this
-//!   metric should be read as near-flat in N until then),
+//!   four entries only appears at shard boundaries and the metric reads as
+//!   near-flat in N — the global clock orders *accesses* on one timeline,
+//!   but the IOTLB content itself still evolves in simulation order),
 //! * per-initiator fabric statistics — accesses, bytes, bus occupancy and
 //!   the cross-initiator queueing each DMA stream observed. Queueing is
 //!   first-fit in shard order (a staircase across clusters, pessimistic for
@@ -34,7 +36,41 @@ use crate::offload::OffloadRunner;
 use crate::platform::Platform;
 use crate::report::{percent, sci, TextTable};
 use sva_common::{ArbitrationPolicy, Result};
+use sva_host::HostTrafficConfig;
 use sva_mem::ChannelStats;
+
+/// The global-clock knobs of one measurement point: timed host traffic in
+/// the window and the MSHR-style batched walker. `FabricKnobs::default()`
+/// is the host-idle serial-walker baseline (the PR 1/2 engine).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FabricKnobs {
+    /// Inject the default timed host-traffic stream into the window.
+    pub host_traffic: bool,
+    /// Enable the MSHR-style batched page-table walker.
+    pub ptw_batching: bool,
+}
+
+impl FabricKnobs {
+    /// Every combination, baseline first.
+    pub const ALL: [FabricKnobs; 4] = [
+        FabricKnobs {
+            host_traffic: false,
+            ptw_batching: false,
+        },
+        FabricKnobs {
+            host_traffic: false,
+            ptw_batching: true,
+        },
+        FabricKnobs {
+            host_traffic: true,
+            ptw_batching: false,
+        },
+        FabricKnobs {
+            host_traffic: true,
+            ptw_batching: true,
+        },
+    ];
+}
 
 /// Per-initiator numbers of one measurement point.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -78,6 +114,10 @@ pub struct FabricPoint {
     /// Arbitration policy label (`round_robin`, `weighted[..]`,
     /// `fixed_priority`).
     pub policy: String,
+    /// Whether the timed host-traffic stream was injected into the window.
+    pub host_traffic: bool,
+    /// Whether the MSHR-style batched walker was enabled.
+    pub ptw_batching: bool,
     /// Device wall-clock cycles (slowest shard).
     pub total: u64,
     /// Aggregate compute cycles across shards.
@@ -86,6 +126,12 @@ pub struct FabricPoint {
     pub dma_wait: u64,
     /// IOTLB hit rate over the whole run (0 when the variant has no IOMMU).
     pub iotlb_hit_rate: f64,
+    /// Page-table walks performed.
+    pub ptw_walks: u64,
+    /// PTE reads the walker issued to memory.
+    pub ptw_reads: u64,
+    /// Walk levels served by MSHR coalescing (nonzero only with batching).
+    pub ptw_coalesced_reads: u64,
     /// Whether the device results matched the host reference.
     pub verified: bool,
     /// Grants whose initiator differed from the previous grant's.
@@ -112,7 +158,8 @@ pub struct FabricSweepResult {
 
 impl FabricSweepResult {
     /// Finds the point for a given cluster/variant/latency combination with
-    /// the given channel count and policy label.
+    /// the given channel count and policy label, at the host-idle
+    /// serial-walker baseline knobs.
     pub fn get_with(
         &self,
         clusters: usize,
@@ -127,6 +174,28 @@ impl FabricSweepResult {
                 && p.dram_latency == latency
                 && p.channels == channels
                 && p.policy == policy
+                && !p.host_traffic
+                && !p.ptw_batching
+        })
+    }
+
+    /// Finds the point of the host-interference × PTW-batching sub-grid for
+    /// a given cluster count and knob combination (single channel,
+    /// round-robin, IOMMU+LLC).
+    pub fn get_knobs(
+        &self,
+        clusters: usize,
+        latency: u64,
+        knobs: FabricKnobs,
+    ) -> Option<&FabricPoint> {
+        self.points.iter().find(|p| {
+            p.clusters == clusters
+                && p.variant == SocVariant::IommuLlc
+                && p.dram_latency == latency
+                && p.channels == 1
+                && p.policy == "round_robin"
+                && p.host_traffic == knobs.host_traffic
+                && p.ptw_batching == knobs.ptw_batching
         })
     }
 
@@ -145,6 +214,8 @@ impl FabricSweepResult {
             "Latency",
             "Ch",
             "Policy",
+            "Host",
+            "PTW",
             "Wall cyc",
             "Speedup",
             "%DMA",
@@ -170,6 +241,8 @@ impl FabricSweepResult {
                 p.dram_latency.to_string(),
                 p.channels.to_string(),
                 p.policy.clone(),
+                if p.host_traffic { "noisy" } else { "idle" }.to_string(),
+                if p.ptw_batching { "batched" } else { "serial" }.to_string(),
                 sci(p.total),
                 speedup,
                 percent(dma_share),
@@ -220,8 +293,11 @@ impl FabricSweepResult {
             out.push_str(&format!(
                 "    {{\"kernel\": \"{}\", \"clusters\": {}, \"variant\": \"{}\", \
                  \"dram_latency\": {}, \"channels\": {}, \"policy\": \"{}\", \
+                 \"host_traffic\": {}, \"ptw_batching\": {}, \
                  \"total\": {}, \"compute\": {}, \"dma_wait\": {}, \
-                 \"iotlb_hit_rate\": {:.6}, \"verified\": {}, \"grant_switches\": {}, \
+                 \"iotlb_hit_rate\": {:.6}, \
+                 \"ptw_walks\": {}, \"ptw_reads\": {}, \"ptw_coalesced_reads\": {}, \
+                 \"verified\": {}, \"grant_switches\": {}, \
                  \"initiators\": [{}], \"per_channel\": [{}]}}{}\n",
                 p.kernel,
                 p.clusters,
@@ -229,10 +305,15 @@ impl FabricSweepResult {
                 p.dram_latency,
                 p.channels,
                 p.policy,
+                p.host_traffic,
+                p.ptw_batching,
                 p.total,
                 p.compute,
                 p.dma_wait,
                 p.iotlb_hit_rate,
+                p.ptw_walks,
+                p.ptw_reads,
+                p.ptw_coalesced_reads,
                 p.verified,
                 p.grant_switches,
                 initiators.join(", "),
@@ -245,8 +326,9 @@ impl FabricSweepResult {
     }
 }
 
-/// Measures one (kernel, clusters, variant, latency, channels, policy)
-/// combination on a fresh platform with fabric-contention charging enabled.
+/// Measures one (kernel, clusters, variant, latency, channels, policy,
+/// knobs) combination on a fresh platform with fabric-contention charging
+/// enabled.
 ///
 /// Under [`ArbitrationPolicy::FixedPriority`] cluster `i` is given DMA
 /// priority `i`, so the strict ordering is observable: shards are simulated
@@ -255,9 +337,16 @@ impl FabricSweepResult {
 /// those earlier reservations, which is exactly the part round-robin cannot
 /// express (descending or equal priorities would degenerate to it).
 ///
+/// With [`FabricKnobs::host_traffic`] the default timed host stream is
+/// injected into the measurement window (turning the global-clock engine
+/// on, so host and PTW queueing is charged); with
+/// [`FabricKnobs::ptw_batching`] the walker coalesces concurrent walks in
+/// its MSHR-style walk table.
+///
 /// # Errors
 ///
 /// Propagates platform construction and execution failures.
+#[allow(clippy::too_many_arguments)] // one parameter per sweep dimension
 pub fn run_point(
     kind: KernelKind,
     paper_size: bool,
@@ -266,6 +355,7 @@ pub fn run_point(
     latency: u64,
     channels: usize,
     policy: &ArbitrationPolicy,
+    knobs: FabricKnobs,
 ) -> Result<FabricPoint> {
     let workload = if paper_size {
         kind.paper_workload()
@@ -279,6 +369,12 @@ pub fn run_point(
         .with_arbitration(policy.clone());
     if matches!(policy, ArbitrationPolicy::FixedPriority) {
         config = config.with_cluster_priorities((0..clusters).map(|i| i as u8).collect());
+    }
+    if knobs.host_traffic {
+        config = config.with_host_traffic(HostTrafficConfig::default());
+    }
+    if knobs.ptw_batching {
+        config = config.with_ptw_batching();
     }
     let mut platform = Platform::new(config)?;
     let report = OffloadRunner::new(0xFAB).run_device_only(&mut platform, workload.as_ref())?;
@@ -312,10 +408,15 @@ pub fn run_point(
         dram_latency: latency,
         channels: platform.mem.fabric().channel_count(),
         policy: policy.label(),
+        host_traffic: knobs.host_traffic,
+        ptw_batching: knobs.ptw_batching,
         total: report.stats.total.raw(),
         compute: report.stats.compute.raw(),
         dma_wait: report.stats.dma_wait.raw(),
         iotlb_hit_rate: report.iommu.iotlb.hit_rate(),
+        ptw_walks: report.iommu.ptw_walks,
+        ptw_reads: report.iommu.ptw_reads,
+        ptw_coalesced_reads: report.iommu.ptw_coalesced_reads,
         verified: report.verified,
         grant_switches: platform.mem.fabric().grant_switches(),
         initiators,
@@ -323,8 +424,9 @@ pub fn run_point(
     })
 }
 
-/// Runs the full grid sequentially (the `sva_bench` driver parallelises over
-/// [`run_point`] instead).
+/// Runs the full grid sequentially at the baseline knobs (the `sva_bench`
+/// driver parallelises over [`run_point`] instead and adds the
+/// host-interference × PTW-batching sub-grid).
 ///
 /// # Errors
 ///
@@ -345,7 +447,14 @@ pub fn run(
                 for &ch in channels {
                     for policy in policies {
                         result.points.push(run_point(
-                            kind, paper_size, n, variant, latency, ch, policy,
+                            kind,
+                            paper_size,
+                            n,
+                            variant,
+                            latency,
+                            ch,
+                            policy,
+                            FabricKnobs::default(),
                         )?);
                     }
                 }
@@ -377,10 +486,20 @@ mod tests {
         let one = result.get(1, SocVariant::IommuLlc, 200).unwrap();
         let four = result.get(4, SocVariant::IommuLlc, 200).unwrap();
         assert!(four.total < one.total, "sharding must cut wall-clock");
-        // A single cluster observes no cross-initiator queueing; four
-        // overlapping DMA streams must.
-        assert_eq!(one.queue_cycles(), 0);
-        assert!(four.queue_cycles() > 0);
+        // A single DMA stream observes no cross-initiator queueing (its own
+        // bursts never conflict with themselves); four overlapping streams
+        // must. PTW probes may *record* waits behind DMA occupancy at any
+        // cluster count — that accounting is live since the global clock —
+        // so the invariant is on the DMA rows.
+        let dma_queue = |p: &FabricPoint| -> u64 {
+            p.initiators
+                .iter()
+                .filter(|r| r.initiator.starts_with("dma"))
+                .map(|r| r.queue_cycles)
+                .sum()
+        };
+        assert_eq!(dma_queue(one), 0);
+        assert!(dma_queue(four) > 0);
         // One DMA initiator per cluster shows up in the fabric stats.
         let dma_rows = |p: &FabricPoint| {
             p.initiators
@@ -390,6 +509,55 @@ mod tests {
         };
         assert_eq!(dma_rows(one), 1);
         assert_eq!(dma_rows(four), 4);
+    }
+
+    #[test]
+    fn knob_sub_grid_reports_host_and_walker_effects() {
+        let points: Vec<FabricPoint> = FabricKnobs::ALL
+            .iter()
+            .map(|&knobs| {
+                run_point(
+                    KernelKind::Gemm,
+                    false,
+                    4,
+                    SocVariant::IommuLlc,
+                    200,
+                    1,
+                    &ArbitrationPolicy::RoundRobin,
+                    knobs,
+                )
+                .unwrap()
+            })
+            .collect();
+        assert!(points.iter().all(|p| p.verified));
+        let result = FabricSweepResult { points };
+        let base = result.get_knobs(4, 200, FabricKnobs::ALL[0]).unwrap();
+        let batched = result.get_knobs(4, 200, FabricKnobs::ALL[1]).unwrap();
+        let noisy = result.get_knobs(4, 200, FabricKnobs::ALL[2]).unwrap();
+        // Host interference slows the device and shows up in the host row.
+        assert!(noisy.total > base.total, "host traffic must cost cycles");
+        let host_queue = |p: &FabricPoint| {
+            p.initiators
+                .iter()
+                .find(|r| r.initiator == "host")
+                .map(|r| r.queue_cycles)
+                .unwrap_or(0)
+        };
+        assert!(host_queue(noisy) > 0, "host stream queues behind DMA");
+        // The batched walker coalesces and cuts memory reads.
+        assert_eq!(base.ptw_coalesced_reads, 0);
+        assert!(batched.ptw_coalesced_reads > 0);
+        assert!(batched.ptw_reads < base.ptw_reads);
+        assert_eq!(
+            batched.ptw_reads + batched.ptw_coalesced_reads,
+            base.ptw_reads,
+            "walk levels conserve between the serial and batched walkers"
+        );
+        // JSON carries the sub-grid fields.
+        let json = result.to_json();
+        assert!(json.contains("\"host_traffic\": true"));
+        assert!(json.contains("\"ptw_batching\": true"));
+        assert!(json.contains("\"ptw_coalesced_reads\""));
     }
 
     #[test]
@@ -432,6 +600,7 @@ mod tests {
                     200,
                     ch,
                     &ArbitrationPolicy::RoundRobin,
+                    FabricKnobs::default(),
                 )
                 .unwrap()
                 .total
@@ -458,6 +627,7 @@ mod tests {
                 200,
                 2,
                 &policy,
+                FabricKnobs::default(),
             )
             .unwrap();
             assert!(p.verified, "{policy:?} run must verify");

@@ -231,14 +231,24 @@ impl OffloadRunner {
     /// shares the IOMMU and the memory fabric. Returns the parallel-merged
     /// breakdown (wall-clock = slowest shard) plus the per-cluster shards.
     ///
+    /// The call opens a **measurement window**: the fabric's channel
+    /// timelines are cleared (statistics survive) and the global clock
+    /// restarts, so every shard's local cursor — and the host-traffic
+    /// stream, when configured — starts from the same zero on the shared
+    /// virtual timeline. The stream is injected in slices interleaved with
+    /// the shards (one slice before each shard, the remainder after the
+    /// last), which makes the queueing bidirectional under first-fit
+    /// placement: early slices reserve bus time the shards queue behind,
+    /// later slices queue behind the shards' reservations.
+    ///
     /// When the workload has fewer tiles than the platform has clusters, the
     /// tail clusters receive empty [`TileRange`] shards and report zero
     /// stats without instantiating a kernel — the executor path would
     /// return the same zeroes for an empty shard (a unit-tested
     /// equivalence in `sva_cluster::kernel`), so the shortcut cannot drift.
     ///
-    /// With one cluster this degenerates to exactly the paper's single
-    /// `ClusterExecutor::run` call.
+    /// With one cluster and no host traffic this degenerates to exactly the
+    /// paper's single `ClusterExecutor::run` call.
     fn run_device_sharded(
         platform: &mut Platform,
         workload: &dyn Workload,
@@ -246,16 +256,30 @@ impl OffloadRunner {
         iommu_override: Option<&mut Iommu>,
     ) -> Result<(KernelRunStats, Vec<KernelRunStats>)> {
         let num_clusters = platform.clusters.len();
+        platform.mem.open_measurement_window();
+        let traffic_slice = match platform.host_traffic.as_mut() {
+            Some(stream) => {
+                stream.restart();
+                stream
+                    .config()
+                    .accesses
+                    .div_ceil(num_clusters as u64 + 1)
+                    .max(1)
+            }
+            None => 0,
+        };
         let total_tiles = workload.device_kernel(device_ptrs).num_tiles();
         let blocks = block_partition(total_tiles, num_clusters);
         let mut shards = Vec::with_capacity(num_clusters);
         let mut override_iommu = iommu_override;
         for (cluster_idx, (start, len)) in blocks.into_iter().enumerate() {
+            if let Some(stream) = platform.host_traffic.as_mut() {
+                stream.inject(&mut platform.mem, &platform.clock, traffic_slice)?;
+            }
             if len == 0 {
                 // Empty tail shard: skip building a whole kernel instance
-                // (sort's, for one, allocates n-element mirrors) to run zero
-                // tiles. Default stats are exactly what the executor returns
-                // for an empty shard — pinned by
+                // to run zero tiles. Default stats are exactly what the
+                // executor returns for an empty shard — pinned by
                 // `empty_tile_range_is_valid_and_runs_to_zero_stats` in
                 // `sva_cluster::kernel`.
                 shards.push(KernelRunStats::default());
@@ -268,6 +292,12 @@ impl OffloadRunner {
             };
             let stats = platform.clusters[cluster_idx].run(&mut platform.mem, iommu, &mut shard)?;
             shards.push(stats);
+        }
+        // Drain the rest of the configured stream so every window injects
+        // the same host load regardless of cluster count.
+        if let Some(stream) = platform.host_traffic.as_mut() {
+            let rest = stream.remaining();
+            stream.inject(&mut platform.mem, &platform.clock, rest)?;
         }
         Ok((KernelRunStats::merge_parallel(&shards), shards))
     }
@@ -725,6 +755,37 @@ mod tests {
         assert_eq!(report.stats.tiles, 3);
         let slowest = report.per_cluster.iter().map(|s| s.total).max().unwrap();
         assert_eq!(report.stats.total, slowest);
+    }
+
+    #[test]
+    fn sort_shards_across_clusters_and_verifies() {
+        // The merge-path partitions are recomputed from shared functional
+        // memory in the plan pre-pass, so the non-linear kernel now shards:
+        // every cluster sees the runs exactly as the previous pass left
+        // them, wherever that pass executed.
+        use sva_kernels::SortWorkload;
+        // 16 384 elements = 2 merge passes (even parity, local sort in
+        // place); 32 768 = 3 passes (odd parity, the ping-pong starts in
+        // the aux array so the result still lands in `data`).
+        for n in [16_384usize, 32_768] {
+            let wl = SortWorkload::with_elems(n);
+            for clusters in [1usize, 2, 3, 4] {
+                let config = PlatformConfig::iommu_with_llc(200)
+                    .with_clusters(clusters)
+                    .with_fabric_contention();
+                let mut platform = Platform::new(config).unwrap();
+                let report = OffloadRunner::new(31)
+                    .run_device_only(&mut platform, &wl)
+                    .unwrap();
+                assert!(
+                    report.verified,
+                    "sort({n}) must verify on {clusters} clusters"
+                );
+                assert_eq!(report.per_cluster.len(), clusters);
+                let shard_tiles: u64 = report.per_cluster.iter().map(|s| s.tiles).sum();
+                assert_eq!(report.stats.tiles, shard_tiles, "every tile executed once");
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use sva_cluster::ClusterExecutor;
 use sva_common::rng::DeterministicRng;
-use sva_common::Result;
-use sva_host::{CopyEngine, HostCpu, IommuDriver};
+use sva_common::{GlobalClock, Result};
+use sva_host::{CopyEngine, HostCpu, HostTrafficStream, IommuDriver};
 use sva_iommu::Iommu;
 use sva_mem::MemorySystem;
 use sva_vm::{AddressSpace, FrameAllocator};
@@ -20,13 +20,22 @@ use crate::config::PlatformConfig;
 
 /// The full SoC: host subsystem, IOMMU, accelerator clusters, memory system
 /// and the software state (process address space, driver, allocators).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Platform {
     config: PlatformConfig,
+    /// The global simulation clock owned by the platform: shared with the
+    /// memory system (which stamps otherwise-unstamped accesses with it)
+    /// and the host CPU (which advances it as it executes). Cluster
+    /// executors keep their own per-shard cursors — shards of one offload
+    /// run concurrently in simulated time.
+    pub clock: GlobalClock,
     /// The shared memory system (LLC, DRAM, delayer, L2 SPM).
     pub mem: MemorySystem,
     /// The CVA6 host core.
     pub cpu: HostCpu,
+    /// The timed host-traffic stream injected into device measurement
+    /// windows, when configured.
+    pub host_traffic: Option<HostTrafficStream>,
     /// The RISC-V IOMMU (disabled/translating depending on the variant),
     /// shared by every cluster.
     pub iommu: Iommu,
@@ -47,6 +56,38 @@ pub struct Platform {
     pub rng: DeterministicRng,
 }
 
+impl Clone for Platform {
+    /// A cloned platform is an **independent** simulation: because
+    /// [`GlobalClock`] handles share their counter, a derived clone would
+    /// leave both platforms advancing (and rewinding) each other's time.
+    /// The manual impl fresh-wires a new clock seeded at the original's
+    /// current reading and re-attaches it to the memory system and the
+    /// host CPU.
+    fn clone(&self) -> Self {
+        let clock = GlobalClock::new();
+        clock.advance_to(self.clock.now());
+        let mut mem = self.mem.clone();
+        mem.attach_clock(&clock);
+        let mut cpu = self.cpu.clone();
+        cpu.attach_clock(&clock);
+        Self {
+            config: self.config.clone(),
+            clock,
+            mem,
+            cpu,
+            host_traffic: self.host_traffic.clone(),
+            iommu: self.iommu.clone(),
+            clusters: self.clusters.clone(),
+            space: self.space.clone(),
+            frames: self.frames.clone(),
+            reserved: self.reserved.clone(),
+            driver: self.driver.clone(),
+            copy: self.copy.clone(),
+            rng: self.rng.clone(),
+        }
+    }
+}
+
 impl Platform {
     /// Builds and boots a platform: constructs the memory system, creates the
     /// user process, and — when the variant has an IOMMU — attaches every
@@ -59,10 +100,14 @@ impl Platform {
     /// Returns allocation failures while setting up the address space or the
     /// IOMMU structures.
     pub fn new(config: PlatformConfig) -> Result<Self> {
+        let clock = GlobalClock::new();
         let mut mem = MemorySystem::new(config.mem.clone());
+        mem.attach_clock(&clock);
         mem.set_interference(config.interference.to_config(config.seed ^ 0xA11CE));
 
         let mut cpu = HostCpu::new(config.cpu);
+        cpu.attach_clock(&clock);
+        let host_traffic = config.host_traffic.map(HostTrafficStream::new);
         let mut iommu = Iommu::new(config.iommu);
         let num_clusters = config.num_clusters.max(1);
         let clusters = (0..num_clusters)
@@ -96,8 +141,10 @@ impl Platform {
         Ok(Self {
             rng: DeterministicRng::new(config.seed),
             config,
+            clock,
             mem,
             cpu,
+            host_traffic,
             iommu,
             clusters,
             space,

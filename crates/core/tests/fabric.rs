@@ -1,9 +1,12 @@
 //! Integration tests of the QoS-aware fabric arbitration: starvation-freedom
 //! of the weighted policy, strict ordering of fixed-priority arbitration
-//! under synthetic two-initiator contention, and the IOTLB/fabric stat-sum
-//! invariants on a multi-cluster platform running each policy.
+//! under synthetic two-initiator contention, the IOTLB/fabric stat-sum
+//! invariants on a multi-cluster platform running each policy, and the
+//! global-clock engine (timed host traffic contending with DMA/PTW, the
+//! MSHR-style batched walker).
 
 use sva_common::{ArbitrationPolicy, Cycles, InitiatorId, MemPortReq, PhysAddr, PortTiming};
+use sva_host::HostTrafficConfig;
 use sva_kernels::GemmWorkload;
 use sva_mem::fabric::{Fabric, FabricConfig};
 use sva_soc::config::PlatformConfig;
@@ -40,10 +43,10 @@ fn weighted_arbitration_is_starvation_free() {
     const OCC: u64 = 256;
     let mut heavy_reserved = 0u64;
     for i in 0..ROUNDS {
-        let t = Some(Cycles::new(i * 10));
-        fabric.grant(&burst(1, 0), t, timing(OCC));
+        let t = Cycles::new(i * 10);
+        fabric.grant(&burst(1, 0).at(t), timing(OCC));
         heavy_reserved += OCC;
-        let q = fabric.grant(&burst(3, 0), t, timing(OCC));
+        let q = fabric.grant(&burst(3, 0).at(t), timing(OCC));
         // Bounded waiting: the light stream can only ever wait behind bus
         // time that has actually been reserved, never indefinitely.
         assert!(
@@ -85,9 +88,9 @@ fn fixed_priority_orders_strictly_under_contention() {
         ..FabricConfig::default()
     });
     for i in 0..32u64 {
-        let t = Some(Cycles::new(i * 10));
-        fabric.grant(&burst(1, 0), t, timing(256)); // low priority
-        fabric.grant(&burst(3, 2), t, timing(256)); // high priority
+        let t = Cycles::new(i * 10);
+        fabric.grant(&burst(1, 0).at(t), timing(256)); // low priority
+        fabric.grant(&burst(3, 2).at(t), timing(256)); // high priority
     }
     let low = fabric.initiator_stats(InitiatorId::dma(1)).unwrap();
     let high = fabric.initiator_stats(InitiatorId::dma(3)).unwrap();
@@ -109,9 +112,9 @@ fn fixed_priority_orders_strictly_under_contention() {
         });
         let mut queues = Vec::new();
         for i in 0..32u64 {
-            let t = Some(Cycles::new(i * 10));
-            queues.push(fabric.grant(&burst(1, 1), t, timing(256)).raw());
-            queues.push(fabric.grant(&burst(3, 1), t, timing(256)).raw());
+            let t = Cycles::new(i * 10);
+            queues.push(fabric.grant(&burst(1, 1).at(t), timing(256)).raw());
+            queues.push(fabric.grant(&burst(3, 1).at(t), timing(256)).raw());
         }
         queues
     };
@@ -123,9 +126,9 @@ fn fixed_priority_orders_strictly_under_contention() {
         let mut fabric = Fabric::default();
         let mut queues = Vec::new();
         for i in 0..32u64 {
-            let t = Some(Cycles::new(i * 10));
-            queues.push(fabric.grant(&burst(1, 0), t, timing(256)).raw());
-            queues.push(fabric.grant(&burst(3, 0), t, timing(256)).raw());
+            let t = Cycles::new(i * 10);
+            queues.push(fabric.grant(&burst(1, 0).at(t), timing(256)).raw());
+            queues.push(fabric.grant(&burst(3, 0).at(t), timing(256)).raw());
         }
         queues
     };
@@ -197,4 +200,96 @@ fn stat_sums_hold_under_every_policy() {
             total.queue_cycles
         );
     }
+}
+
+/// The global-clock engine end to end: with a timed host-traffic stream
+/// injected into the measurement window of a contended multi-cluster run,
+/// (a) the host and PTW initiators observe nonzero queueing (they are on
+/// the fabric timelines now), (b) the device slows down relative to the
+/// host-idle run, and (c) the host-idle configuration's wall-clock is
+/// untouched by the engine merely existing.
+#[test]
+fn timed_host_traffic_contends_with_dma_and_ptw() {
+    let wl = GemmWorkload::with_dim(64);
+    let run = |host: bool| {
+        let mut config = PlatformConfig::iommu_with_llc(200)
+            .with_clusters(4)
+            .with_fabric_contention();
+        if host {
+            config = config.with_host_traffic(HostTrafficConfig::default());
+        }
+        let mut platform = Platform::new(config).unwrap();
+        let report = OffloadRunner::new(0x6C0C)
+            .run_device_only(&mut platform, &wl)
+            .unwrap();
+        assert!(report.verified, "host={host} run must verify");
+        let queue_of = |id: InitiatorId| {
+            platform
+                .mem
+                .fabric()
+                .initiator_stats(id)
+                .map(|s| s.queue_cycles)
+                .unwrap_or(0)
+        };
+        (
+            report.stats.total.raw(),
+            queue_of(InitiatorId::Host),
+            queue_of(InitiatorId::Ptw),
+        )
+    };
+    let (idle_total, _, _) = run(false);
+    let (noisy_total, host_queue, ptw_queue) = run(true);
+    assert!(
+        host_queue > 0,
+        "the host stream must queue behind DMA occupancy"
+    );
+    assert!(
+        ptw_queue > 0,
+        "page-table walks must queue behind host/DMA occupancy"
+    );
+    assert!(
+        noisy_total > idle_total,
+        "host interference must slow the device: idle={idle_total} noisy={noisy_total}"
+    );
+}
+
+/// The MSHR-style batched walker on a multi-cluster platform: per-device
+/// IOTLB misses of the shared working set coalesce in the walk table, so
+/// batching cuts the walker's memory reads without changing results, and
+/// read+coalesced totals are conserved.
+#[test]
+fn ptw_batching_coalesces_cross_device_walks() {
+    let wl = GemmWorkload::with_dim(64);
+    let run = |batching: bool| {
+        let mut config = PlatformConfig::iommu_with_llc(200)
+            .with_clusters(4)
+            .with_fabric_contention();
+        if batching {
+            config = config.with_ptw_batching();
+        }
+        let mut platform = Platform::new(config).unwrap();
+        let report = OffloadRunner::new(0xBA7C)
+            .run_device_only(&mut platform, &wl)
+            .unwrap();
+        assert!(report.verified, "batching={batching} run must verify");
+        report.iommu
+    };
+    let serial = run(false);
+    let batched = run(true);
+    assert_eq!(serial.ptw_coalesced_reads, 0);
+    assert!(batched.ptw_coalesced_reads > 0, "concurrent walks coalesce");
+    assert!(
+        batched.ptw_reads < serial.ptw_reads,
+        "batching must cut walker memory reads: {} vs {}",
+        batched.ptw_reads,
+        serial.ptw_reads
+    );
+    // Same translation work happened either way: every level of every walk
+    // resolved exactly once, by a read or by coalescing.
+    assert_eq!(serial.ptw_walks, batched.ptw_walks);
+    assert_eq!(
+        batched.ptw_reads + batched.ptw_coalesced_reads,
+        serial.ptw_reads,
+        "levels are conserved between the serial and batched walkers"
+    );
 }

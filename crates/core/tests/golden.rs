@@ -1,6 +1,7 @@
 //! Golden regression tests: pinned end-to-end device cycle counts for the
-//! small kernel suite at 1 and 4 clusters, so arbitration and channel
-//! refactors fail loudly instead of silently drifting the timing model.
+//! small kernel suite at 1 and 4 clusters, so arbitration, channel and
+//! clock refactors fail loudly instead of silently drifting the timing
+//! model.
 //!
 //! The pinned numbers were produced by this exact configuration (seed
 //! `0x601D`, IOMMU+LLC variant at 200 delayer cycles, fabric contention
@@ -9,10 +10,13 @@
 //! change legitimately alters cycle counts, update the table **in the same
 //! commit** and call the change out in the PR description.
 //!
-//! `sort` is pinned at one cluster only: its merge-path partitioning keeps
-//! per-kernel-instance mirrors of the working arrays, so sharding it across
-//! clusters is a known functional limitation (see ROADMAP).
+//! The default-knob table doubles as the global-clock engine's identity
+//! proof: with host traffic disabled, one channel, round-robin and PTW
+//! batching off, the timed engine must reproduce the pre-clock (PR 2)
+//! counts bit for bit. A second table pins the timed engine itself — host
+//! traffic + 4 clusters + batched PTW.
 
+use sva_host::HostTrafficConfig;
 use sva_kernels::KernelKind;
 use sva_soc::config::PlatformConfig;
 use sva_soc::offload::OffloadRunner;
@@ -22,6 +26,10 @@ const GOLDEN_SEED: u64 = 0x601D;
 const GOLDEN_LATENCY: u64 = 200;
 
 /// (kernel, clusters, device wall-clock cycles).
+///
+/// Every count except the `sort @ 4` row predates the global clock (PR 2);
+/// `sort @ 4` became possible when the merge-path partitions moved to
+/// shared functional memory.
 const GOLDEN: &[(KernelKind, usize, u64)] = &[
     (KernelKind::Axpy, 1, 18_151),
     (KernelKind::Axpy, 4, 15_236),
@@ -32,6 +40,18 @@ const GOLDEN: &[(KernelKind, usize, u64)] = &[
     (KernelKind::Heat3d, 1, 90_652),
     (KernelKind::Heat3d, 4, 31_903),
     (KernelKind::Sort, 1, 1_361_325),
+    (KernelKind::Sort, 4, 927_870),
+];
+
+/// Pinned counts for the timed engine: 4 clusters, fabric contention
+/// charged, the default host-traffic stream injected into the window and
+/// the MSHR-style batched walker on.
+const TIMED_GOLDEN: &[(KernelKind, u64)] = &[
+    (KernelKind::Axpy, 86_890),
+    (KernelKind::Gemm, 229_936),
+    (KernelKind::Gesummv, 169_225),
+    (KernelKind::Heat3d, 180_900),
+    (KernelKind::Sort, 966_869),
 ];
 
 fn golden_config(clusters: usize) -> PlatformConfig {
@@ -103,4 +123,64 @@ fn more_channels_never_exceed_the_pinned_single_channel_counts() {
             );
         }
     }
+}
+
+/// The timed engine locked down: host traffic + 4 clusters + batched PTW
+/// reproduce their pinned counts, the device is slower than in the
+/// host-idle run (interference costs cycles), the host and PTW initiators
+/// observe queueing on the fabric timelines, and the walker coalesces.
+#[test]
+fn timed_engine_golden_counts_hold() {
+    let mut failures = Vec::new();
+    for &(kind, expected) in TIMED_GOLDEN {
+        let config = golden_config(4)
+            .with_host_traffic(HostTrafficConfig::default())
+            .with_ptw_batching();
+        let wl = kind.small_workload();
+        let mut platform = Platform::new(config).unwrap();
+        let report = OffloadRunner::new(GOLDEN_SEED)
+            .run_device_only(&mut platform, wl.as_ref())
+            .unwrap();
+        assert!(report.verified, "{kind:?} timed golden run must verify");
+        let actual = report.stats.total.raw();
+        if actual != expected {
+            failures.push(format!(
+                "{kind:?} timed engine: pinned {expected}, measured {actual}"
+            ));
+        }
+        let idle = GOLDEN
+            .iter()
+            .find(|&&(k, clusters, _)| k == kind && clusters == 4)
+            .map(|&(_, _, total)| total)
+            .expect("every timed kernel has a 4-cluster idle pin");
+        assert!(
+            actual > idle,
+            "{kind:?}: host interference must cost cycles ({actual} vs idle {idle})"
+        );
+        let queue_of = |id: sva_common::InitiatorId| {
+            platform
+                .mem
+                .fabric()
+                .initiator_stats(id)
+                .map(|s| s.queue_cycles)
+                .unwrap_or(0)
+        };
+        assert!(
+            queue_of(sva_common::InitiatorId::Host) > 0,
+            "{kind:?}: the host stream must observe queueing"
+        );
+        assert!(
+            queue_of(sva_common::InitiatorId::Ptw) > 0,
+            "{kind:?}: page-table walks must observe queueing"
+        );
+        assert!(
+            report.iommu.ptw_coalesced_reads > 0,
+            "{kind:?}: the batched walker must coalesce concurrent walks"
+        );
+    }
+    assert!(
+        failures.is_empty(),
+        "timed-engine golden counts drifted:\n  {}",
+        failures.join("\n  ")
+    );
 }

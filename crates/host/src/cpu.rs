@@ -9,7 +9,7 @@
 //! counter accumulates the total so callers can read off elapsed time.
 
 use serde::{Deserialize, Serialize};
-use sva_common::{Cycles, PhysAddr, Result, CACHE_LINE_SIZE};
+use sva_common::{Cycles, GlobalClock, PhysAddr, Result, CACHE_LINE_SIZE};
 use sva_mem::cache::{Cache, CacheConfig};
 use sva_mem::MemorySystem;
 
@@ -44,16 +44,27 @@ pub struct HostCpu {
     config: HostCpuConfig,
     l1d: Cache,
     elapsed: Cycles,
+    /// The platform's global simulation clock: every cycle the core charges
+    /// advances it, so host activity moves shared time forward and later
+    /// accesses are stamped after the work the host has already done.
+    clock: GlobalClock,
 }
 
 impl HostCpu {
-    /// Creates a host CPU with the given configuration.
+    /// Creates a host CPU with the given configuration and a private clock.
     pub fn new(config: HostCpuConfig) -> Self {
         Self {
             l1d: Cache::new(config.l1d),
             elapsed: Cycles::ZERO,
+            clock: GlobalClock::new(),
             config,
         }
+    }
+
+    /// Shares the platform's global clock with this core (replacing the
+    /// private clock created by [`HostCpu::new`]).
+    pub fn attach_clock(&mut self, clock: &GlobalClock) {
+        self.clock = clock.clone();
     }
 
     /// The configuration of this CPU.
@@ -79,6 +90,7 @@ impl HostCpu {
 
     fn charge(&mut self, cycles: Cycles) -> Cycles {
         self.elapsed += cycles;
+        self.clock.advance(cycles);
         cycles
     }
 

@@ -30,4 +30,4 @@ pub use copy::{CopyEngine, CopyStats};
 pub use cpu::{HostCpu, HostCpuConfig};
 pub use driver::{DriverConfig, IommuDriver, MappingCost, MappingHandle};
 pub use exec::{HostKernelCost, HostKernelRunner, HostRunStats};
-pub use traffic::InterferenceLevel;
+pub use traffic::{HostTrafficConfig, HostTrafficStats, HostTrafficStream, InterferenceLevel};

@@ -1,13 +1,166 @@
-//! Presets for the synthetic host interference stream of Figure 5.
+//! Host memory traffic concurrent with device execution: the timed
+//! host-traffic stream of the global-clock engine, plus the legacy
+//! statistical interference presets of Figure 5.
 //!
 //! Section IV-C stresses the shared LLC and system bus with a random memory
 //! stream issued from the host while the accelerator runs, and measures an
-//! average page-table-walk slowdown of about 20 %. The presets here map a
-//! qualitative interference level to the [`InterferenceConfig`] consumed by
-//! the memory system.
+//! average page-table-walk slowdown of about 20 %. Two models exist:
+//!
+//! * [`HostTrafficStream`] — the first-class model: a paced stream of
+//!   **timed host reads** issued through the fabric port with arrival
+//!   timestamps spanning the device's measurement window. With the
+//!   global-clock engine on (`FabricConfig::timed_host_ptw`), the stream's
+//!   accesses reserve bus occupancy, so DMA bursts and page-table walks
+//!   queue behind genuine host traffic (and the stream itself queues behind
+//!   DMA occupancy — contention is bidirectional). Streaming through the
+//!   cached DRAM window also evicts LLC lines, reproducing the paper's
+//!   PTE-eviction effect without a statistical stand-in.
+//! * [`InterferenceLevel`] — the legacy presets mapping a qualitative level
+//!   to the statistical [`InterferenceConfig`] of `sva_mem::interference`
+//!   (M/D/1 queueing delay + random LLC pollution). Kept for Figure 5
+//!   reproduction; the timed stream supersedes it for fabric sweeps.
 
 use serde::{Deserialize, Serialize};
+use sva_common::{Cycles, GlobalClock, InitiatorId, PhysAddr, Result};
 use sva_mem::interference::InterferenceConfig;
+use sva_mem::{MemReq, MemorySystem};
+
+/// Configuration of the timed host-traffic stream.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostTrafficConfig {
+    /// Total timed host accesses injected per measurement window.
+    pub accesses: u64,
+    /// Issue gap between consecutive accesses, in host cycles (the stream's
+    /// pacing; `accesses × gap` is the window the stream covers).
+    pub gap: Cycles,
+    /// Bytes per access (a short read burst; together with `gap` this sets
+    /// the stream's duty cycle on the shared data path — the default
+    /// reserves 32 of every 48 cycles, a heavy stressor like the paper's
+    /// synthetic interference program).
+    pub len: u64,
+    /// Address stride between consecutive accesses. The default skips ahead
+    /// of the previous access so every access touches fresh lines, misses
+    /// the LLC and occupies the DRAM data path.
+    pub stride: u64,
+    /// Size of the streamed window inside cached DRAM (the stream wraps);
+    /// larger than the LLC so the misses persist.
+    pub region_bytes: u64,
+    /// Byte offset of the streamed window from the DRAM base, so the stream
+    /// does not overwrite-read the workload's own hot lines more than a
+    /// real co-running process would.
+    pub region_offset: u64,
+}
+
+impl Default for HostTrafficConfig {
+    fn default() -> Self {
+        Self {
+            accesses: 4096,
+            gap: Cycles::new(48),
+            len: 256,
+            stride: 5 * 64,
+            region_bytes: 32 * 1024 * 1024,
+            region_offset: 256 * 1024 * 1024,
+        }
+    }
+}
+
+impl HostTrafficConfig {
+    /// The window of simulated time the stream's arrivals cover.
+    pub fn window(&self) -> Cycles {
+        self.gap * self.accesses
+    }
+}
+
+/// Statistics of the stream (fabric-level accounting lives in the
+/// per-initiator `host` row of `Fabric::snapshot`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostTrafficStats {
+    /// Accesses issued since the last restart.
+    pub issued: u64,
+    /// Bytes read.
+    pub bytes: u64,
+    /// Summed latency the stream observed (including charged queueing).
+    pub latency_cycles: u64,
+}
+
+/// A paced stream of timed host reads contending on the memory fabric.
+///
+/// The stream keeps a time cursor on the global clock: every access is
+/// stamped `issue = first_issue + i × gap`, so injecting the stream in
+/// slices interleaved with the per-cluster DMA shards (the runtime does
+/// this) produces bidirectional queueing — early slices reserve bus time
+/// the shards queue behind, later slices queue behind the shards'
+/// reservations.
+#[derive(Clone, Debug)]
+pub struct HostTrafficStream {
+    config: HostTrafficConfig,
+    /// Index of the next access to issue (also the pacing cursor).
+    next: u64,
+    stats: HostTrafficStats,
+}
+
+impl HostTrafficStream {
+    /// Creates a stream in its pre-window state.
+    pub fn new(config: HostTrafficConfig) -> Self {
+        Self {
+            config,
+            next: 0,
+            stats: HostTrafficStats::default(),
+        }
+    }
+
+    /// The stream's configuration.
+    pub const fn config(&self) -> &HostTrafficConfig {
+        &self.config
+    }
+
+    /// Statistics since the last [`HostTrafficStream::restart`].
+    pub const fn stats(&self) -> &HostTrafficStats {
+        &self.stats
+    }
+
+    /// Rewinds the stream to the start of a new measurement window.
+    pub fn restart(&mut self) {
+        self.next = 0;
+        self.stats = HostTrafficStats::default();
+    }
+
+    /// Number of accesses not yet issued in this window.
+    pub fn remaining(&self) -> u64 {
+        self.config.accesses - self.next
+    }
+
+    /// Issues up to `count` paced, timestamped host reads through the
+    /// fabric port of `mem`, advancing the global `clock` to the stream's
+    /// cursor so later untimed host activity lands after the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors from the memory system (none for in-range
+    /// configurations).
+    pub fn inject(
+        &mut self,
+        mem: &mut MemorySystem,
+        clock: &GlobalClock,
+        count: u64,
+    ) -> Result<()> {
+        let base = sva_axi::addrmap::DRAM_BASE + self.config.region_offset;
+        let mut buf = vec![0u8; self.config.len as usize];
+        let n = count.min(self.remaining());
+        for _ in 0..n {
+            let i = self.next;
+            let issue = Cycles::new(i * self.config.gap.raw());
+            let addr = PhysAddr::new(base + (i * self.config.stride) % self.config.region_bytes);
+            let rsp = mem.access(MemReq::read(InitiatorId::Host, addr, &mut buf).at(issue))?;
+            self.next += 1;
+            self.stats.issued += 1;
+            self.stats.bytes += self.config.len;
+            self.stats.latency_cycles += rsp.latency().raw();
+            clock.advance_to(issue + rsp.latency());
+        }
+        Ok(())
+    }
+}
 
 /// Qualitative level of concurrent host memory traffic.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -55,6 +208,60 @@ impl InterferenceLevel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sva_mem::{FabricConfig, MemSysConfig};
+
+    fn timed_mem() -> MemorySystem {
+        MemorySystem::new(MemSysConfig {
+            fabric: FabricConfig {
+                timed_host_ptw: true,
+                ..FabricConfig::default()
+            },
+            ..MemSysConfig::default()
+        })
+    }
+
+    #[test]
+    fn stream_paces_timestamps_and_reserves_the_bus() {
+        let mut mem = timed_mem();
+        let clock = GlobalClock::new();
+        let cfg = HostTrafficConfig {
+            accesses: 32,
+            gap: Cycles::new(100),
+            ..HostTrafficConfig::default()
+        };
+        let mut stream = HostTrafficStream::new(cfg);
+        stream.inject(&mut mem, &clock, 32).unwrap();
+        assert_eq!(stream.stats().issued, 32);
+        assert_eq!(stream.remaining(), 0);
+        // Paced arrivals: the clock followed the stream's cursor past the
+        // last issue point.
+        assert!(clock.now() >= Cycles::new(31 * 100));
+        // Timed host accesses reserved bus occupancy: a DMA burst arriving
+        // inside the window observes queueing behind host traffic.
+        let host = mem
+            .fabric()
+            .initiator_stats(InitiatorId::Host)
+            .expect("host row exists");
+        assert_eq!(host.reads, 32);
+        assert!(host.occupancy_cycles > 0, "stream must reserve occupancy");
+    }
+
+    #[test]
+    fn stream_restart_rewinds_the_window() {
+        let mut mem = timed_mem();
+        let clock = GlobalClock::new();
+        let mut stream = HostTrafficStream::new(HostTrafficConfig {
+            accesses: 10,
+            ..HostTrafficConfig::default()
+        });
+        stream.inject(&mut mem, &clock, 4).unwrap();
+        assert_eq!(stream.remaining(), 6);
+        stream.inject(&mut mem, &clock, 100).unwrap();
+        assert_eq!(stream.remaining(), 0, "inject clamps to the window");
+        stream.restart();
+        assert_eq!(stream.remaining(), 10);
+        assert_eq!(stream.stats().issued, 0);
+    }
 
     #[test]
     fn idle_produces_no_config() {

@@ -11,8 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 use sva_common::stats::HitMiss;
-use sva_common::{Cycles, Error, PhysAddr, Result, PAGE_SHIFT};
-use sva_mem::MemorySystem;
+use sva_common::{Cycles, Error, InitiatorId, PhysAddr, Result, PAGE_SHIFT};
+use sva_mem::{MemReq, MemorySystem};
 use sva_vm::FrameAllocator;
 
 /// Size of one device-context slot in the directory, in bytes.
@@ -168,7 +168,9 @@ impl DeviceDirectory {
     }
 
     /// Looks up the device context for `device_id`, using the single-entry
-    /// cache and falling back to a timed directory read on the PTW port.
+    /// cache and falling back to timed directory reads on the PTW port,
+    /// issued back to back starting at global-clock cycle `now` (the
+    /// arrival of the translation performing the lookup).
     ///
     /// Returns the context and the cycles spent.
     ///
@@ -179,6 +181,7 @@ impl DeviceDirectory {
         &mut self,
         mem: &mut MemorySystem,
         device_id: u32,
+        now: Cycles,
     ) -> Result<(DeviceContext, Cycles)> {
         if let Some((cached_id, ctx)) = self.cache {
             if cached_id == device_id {
@@ -191,9 +194,12 @@ impl DeviceDirectory {
         let mut words = [0u64; 3];
         let mut cycles = Cycles::ZERO;
         for (i, w) in words.iter_mut().enumerate() {
-            let (value, lat) = mem.ptw_read(slot + i as u64 * 8)?;
-            *w = value;
-            cycles += lat;
+            let mut buf = [0u8; 8];
+            let rsp = mem.access(
+                MemReq::read(InitiatorId::Ptw, slot + i as u64 * 8, &mut buf).at(now + cycles),
+            )?;
+            *w = u64::from_le_bytes(buf);
+            cycles += rsp.latency();
         }
         let ctx = DeviceContext::decode(words);
         if !ctx.valid {
@@ -201,6 +207,27 @@ impl DeviceDirectory {
         }
         self.cache = Some((device_id, ctx));
         Ok((ctx, cycles))
+    }
+
+    /// Untimed, side-effect-free context lookup: decodes the directory slot
+    /// straight from functional memory without touching the device-context
+    /// cache or its statistics. Used by functional inspection paths
+    /// (`Iommu::probe_translation`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownDevice`] for out-of-range or invalid contexts.
+    pub fn peek(&self, mem: &MemorySystem, device_id: u32) -> Result<DeviceContext> {
+        let slot = self.slot_addr(device_id)?;
+        let mut words = [0u64; 3];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = mem.read_u64_phys(slot + i as u64 * 8)?;
+        }
+        let ctx = DeviceContext::decode(words);
+        if !ctx.valid {
+            return Err(Error::UnknownDevice { device_id });
+        }
+        Ok(ctx)
     }
 
     /// Drops the device-context cache (the `IODIR.INVAL_DDT` command).
@@ -239,11 +266,11 @@ mod tests {
         let ctx = DeviceContext::translating(3, PhysAddr::new(0x8800_0000));
         ddt.install(&mut mem, 1, ctx).unwrap();
 
-        let (c1, t1) = ddt.lookup(&mut mem, 1).unwrap();
+        let (c1, t1) = ddt.lookup(&mut mem, 1, Cycles::ZERO).unwrap();
         assert_eq!(c1, ctx);
         assert!(t1.raw() > 100, "first lookup walks memory: {t1}");
 
-        let (c2, t2) = ddt.lookup(&mut mem, 1).unwrap();
+        let (c2, t2) = ddt.lookup(&mut mem, 1, Cycles::ZERO).unwrap();
         assert_eq!(c2, ctx);
         assert_eq!(t2, Cycles::new(1), "second lookup hits the DC cache");
         assert_eq!(ddt.cache_stats().hits, 1);
@@ -257,11 +284,11 @@ mod tests {
         let mut ddt = DeviceDirectory::create(&mut frames).unwrap();
         // Never installed: context decodes as invalid.
         assert!(matches!(
-            ddt.lookup(&mut mem, 2),
+            ddt.lookup(&mut mem, 2, Cycles::ZERO),
             Err(Error::UnknownDevice { device_id: 2 })
         ));
         // Out of range.
-        assert!(ddt.lookup(&mut mem, 10_000).is_err());
+        assert!(ddt.lookup(&mut mem, 10_000, Cycles::ZERO).is_err());
     }
 
     #[test]
@@ -275,11 +302,11 @@ mod tests {
             DeviceContext::translating(1, PhysAddr::new(0x8000_1000)),
         )
         .unwrap();
-        ddt.lookup(&mut mem, 1).unwrap();
+        ddt.lookup(&mut mem, 1, Cycles::ZERO).unwrap();
         // Re-installing with a new root must not serve the stale cached copy.
         let new_ctx = DeviceContext::translating(1, PhysAddr::new(0x8000_2000));
         ddt.install(&mut mem, 1, new_ctx).unwrap();
-        let (c, _) = ddt.lookup(&mut mem, 1).unwrap();
+        let (c, _) = ddt.lookup(&mut mem, 1, Cycles::ZERO).unwrap();
         assert_eq!(c.root_pt, PhysAddr::new(0x8000_2000));
     }
 }

@@ -45,6 +45,14 @@ pub struct IommuConfig {
     pub pipeline_latency: Cycles,
     /// Capacity of the fault queue.
     pub fault_queue_entries: usize,
+    /// Enables the MSHR-style batched page-table walker: concurrent walks
+    /// that need a PTE read already in flight coalesce onto it instead of
+    /// issuing their own (see [`crate::ptw`]). Off by default — the serial
+    /// walker is the paper's prototype.
+    pub ptw_batching: bool,
+    /// Capacity of the batched walker's walk table (in-flight PTE reads);
+    /// ignored with batching off.
+    pub ptw_mshr_entries: usize,
 }
 
 impl Default for IommuConfig {
@@ -55,6 +63,8 @@ impl Default for IommuConfig {
             iotlb_hit_latency: Cycles::new(2),
             pipeline_latency: Cycles::new(2),
             fault_queue_entries: 64,
+            ptw_batching: false,
+            ptw_mshr_entries: crate::ptw::DEFAULT_MSHR_ENTRIES,
         }
     }
 }
@@ -84,6 +94,11 @@ pub struct IommuStats {
     pub ptw_walks: u64,
     /// Number of walks that faulted.
     pub ptw_faults: u64,
+    /// PTE reads the walker issued to memory.
+    pub ptw_reads: u64,
+    /// Walk levels served by MSHR coalescing instead of a memory read
+    /// (always zero with batching off).
+    pub ptw_coalesced_reads: u64,
     /// Per-walk latency statistics (Figure 5 reports the mean).
     pub ptw_time: RunningStats,
     /// Total cycles spent translating (IOTLB + DDT + PTW + pipeline).
@@ -112,7 +127,11 @@ impl Iommu {
             regs: RegisterFile::new(),
             ddt: None,
             iotlb: IoTlb::new(config.iotlb_entries),
-            ptw: PageTableWalker::new(),
+            ptw: if config.ptw_batching {
+                PageTableWalker::with_batching(config.ptw_mshr_entries)
+            } else {
+                PageTableWalker::new()
+            },
             commands: BoundedQueue::new(64),
             faults: BoundedQueue::new(config.fault_queue_entries),
             translations: 0,
@@ -201,24 +220,33 @@ impl Iommu {
     pub fn process_command(&mut self, command: Command) {
         self.commands.push(command);
         match command {
-            Command::IotlbInvalidate { device_id, iova } => match (device_id, iova) {
-                (Some(d), Some(a)) => self.iotlb.invalidate_page(d, a),
-                (Some(d), None) => self.iotlb.invalidate_device(d),
-                _ => self.iotlb.invalidate_all(),
-            },
+            Command::IotlbInvalidate { device_id, iova } => {
+                match (device_id, iova) {
+                    (Some(d), Some(a)) => self.iotlb.invalidate_page(d, a),
+                    (Some(d), None) => self.iotlb.invalidate_device(d),
+                    _ => self.iotlb.invalidate_all(),
+                }
+                // The page tables may have changed: in-flight walk-table
+                // registers must not serve pre-invalidation PTE values.
+                self.ptw.invalidate_walk_table();
+            }
             Command::DdtInvalidate => {
                 if let Some(ddt) = &mut self.ddt {
                     ddt.invalidate_cache();
                 }
+                self.ptw.invalidate_walk_table();
             }
             Command::Fence => {}
         }
     }
 
-    /// Translates an IO virtual address for `device_id`.
+    /// Translates an IO virtual address for `device_id`, with the request
+    /// arriving at the memory system's current global-clock reading.
     ///
     /// Returns the physical address and the cycles the translation added to
-    /// the transaction (zero when the IOMMU is disabled).
+    /// the transaction (zero when the IOMMU is disabled). Initiators that
+    /// track their own pipeline time should use [`Iommu::translate_at`] so
+    /// page-table walks land at the right point on the fabric timelines.
     ///
     /// # Errors
     ///
@@ -232,6 +260,29 @@ impl Iommu {
         iova: Iova,
         is_write: bool,
     ) -> Result<(PhysAddr, Cycles)> {
+        let now = mem.clock().now();
+        self.translate_at(mem, device_id, iova, is_write, now)
+    }
+
+    /// Translates an IO virtual address for `device_id`, with the request
+    /// arriving at global-clock cycle `now` (the issue time of the DMA burst
+    /// presenting it). On an IOTLB miss the page-table walk is issued at
+    /// `now` plus the lookup latencies, so its per-level reads are
+    /// timestamped and contend on the memory fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IoPageFault`] or [`Error::UnknownDevice`] on
+    /// translation failure; a corresponding record is pushed to the fault
+    /// queue.
+    pub fn translate_at(
+        &mut self,
+        mem: &mut MemorySystem,
+        device_id: u32,
+        iova: Iova,
+        is_write: bool,
+        now: Cycles,
+    ) -> Result<(PhysAddr, Cycles)> {
         self.translations += 1;
         match self.config.mode {
             IommuMode::Disabled => {
@@ -243,11 +294,53 @@ impl Iommu {
                 Ok((PhysAddr::new(iova.raw()), self.config.pipeline_latency))
             }
             IommuMode::Translating => {
-                let result = self.translate_first_stage(mem, device_id, iova, is_write);
+                let result = self.translate_first_stage(mem, device_id, iova, is_write, now);
                 if let Ok((_, cycles)) = &result {
                     self.translation_cycles += cycles.raw();
                 }
                 result
+            }
+        }
+    }
+
+    /// Untimed, side-effect-free translation for functional inspection of
+    /// device-visible memory (no IOTLB fill, no statistics, no fault
+    /// records): resolves the device context straight from the in-memory
+    /// directory and walks the page table with functional reads. This is
+    /// what a DMA core's address-generation pre-pass (e.g. the sort
+    /// kernel's merge-path binary search) uses to peek at DRAM-resident
+    /// data without disturbing the timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IoPageFault`] for unmapped addresses and
+    /// [`Error::UnknownDevice`] for devices without a valid context.
+    pub fn probe_translation(
+        &self,
+        mem: &MemorySystem,
+        device_id: u32,
+        iova: Iova,
+    ) -> Result<PhysAddr> {
+        match self.config.mode {
+            IommuMode::Disabled | IommuMode::Bypass => Ok(PhysAddr::new(iova.raw())),
+            IommuMode::Translating => {
+                let Some(ddt) = self.ddt.as_ref() else {
+                    return Err(Error::UnknownDevice { device_id });
+                };
+                let ctx = ddt.peek(mem, device_id)?;
+                if ctx.bypass {
+                    return Ok(PhysAddr::new(iova.raw()));
+                }
+                let va = sva_common::VirtAddr::from_iova(iova);
+                let table = sva_vm::PageTable::from_root(ctx.root_pt);
+                match table.translate(mem, va) {
+                    Ok(pa) => Ok(pa),
+                    Err(Error::HostPageFault { .. }) => Err(Error::IoPageFault {
+                        iova,
+                        is_write: false,
+                    }),
+                    Err(e) => Err(e),
+                }
             }
         }
     }
@@ -258,6 +351,7 @@ impl Iommu {
         device_id: u32,
         iova: Iova,
         is_write: bool,
+        now: Cycles,
     ) -> Result<(PhysAddr, Cycles)> {
         let mut cycles = self.config.pipeline_latency;
 
@@ -271,7 +365,7 @@ impl Iommu {
             });
             return Err(Error::UnknownDevice { device_id });
         };
-        let (ctx, dc_cycles) = match ddt.lookup(mem, device_id) {
+        let (ctx, dc_cycles) = match ddt.lookup(mem, device_id, now) {
             Ok(r) => r,
             Err(e) => {
                 self.faults.push(FaultRecord {
@@ -299,8 +393,12 @@ impl Iommu {
             // fresh walk so the fault is reported with up-to-date state.
         }
 
-        // 3. Page-table walk.
-        match self.ptw.walk(mem, ctx.root_pt, iova, is_write) {
+        // 3. Page-table walk, issued at the request's arrival plus the
+        // pipeline/DDT/IOTLB latencies already accumulated.
+        match self
+            .ptw
+            .walk_at(mem, ctx.root_pt, iova, is_write, now + cycles)
+        {
             Ok(res) => {
                 cycles += res.cycles;
                 self.iotlb
@@ -346,6 +444,8 @@ impl Iommu {
                 .unwrap_or_default(),
             ptw_walks: self.ptw.walks(),
             ptw_faults: self.ptw.faults(),
+            ptw_reads: self.ptw.pte_reads(),
+            ptw_coalesced_reads: self.ptw.coalesced_reads(),
             ptw_time: self.ptw.walk_time(),
             translation_cycles: self.translation_cycles,
         }

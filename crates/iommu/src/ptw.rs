@@ -1,4 +1,4 @@
-//! The IOMMU page-table walker.
+//! The IOMMU page-table walker, with an optional MSHR-style walk table.
 //!
 //! On every IOTLB miss the walker performs up to [`sva_vm::PT_LEVELS`]
 //! **dependent** reads through the IOMMU's dedicated AXI master port — each
@@ -7,23 +7,80 @@
 //! 300 % latency increase for a single DMA transfer on a miss, and why
 //! letting these reads hit in the shared LLC (Section IV-C) recovers almost
 //! all of the loss.
+//!
+//! Every PTE read is stamped with its issue time on the global simulation
+//! clock ([`PageTableWalker::walk_at`]), so walks queue behind concurrent
+//! DMA and host occupancy on the memory fabric like any other initiator.
+//!
+//! # The MSHR-style walk table
+//!
+//! With N clusters streaming through a shared buffer, the same page-table
+//! entries are walked over and over: each device's IOTLB misses
+//! independently (entries are tagged per device), so the serial walker pays
+//! K full walks for K concurrent misses of the same page. Real walkers keep
+//! *miss status holding registers*: a second walk that needs a PTE read
+//! already in flight latches onto it instead of issuing its own.
+//!
+//! [`PageTableWalker::with_batching`] enables exactly that model. The walk
+//! table records every in-flight PTE read as `(address, value, issue time,
+//! completion time)`. A walk that reaches a PTE whose read is outstanding
+//! at its current time — issued at or before `now`, completing after it —
+//! **coalesces**: it waits until that read completes (paying
+//! `completion − now`, not a fresh memory read) and consumes the recorded
+//! value. Because the table is keyed by PTE address, the per-level reads of
+//! walks from *different devices* batch naturally — same-page walks share
+//! all levels, and walks of neighbouring regions share the upper levels.
+//! A register never serves a walk outside its `[issued, completion)`
+//! window: the table is a set of in-flight registers, **not** a translation
+//! cache, so a later, non-overlapping walk always re-reads. The entry
+//! count bounds how many reads may be *in flight at any instant* (a read
+//! issued while all registers are busy is never held, the serial
+//! fallback); records of completed reads are retained for the rest of the
+//! measurement window because conceptually concurrent walks are simulated
+//! sequentially and may revisit any instant of it. The table is purged by
+//! every invalidation command and statistics reset.
+//!
+//! With batching disabled the walker is exactly the serial walker of the
+//! paper's prototype, read for read and cycle for cycle.
 
 use serde::{Deserialize, Serialize};
 use sva_common::stats::RunningStats;
-use sva_common::{Cycles, Error, Iova, PhysAddr, Result, VirtAddr};
-use sva_mem::MemorySystem;
+use sva_common::{Cycles, Error, InitiatorId, Iova, PhysAddr, Result, VirtAddr};
+use sva_mem::{MemReq, MemorySystem};
 use sva_vm::page_table::{pte_address, PT_LEVELS};
 use sva_vm::Pte;
+
+/// Default number of in-flight PTE reads the walk table can hold.
+pub const DEFAULT_MSHR_ENTRIES: usize = 8;
 
 /// Outcome of one page-table walk.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PtwResult {
     /// The leaf entry found by the walk.
     pub leaf: Pte,
-    /// Total walk latency (sum of the dependent reads).
+    /// Total walk latency (sum of the dependent reads and coalesced waits).
     pub cycles: Cycles,
     /// Number of memory reads issued.
     pub reads: u32,
+    /// Number of levels served by coalescing onto an in-flight read of
+    /// another walk instead of issuing a memory read (always zero with
+    /// batching disabled).
+    pub coalesced: u32,
+}
+
+/// One in-flight PTE read held by the walk table.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct WalkEntry {
+    /// Physical address of the PTE being fetched.
+    pte_addr: u64,
+    /// The value the read returns.
+    value: u64,
+    /// Global-clock cycle at which the read was issued: a walk can only
+    /// latch onto a read that is already outstanding at its own time.
+    issued: u64,
+    /// Global-clock cycle at which the read completes; the entry is dead
+    /// (and reclaimable) from this point on.
+    complete: u64,
 }
 
 /// The hardware page-table walker.
@@ -32,24 +89,106 @@ pub struct PageTableWalker {
     walk_time: RunningStats,
     walks: u64,
     faults: u64,
+    /// Total PTE reads issued to memory.
+    pte_reads: u64,
+    /// Total levels served by MSHR coalescing instead of a memory read.
+    coalesced_reads: u64,
+    /// Whether the MSHR-style walk table is active.
+    batching: bool,
+    /// Capacity of the walk table (ignored with batching off).
+    mshr_entries: usize,
+    /// The in-flight PTE reads.
+    table: Vec<WalkEntry>,
 }
 
 impl PageTableWalker {
-    /// Creates a walker with empty statistics.
+    /// Creates a serial walker (no batching) with empty statistics.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Walks the Sv39 table rooted at `root` for `iova`, issuing timed reads
-    /// on the PTW port of `mem`.
+    /// Creates a walker with the MSHR-style walk table enabled, holding up
+    /// to `mshr_entries` in-flight PTE reads (clamped to at least one).
+    pub fn with_batching(mshr_entries: usize) -> Self {
+        Self {
+            batching: true,
+            mshr_entries: mshr_entries.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the MSHR-style walk table is active.
+    pub const fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// One timestamped PTE fetch: either coalesce onto an in-flight read of
+    /// the same PTE or issue a timed read on the PTW port at `now`.
+    /// Returns the raw PTE value, the completion time, and whether the
+    /// level coalesced.
+    fn fetch_pte(
+        &mut self,
+        mem: &mut MemorySystem,
+        pte_addr: PhysAddr,
+        now: Cycles,
+    ) -> Result<(u64, Cycles, bool)> {
+        if self.batching {
+            // A register serves this walk only while its read is genuinely
+            // outstanding at the walk's current time: issued at or before
+            // `now` and completing after it. Entries outside that window are
+            // dead *for this walk* but may still serve a conceptually
+            // concurrent walk whose time falls inside it (shards are
+            // simulated sequentially, so arrival times interleave
+            // arbitrarily) — they are only reclaimed by the capacity bound
+            // below or by an invalidation.
+            if let Some(entry) = self.table.iter().find(|e| {
+                e.pte_addr == pte_addr.raw() && e.issued <= now.raw() && e.complete > now.raw()
+            }) {
+                self.coalesced_reads += 1;
+                return Ok((entry.value, Cycles::new(entry.complete), true));
+            }
+        }
+        let mut buf = [0u8; 8];
+        let rsp = mem.access(MemReq::read(InitiatorId::Ptw, pte_addr, &mut buf).at(now))?;
+        let value = u64::from_le_bytes(buf);
+        let complete = now + rsp.latency();
+        self.pte_reads += 1;
+        if self.batching {
+            // The MSHR capacity is a *concurrency* bound: a new read is only
+            // held in a register if fewer than `mshr_entries` reads are in
+            // flight at its issue instant — an unheld read simply cannot be
+            // coalesced on (the serial fallback). Records of completed reads
+            // are retained for the rest of the measurement window, because
+            // shards are simulated sequentially: a later-simulated,
+            // conceptually concurrent walk may revisit any instant of the
+            // window and must find the registers that were live then. The
+            // table is purged per window (statistics reset) and on every
+            // invalidation.
+            let in_flight_now = self
+                .table
+                .iter()
+                .filter(|e| e.issued <= now.raw() && e.complete > now.raw())
+                .count();
+            if in_flight_now < self.mshr_entries {
+                self.table.push(WalkEntry {
+                    pte_addr: pte_addr.raw(),
+                    value,
+                    issued: now.raw(),
+                    complete: complete.raw(),
+                });
+            }
+        }
+        Ok((value, complete, false))
+    }
+
+    /// Walks the Sv39 table rooted at `root` for `iova`, issuing PTE reads
+    /// on the PTW port of `mem` stamped with the memory system's global
+    /// clock.
     ///
     /// # Errors
     ///
     /// Returns [`Error::IoPageFault`] if the walk reaches an invalid entry or
     /// the leaf does not permit the requested access.
-    // `reads` counts PTE fetches, which is not a plain loop counter: the walk
-    // breaks at the leaf level.
-    #[allow(clippy::explicit_counter_loop)]
     pub fn walk(
         &mut self,
         mem: &mut MemorySystem,
@@ -57,35 +196,62 @@ impl PageTableWalker {
         iova: Iova,
         is_write: bool,
     ) -> Result<PtwResult> {
+        let now = mem.clock().now();
+        self.walk_at(mem, root, iova, is_write, now)
+    }
+
+    /// Walks the Sv39 table rooted at `root` for `iova`, with the walk
+    /// issued at global-clock cycle `now`: each dependent PTE read is
+    /// stamped with the completion time of the previous one, so the walk
+    /// contends with concurrent fabric traffic level by level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IoPageFault`] if the walk reaches an invalid entry or
+    /// the leaf does not permit the requested access.
+    pub fn walk_at(
+        &mut self,
+        mem: &mut MemorySystem,
+        root: PhysAddr,
+        iova: Iova,
+        is_write: bool,
+        now: Cycles,
+    ) -> Result<PtwResult> {
         self.walks += 1;
         let va = VirtAddr::from_iova(iova);
         let mut table = root;
-        let mut cycles = Cycles::ZERO;
+        let mut t = now;
         let mut reads = 0u32;
+        let mut coalesced = 0u32;
 
         for level in 0..PT_LEVELS {
             let pte_addr = pte_address(table, va, level);
-            let (raw, lat) = mem.ptw_read(pte_addr)?;
-            cycles += lat;
-            reads += 1;
+            let (raw, complete, hit_mshr) = self.fetch_pte(mem, pte_addr, t)?;
+            t = complete;
+            if hit_mshr {
+                coalesced += 1;
+            } else {
+                reads += 1;
+            }
             let pte = Pte::from_raw(raw);
 
             if !pte.is_valid() {
                 self.faults += 1;
-                self.walk_time.record_cycles(cycles);
+                self.walk_time.record_cycles(t - now);
                 return Err(Error::IoPageFault { iova, is_write });
             }
             if pte.is_leaf() {
                 if !pte.permits(is_write) {
                     self.faults += 1;
-                    self.walk_time.record_cycles(cycles);
+                    self.walk_time.record_cycles(t - now);
                     return Err(Error::IoPageFault { iova, is_write });
                 }
-                self.walk_time.record_cycles(cycles);
+                self.walk_time.record_cycles(t - now);
                 return Ok(PtwResult {
                     leaf: pte,
-                    cycles,
+                    cycles: t - now,
                     reads,
+                    coalesced,
                 });
             }
             table = pte.phys_addr();
@@ -94,7 +260,7 @@ impl PageTableWalker {
         // Sv39 never has pointer entries at the last level; reaching here
         // means the table is malformed.
         self.faults += 1;
-        self.walk_time.record_cycles(cycles);
+        self.walk_time.record_cycles(t - now);
         Err(Error::IoPageFault { iova, is_write })
     }
 
@@ -113,11 +279,30 @@ impl PageTableWalker {
         self.faults
     }
 
-    /// Clears all statistics.
+    /// Total PTE reads issued to memory.
+    pub const fn pte_reads(&self) -> u64 {
+        self.pte_reads
+    }
+
+    /// Total levels served by coalescing onto in-flight reads.
+    pub const fn coalesced_reads(&self) -> u64 {
+        self.coalesced_reads
+    }
+
+    /// Purges the walk table (an IOTLB/DDT invalidation command reached the
+    /// IOMMU, or the page tables changed under the walker).
+    pub fn invalidate_walk_table(&mut self) {
+        self.table.clear();
+    }
+
+    /// Clears all statistics and the walk table.
     pub fn reset_stats(&mut self) {
         self.walk_time.reset();
         self.walks = 0;
         self.faults = 0;
+        self.pte_reads = 0;
+        self.coalesced_reads = 0;
+        self.table.clear();
     }
 }
 
@@ -129,6 +314,14 @@ mod tests {
     use sva_vm::{AddressSpace, FrameAllocator};
 
     fn mapped_space(llc: bool, latency: u64) -> (MemorySystem, AddressSpace, Iova) {
+        mapped_space_pages(llc, latency, 2)
+    }
+
+    fn mapped_space_pages(
+        llc: bool,
+        latency: u64,
+        pages: u64,
+    ) -> (MemorySystem, AddressSpace, Iova) {
         let mut mem = MemorySystem::new(MemSysConfig {
             dram_latency: Cycles::new(latency),
             llc_enabled: llc,
@@ -137,7 +330,7 @@ mod tests {
         let mut frames = FrameAllocator::linux_pool();
         let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
         let va = space
-            .alloc_buffer(&mut mem, &mut frames, 2 * PAGE_SIZE)
+            .alloc_buffer(&mut mem, &mut frames, pages * PAGE_SIZE)
             .unwrap();
         (mem, space, Iova::from_virt(va))
     }
@@ -148,6 +341,7 @@ mod tests {
         let mut ptw = PageTableWalker::new();
         let res = ptw.walk(&mut mem, space.root(), iova, true).unwrap();
         assert_eq!(res.reads, 3);
+        assert_eq!(res.coalesced, 0);
         assert_eq!(
             res.leaf.phys_addr(),
             space
@@ -157,6 +351,7 @@ mod tests {
         );
         assert_eq!(ptw.walks(), 1);
         assert_eq!(ptw.faults(), 0);
+        assert_eq!(ptw.pte_reads(), 3);
         assert_eq!(ptw.walk_time().count(), 1);
     }
 
@@ -223,5 +418,169 @@ mod tests {
             ptw.walk(&mut mem, space.root(), Iova::from_virt(va), true),
             Err(Error::IoPageFault { is_write: true, .. })
         ));
+    }
+
+    /// MSHR coalescing: K concurrent walks of the same page cost one walk's
+    /// worth of memory reads; the followers latch onto the in-flight reads.
+    #[test]
+    fn concurrent_same_page_walks_coalesce_to_one_walks_reads() {
+        const K: u64 = 5;
+        let (mut mem, space, iova) = mapped_space(false, 600);
+        let mut ptw = PageTableWalker::with_batching(DEFAULT_MSHR_ENTRIES);
+        let first = ptw
+            .walk_at(&mut mem, space.root(), iova, false, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(first.reads, 3);
+        assert_eq!(first.coalesced, 0);
+        for i in 1..K {
+            // Overlapping arrivals: each follower starts while the leader's
+            // reads are still in flight.
+            let res = ptw
+                .walk_at(&mut mem, space.root(), iova, false, Cycles::new(i * 10))
+                .unwrap();
+            assert_eq!(res.reads, 0, "follower {i} must not issue reads");
+            assert_eq!(res.coalesced, 3, "follower {i} coalesces every level");
+            assert_eq!(res.leaf, first.leaf, "coalesced walks see the same PTE");
+            // The follower finishes when the leader's leaf read does.
+            assert_eq!(Cycles::new(i * 10) + res.cycles, first.cycles);
+        }
+        assert_eq!(ptw.pte_reads(), 3, "K walks, one walk's worth of reads");
+        assert_eq!(ptw.coalesced_reads(), (K - 1) * 3);
+    }
+
+    /// Walks of different pages in the same region share the upper levels of
+    /// the table: only the leaf read is issued per extra page.
+    #[test]
+    fn concurrent_neighbour_walks_share_upper_levels() {
+        let (mut mem, space, iova) = mapped_space_pages(false, 600, 4);
+        let mut ptw = PageTableWalker::with_batching(DEFAULT_MSHR_ENTRIES);
+        let first = ptw
+            .walk_at(&mut mem, space.root(), iova, false, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(first.reads, 3);
+        let second = ptw
+            .walk_at(
+                &mut mem,
+                space.root(),
+                iova + PAGE_SIZE,
+                false,
+                Cycles::new(7),
+            )
+            .unwrap();
+        assert_eq!(second.coalesced, 2, "level-0/1 reads are shared");
+        assert_eq!(second.reads, 1, "only the leaf read is issued");
+        assert_ne!(second.leaf, first.leaf);
+    }
+
+    /// A walk arriving after the in-flight reads completed must re-read: the
+    /// walk table is a set of MSHRs, not a translation cache.
+    #[test]
+    fn expired_entries_do_not_serve_later_walks() {
+        let (mut mem, space, iova) = mapped_space(false, 600);
+        let mut ptw = PageTableWalker::with_batching(DEFAULT_MSHR_ENTRIES);
+        let first = ptw
+            .walk_at(&mut mem, space.root(), iova, false, Cycles::ZERO)
+            .unwrap();
+        let later = first.cycles + Cycles::new(1);
+        let second = ptw
+            .walk_at(&mut mem, space.root(), iova, false, later)
+            .unwrap();
+        assert_eq!(second.reads, 3, "non-overlapping walk issues all reads");
+        assert_eq!(second.coalesced, 0);
+    }
+
+    /// Batching off is the serial walker, read for read and cycle for cycle,
+    /// even under arrival patterns that would coalesce.
+    #[test]
+    fn batching_off_is_equivalent_to_the_serial_walker() {
+        let run = |batching: bool| -> Vec<(u64, u32, u32)> {
+            let (mut mem, space, iova) = mapped_space_pages(false, 600, 4);
+            let mut ptw = if batching {
+                PageTableWalker::with_batching(DEFAULT_MSHR_ENTRIES)
+            } else {
+                PageTableWalker::new()
+            };
+            let mut out = Vec::new();
+            for i in 0..6u64 {
+                let page = i % 4;
+                let res = ptw
+                    .walk_at(
+                        &mut mem,
+                        space.root(),
+                        iova + page * PAGE_SIZE,
+                        false,
+                        Cycles::new(i * 5),
+                    )
+                    .unwrap();
+                out.push((res.cycles.raw(), res.reads, res.coalesced));
+            }
+            out
+        };
+        let serial = run(false);
+        assert!(
+            serial.iter().all(|&(_, reads, co)| reads == 3 && co == 0),
+            "serial walker never coalesces: {serial:?}"
+        );
+        // A second serial run is deterministic; with batching the same
+        // arrivals coalesce and walks get cheaper, never more expensive.
+        assert_eq!(serial, run(false));
+        let batched = run(true);
+        assert!(batched.iter().any(|&(_, _, co)| co > 0));
+        for (s, b) in serial.iter().zip(&batched) {
+            assert!(b.0 <= s.0, "batching must not slow a walk: {b:?} vs {s:?}");
+        }
+    }
+
+    /// Stat conservation across MSHR sizes: every walk resolves every level
+    /// either by a memory read or by coalescing, whatever the table size,
+    /// and all sizes agree on the leaves.
+    #[test]
+    fn stats_conserve_across_batch_sizes() {
+        for entries in [1usize, 2, 4, 8, 64] {
+            let (mut mem, space, iova) = mapped_space_pages(false, 600, 8);
+            let mut ptw = PageTableWalker::with_batching(entries);
+            let mut walks = 0u64;
+            for i in 0..16u64 {
+                let page = i % 8;
+                let res = ptw
+                    .walk_at(
+                        &mut mem,
+                        space.root(),
+                        iova + page * PAGE_SIZE,
+                        false,
+                        Cycles::new(i * 3),
+                    )
+                    .unwrap();
+                walks += 1;
+                assert_eq!(
+                    res.reads + res.coalesced,
+                    3,
+                    "every level resolves exactly once ({entries} entries)"
+                );
+            }
+            assert_eq!(ptw.walks(), walks);
+            assert_eq!(
+                ptw.pte_reads() + ptw.coalesced_reads(),
+                walks * 3,
+                "reads + coalesced levels conserve across {entries} MSHR entries"
+            );
+            assert_eq!(ptw.faults(), 0);
+        }
+    }
+
+    /// Invalidation purges the in-flight registers: a concurrent walk after
+    /// an invalidation re-reads instead of consuming a dead entry.
+    #[test]
+    fn invalidation_purges_the_walk_table() {
+        let (mut mem, space, iova) = mapped_space(false, 600);
+        let mut ptw = PageTableWalker::with_batching(DEFAULT_MSHR_ENTRIES);
+        ptw.walk_at(&mut mem, space.root(), iova, false, Cycles::ZERO)
+            .unwrap();
+        ptw.invalidate_walk_table();
+        let res = ptw
+            .walk_at(&mut mem, space.root(), iova, false, Cycles::new(10))
+            .unwrap();
+        assert_eq!(res.reads, 3, "post-invalidation walk re-reads every level");
+        assert_eq!(res.coalesced, 0);
     }
 }

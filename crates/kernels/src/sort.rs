@@ -10,15 +10,21 @@
 //!    ping-ponging between the data array and an auxiliary array in DRAM.
 //!    Each merge tile produces one chunk-sized block of the output; the input
 //!    ranges contributing to that block are determined with a merge-path
-//!    partition (in the real kernel a cheap binary search performed by the
-//!    DMA core; here it is computed from the kernel's functional mirror of
-//!    the run contents).
+//!    partition — a cheap binary search the DMA core performs on the
+//!    DRAM-resident run data, modelled in [`DeviceKernel::plan_tile`] as
+//!    untimed functional reads of the **shared** external memory
+//!    (`TileCtx`). Because the partitions are computed from shared memory —
+//!    not from a per-kernel-instance mirror — the kernel shards correctly
+//!    across multiple clusters: every shard sees the runs exactly as the
+//!    previous pass (wherever it executed) left them.
 //!
 //! Every pass streams the whole 256 KiB array in and out of the cluster, so
 //! the kernel is moderately memory-bound and — like the linear kernels —
 //! exposes the IOMMU translation cost when the page-table walks miss the LLC.
 
-use sva_cluster::{DeviceKernel, DmaRequest, Tcdm, TileIo};
+use std::collections::HashMap;
+
+use sva_cluster::{DeviceKernel, DmaRequest, Tcdm, TileCtx, TileIo};
 use sva_common::rng::DeterministicRng;
 use sva_common::{Cycles, Error, Iova, Result};
 use sva_host::HostKernelCost;
@@ -47,11 +53,22 @@ impl SortWorkload {
     /// # Panics
     ///
     /// Panics if `n` is not a power-of-two multiple of the 4096-element
-    /// chunk.
+    /// chunk, or if it splits into exactly two chunks: with two chunks the
+    /// single merge tile's inputs depend on the immediately preceding
+    /// tile's output, which the double-buffered executor prefetches before
+    /// that output exists. Any other chunk count keeps a full chunk of
+    /// slack between a pass's first reads and the previous pass's last
+    /// write (one chunk needs no merge at all).
     pub fn with_elems(n: usize) -> Self {
         assert!(
             n >= CHUNK && n % CHUNK == 0 && (n / CHUNK).is_power_of_two(),
             "sort size must be a power-of-two multiple of 4096"
+        );
+        assert!(
+            n / CHUNK != 2,
+            "a two-chunk sort cannot be double-buffered (the merge prefetch \
+             would read the preceding tile's unwritten output); use one \
+             chunk or at least four"
         );
         Self { n }
     }
@@ -106,8 +123,7 @@ impl Workload for SortWorkload {
             n: self.n,
             data: device_ptrs[0],
             aux: device_ptrs[1],
-            mirror_data: vec![0.0f32; self.n],
-            mirror_aux: vec![0.0f32; self.n],
+            ranges: HashMap::new(),
         })
     }
 
@@ -134,12 +150,11 @@ struct SortDevice {
     n: usize,
     data: Iova,
     aux: Iova,
-    /// Functional mirror of the `data` array, maintained by the compute
-    /// phases (stands in for the binary-search pre-pass the DMA core runs on
-    /// DRAM-resident data to compute merge partitions).
-    mirror_data: Vec<f32>,
-    /// Functional mirror of the auxiliary array.
-    mirror_aux: Vec<f32>,
+    /// Merge-path partitions per merge tile, computed by the plan pre-pass
+    /// ([`DeviceKernel::plan_tile`]) from the shared functional memory and
+    /// consumed by [`DeviceKernel::tile_io`]/[`DeviceKernel::compute_tile`]:
+    /// `(a_start, a_len, b_start, b_len)` in elements of the source array.
+    ranges: HashMap<usize, (usize, usize, usize, usize)>,
 }
 
 impl SortDevice {
@@ -157,61 +172,100 @@ impl SortDevice {
         (tile / self.chunks(), tile % self.chunks())
     }
 
-    /// Source/destination external arrays and mirrors for a merge pass.
+    /// The array the output of pass `p` lands in (`p = 0` is the local
+    /// sort). The ping-pong is oriented so the **final** pass always lands
+    /// in `data`, where verification expects the result: with an even
+    /// number of merge passes the local sort is in place in `data` (the
+    /// historical layout), with an odd number it writes its sorted chunks
+    /// to `aux` so the chain `aux → data → aux → …` ends on `data`.
+    fn pass_dst(&self, pass: usize) -> Iova {
+        if (self.passes() - pass) % 2 == 0 {
+            self.data
+        } else {
+            self.aux
+        }
+    }
+
+    /// Source/destination external arrays for a merge pass.
     fn pass_arrays(&self, pass: usize) -> (Iova, Iova) {
-        if pass % 2 == 1 {
-            (self.data, self.aux)
-        } else {
-            (self.aux, self.data)
-        }
+        (self.pass_dst(pass - 1), self.pass_dst(pass))
     }
 
-    fn pass_mirrors(&self, pass: usize) -> (&[f32], &[f32]) {
-        if pass % 2 == 1 {
-            (&self.mirror_data, &self.mirror_aux)
-        } else {
-            (&self.mirror_aux, &self.mirror_data)
-        }
-    }
-
-    /// Merge-path partition: how many elements of run A are among the first
-    /// `k` elements of the merge of runs A and B.
-    fn merge_partition(a: &[f32], b: &[f32], k: usize) -> usize {
-        let mut lo = k.saturating_sub(b.len());
-        let mut hi = k.min(a.len());
+    /// Merge-path partition over arbitrary element accessors: how many
+    /// elements of run A are among the first `k` elements of the merge of
+    /// runs A and B.
+    fn merge_partition_with<A, B>(
+        a: &A,
+        a_len: usize,
+        b: &B,
+        b_len: usize,
+        k: usize,
+    ) -> Result<usize>
+    where
+        A: Fn(usize) -> Result<f32>,
+        B: Fn(usize) -> Result<f32>,
+    {
+        let mut lo = k.saturating_sub(b_len);
+        let mut hi = k.min(a_len);
         while lo < hi {
             let mid = (lo + hi) / 2;
             let bj = k - mid - 1;
-            if bj < b.len() && a[mid] < b[bj] {
+            if bj < b_len && a(mid)? < b(bj)? {
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
         }
-        lo
+        Ok(lo)
+    }
+
+    /// Merge-path partition over in-memory runs (kept for unit tests and as
+    /// the reference the functional-memory variant mirrors).
+    #[cfg(test)]
+    fn merge_partition(a: &[f32], b: &[f32], k: usize) -> usize {
+        Self::merge_partition_with(&|i| Ok(a[i]), a.len(), &|j| Ok(b[j]), b.len(), k)
+            .expect("slice accessors cannot fail")
     }
 
     /// Computes, for merge tile `(pass, block)`, the source ranges
-    /// `(a_start, a_len, b_start, b_len)` in elements relative to the source
-    /// array.
-    fn merge_ranges(&self, pass: usize, block: usize) -> (usize, usize, usize, usize) {
+    /// `(a_start, a_len, b_start, b_len)` with the merge-path binary search
+    /// reading the run data from the shared external memory — the model of
+    /// the pre-pass the DMA core runs on DRAM-resident data. O(log run_len)
+    /// single-element reads per boundary.
+    fn merge_ranges_from_memory(
+        &self,
+        ctx: &TileCtx<'_>,
+        pass: usize,
+        block: usize,
+    ) -> Result<(usize, usize, usize, usize)> {
         let run_len = CHUNK << (pass - 1);
-        let (src_mirror, _) = self.pass_mirrors(pass);
+        let (src, _) = self.pass_arrays(pass);
         let out_start = block * CHUNK;
         let pair_base = out_start / (2 * run_len) * (2 * run_len);
-        let a = &src_mirror[pair_base..pair_base + run_len];
-        let b = &src_mirror[pair_base + run_len..pair_base + 2 * run_len];
+        let elem = |idx: usize| ctx.read_f32(src + (idx * 4) as u64);
+        let a = |i: usize| elem(pair_base + i);
+        let b = |j: usize| elem(pair_base + run_len + j);
         let off = out_start - pair_base;
-        let ai0 = Self::merge_partition(a, b, off);
-        let ai1 = Self::merge_partition(a, b, off + CHUNK);
+        let ai0 = Self::merge_partition_with(&a, run_len, &b, run_len, off)?;
+        let ai1 = Self::merge_partition_with(&a, run_len, &b, run_len, off + CHUNK)?;
         let bi0 = off - ai0;
         let bi1 = off + CHUNK - ai1;
-        (
+        Ok((
             pair_base + ai0,
             ai1 - ai0,
             pair_base + run_len + bi0,
             bi1 - bi0,
-        )
+        ))
+    }
+
+    /// The cached partition of a merge tile; planning the tile is the
+    /// executor's responsibility ([`DeviceKernel::plan_tile`] runs before
+    /// the first `tile_io` of every tile).
+    fn planned_ranges(&self, tile: usize) -> (usize, usize, usize, usize) {
+        *self
+            .ranges
+            .get(&tile)
+            .expect("merge tile was planned via plan_tile before use")
     }
 
     /// TCDM layout of one buffer set: run-A segment, run-B segment, output.
@@ -231,20 +285,36 @@ impl DeviceKernel for SortDevice {
         (1 + self.passes()) * self.chunks()
     }
 
+    fn plan_tile(&mut self, tile: usize, ctx: &TileCtx<'_>) -> Result<()> {
+        let (phase, block) = self.decode(tile);
+        if phase == 0 || self.ranges.contains_key(&tile) {
+            return Ok(());
+        }
+        let ranges = self.merge_ranges_from_memory(ctx, phase, block)?;
+        self.ranges.insert(tile, ranges);
+        Ok(())
+    }
+
     fn tile_io(&self, tile: usize) -> TileIo {
         let (phase, block) = self.decode(tile);
         let chunk_bytes = (CHUNK * 4) as u64;
         let (a_off, b_off, out_off) = self.tcdm_offsets(tile);
         if phase == 0 {
-            // Local sort: one chunk in, the sorted chunk out, in place.
-            let ext = self.data + (block * CHUNK * 4) as u64;
+            // Local sort: one chunk in from `data`, the sorted chunk out to
+            // the pass-0 destination (in place for an even number of merge
+            // passes, `aux` for an odd number — see `pass_dst`).
+            let off = (block * CHUNK * 4) as u64;
             return TileIo {
-                inputs: vec![DmaRequest::input(ext, a_off, chunk_bytes)],
-                outputs: vec![DmaRequest::output(ext, out_off, chunk_bytes)],
+                inputs: vec![DmaRequest::input(self.data + off, a_off, chunk_bytes)],
+                outputs: vec![DmaRequest::output(
+                    self.pass_dst(0) + off,
+                    out_off,
+                    chunk_bytes,
+                )],
             };
         }
         let (src, dst) = self.pass_arrays(phase);
-        let (a_start, a_len, b_start, b_len) = self.merge_ranges(phase, block);
+        let (a_start, a_len, b_start, b_len) = self.planned_ranges(tile);
         let mut inputs = Vec::with_capacity(2);
         if a_len > 0 {
             inputs.push(DmaRequest::input(
@@ -271,7 +341,7 @@ impl DeviceKernel for SortDevice {
     }
 
     fn compute_tile(&mut self, tile: usize, tcdm: &mut Tcdm) -> Result<Cycles> {
-        let (phase, block) = self.decode(tile);
+        let (phase, _block) = self.decode(tile);
         let (a_off, b_off, out_off) = self.tcdm_offsets(tile);
 
         if phase == 0 {
@@ -280,13 +350,12 @@ impl DeviceKernel for SortDevice {
             tcdm.read_f32_slice(a_off, &mut chunk)?;
             chunk.sort_by(f32::total_cmp);
             tcdm.write_f32_slice(out_off, &chunk)?;
-            self.mirror_data[block * CHUNK..(block + 1) * CHUNK].copy_from_slice(&chunk);
             let comparisons = (CHUNK as u64) * (CHUNK as f64).log2().ceil() as u64;
             return Ok(cost::sort_local_cost().parallel_region(comparisons));
         }
 
         // Merge one output block from the two partitioned input segments.
-        let (_a_start, a_len, _b_start, b_len) = self.merge_ranges(phase, block);
+        let (_a_start, a_len, _b_start, b_len) = self.planned_ranges(tile);
         if a_len + b_len != CHUNK {
             return Err(Error::InvalidConfig {
                 reason: format!(
@@ -313,15 +382,6 @@ impl DeviceKernel for SortDevice {
         out.extend_from_slice(&a[i..]);
         out.extend_from_slice(&b[j..]);
         tcdm.write_f32_slice(out_off, &out)?;
-
-        // Update the destination mirror.
-        let dst_is_aux = self.pass_arrays(phase).1 == self.aux;
-        let dst_mirror = if dst_is_aux {
-            &mut self.mirror_aux
-        } else {
-            &mut self.mirror_data
-        };
-        dst_mirror[block * CHUNK..(block + 1) * CHUNK].copy_from_slice(&out);
 
         Ok(cost::sort_merge_cost().parallel_region(CHUNK as u64))
     }
@@ -369,6 +429,48 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn non_power_of_two_chunk_count_rejected() {
         let _ = SortWorkload::with_elems(3 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-chunk")]
+    fn two_chunk_sort_rejected() {
+        // chunks == 2 cannot be double-buffered: the single merge tile's
+        // prefetch would read the preceding tile's unwritten output.
+        let _ = SortWorkload::with_elems(2 * 4096);
+    }
+
+    #[test]
+    fn ping_pong_always_ends_in_the_data_array() {
+        // Whatever the pass-count parity, the final pass must land in
+        // `data` (where verification reads the result) and each pass must
+        // read what the previous one wrote.
+        let data = Iova::new(0x1000_0000);
+        let aux = Iova::new(0x2000_0000);
+        for n in [4096usize, 16_384, 32_768, 65_536, 131_072] {
+            let wl = SortWorkload::with_elems(n);
+            let dev = SortDevice {
+                n,
+                data,
+                aux,
+                ranges: HashMap::new(),
+            };
+            assert_eq!(dev.pass_dst(dev.passes()), data, "n={n}: result in data");
+            for pass in 1..=dev.passes() {
+                let (src, dst) = dev.pass_arrays(pass);
+                assert_eq!(src, dev.pass_dst(pass - 1), "n={n} pass {pass}");
+                assert_ne!(src, dst, "n={n} pass {pass}: ping-pong alternates");
+            }
+            // Phase-0 tiles read from data and write to the pass-0
+            // destination: in place iff the number of passes is even.
+            let io = dev.tile_io(0);
+            assert_eq!(io.inputs[0].ext_addr, data);
+            let in_place = wl.passes() % 2 == 0;
+            assert_eq!(
+                io.outputs[0].ext_addr == data,
+                in_place,
+                "n={n}: phase-0 destination follows pass parity"
+            );
+        }
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //! # Timing model
 //!
 //! The simulator is call-driven: each initiator simulates its own activity
-//! and presents accesses in program order, stamped with its *local* issue
-//! time when it tracks one (DMA bursts do — the engine tracks its pipeline
-//! clock). Every access is routed to a DRAM channel by its address (see
+//! and presents accesses in program order, stamped with an arrival time on
+//! the **global simulation clock** ([`MemPortReq::arrival`]). Initiators
+//! that track their own pipeline (DMA engines, the page-table walker, the
+//! host-traffic stream) stamp the arrival themselves; for everything else
+//! the memory system fills in the platform's `GlobalClock` reading, so
+//! *every* grant is timed — the untimed fast path of earlier revisions is
+//! gone. Every access is routed to a DRAM channel by its address (see
 //! [`crate::channels`]); the fabric reserves that channel's data bus as
 //! **intervals** `[start, start + occupancy)` on the channel's virtual
-//! timeline. A new timed grant is placed at the earliest point at or after
+//! timeline. A new grant is placed at the earliest point at or after
 //! its arrival that does not overlap a conflicting interval on *its* channel;
 //! the shift is the access's queueing delay. Intervals owned by the same
 //! initiator are ignored — serialising an engine's own payloads is that
@@ -62,8 +66,26 @@
 //!   this policy — request priorities cannot defeat the configured service
 //!   split.
 //!
-//! Accesses without a timestamp (host loads/stores, page-table walks) only
-//! contribute byte/latency accounting, never queueing.
+//! # Host and PTW traffic on the timeline
+//!
+//! Host loads/stores and page-table-walk reads are placed on the channel
+//! timelines like everything else, so the queueing they *observe* behind
+//! DMA occupancy is always measured (their `queue_cycles` accounting is
+//! live even in the default configuration). What they *contribute* is
+//! governed by [`FabricConfig::timed_host_ptw`]:
+//!
+//! * **off** (default) — host/PTW grants carry zero occupancy, reserve
+//!   nothing, and their measured queueing is never charged into returned
+//!   latencies. DMA placement is bit-identical to the pre-global-clock
+//!   model, so pinned golden cycle counts hold.
+//! * **on** (the global-clock engine) — host/PTW grants reserve their
+//!   payload beats on their address's channel timeline (a deliberate
+//!   simplification: even LLC-served accesses reserve their beats, standing
+//!   in for the shared downstream bus) and, when
+//!   [`FabricConfig::contention_enabled`] is also set, the queueing they
+//!   observe is charged into their returned latencies. Host streams then
+//!   slow the walker and the DMA engines down — the host-interference
+//!   experiments of the paper become first-class sweeps.
 //!
 //! By default the measured queueing delay is **accounting only** — returned
 //! latencies are unchanged, so a single-cluster platform reproduces the
@@ -92,6 +114,12 @@ pub struct FabricConfig {
     pub channels: DramChannelConfig,
     /// Which conflicting reservations a grant queues behind.
     pub policy: ArbitrationPolicy,
+    /// The global-clock engine switch: when set, host and PTW grants
+    /// reserve their payload beats on the channel timelines (so they block
+    /// DMA and each other) and their measured queueing is charged into
+    /// returned latencies whenever [`FabricConfig::contention_enabled`] is
+    /// also set. Off by default so existing golden cycle counts hold.
+    pub timed_host_ptw: bool,
 }
 
 /// Snapshot of one initiator's accounting, labelled by identity.
@@ -218,12 +246,14 @@ impl Fabric {
     /// Grants one access and returns the cross-initiator queueing delay the
     /// access observed on its channel's data-bus timeline.
     ///
-    /// `start` is the initiator-local issue time when the caller tracks one
-    /// (DMA bursts); `None` means "back-to-back after the previous grant".
-    /// The caller is responsible for adding the returned delay to the
-    /// access's latency if [`FabricConfig::contention_enabled`] is set, and
-    /// for reporting the final latency via [`Fabric::note_latency`].
-    pub fn grant(&mut self, req: &MemPortReq, start: Option<Cycles>, timing: PortTiming) -> Cycles {
+    /// Placement starts at [`MemPortReq::arrival`] — every grant carries an
+    /// arrival time on the global clock; there is no untimed path. The
+    /// caller is responsible for deciding whether the returned delay is
+    /// charged into the access's latency (see
+    /// [`FabricConfig::contention_enabled`] and
+    /// [`FabricConfig::timed_host_ptw`]) and for reporting the final latency
+    /// via [`Fabric::note_latency`].
+    pub fn grant(&mut self, req: &MemPortReq, timing: PortTiming) -> Cycles {
         let slot = self.slot(req.initiator);
         {
             let stats = &mut self.initiators[slot].1;
@@ -246,71 +276,70 @@ impl Fabric {
             ch.occupancy_cycles += timing.occupancy.raw();
         }
 
-        // Channel timeline: only timed grants reserve it (see module docs).
-        // The priority escape hatch — a priority > 0 placed at its arrival
-        // unconditionally — exists only under RoundRobin (the PR 1
-        // behaviour). FixedPriority folds the priority into the conflict
-        // predicate (equal priorities still queue behind each other), and
-        // Weighted ignores it entirely so request priorities cannot defeat
-        // the configured service split.
+        // Channel timeline: every grant is placed at its arrival (there is
+        // no untimed traffic left); grants with zero occupancy observe
+        // queueing but reserve nothing. The priority escape hatch — a
+        // priority > 0 placed at its arrival unconditionally — exists only
+        // under RoundRobin (the PR 1 behaviour). FixedPriority folds the
+        // priority into the conflict predicate (equal priorities still queue
+        // behind each other), and Weighted ignores it entirely so request
+        // priorities cannot defeat the configured service split.
+        let arrival = req.arrival.raw();
+        let occupancy = timing.occupancy.raw();
+        let mut placed = arrival;
+        let wins_outright =
+            req.priority > 0 && matches!(self.config.policy, ArbitrationPolicy::RoundRobin);
+        if !wins_outright {
+            loop {
+                // A conflicting interval satisfies start < placed + occ
+                // and end > placed; since no reservation is longer than
+                // max_reservation_len, its start also exceeds
+                // placed - max_reservation_len. Range-scan that window.
+                let lo = placed.saturating_sub(self.channels[channel].max_reservation_len);
+                let hi = placed + occupancy.max(1);
+                // Upper bound (hi, 0) excludes reservations starting at
+                // exactly `hi` (they abut ours without overlapping;
+                // sequence numbers start at 1).
+                let conflict = self.channels[channel]
+                    .reservations
+                    .range((lo, 0)..(hi, 0))
+                    .find(|(_, &(end, owner, owner_prio))| {
+                        end > placed
+                            && self.queues_behind(slot, req.priority, occupancy, owner, owner_prio)
+                    })
+                    .map(|(_, &(end, _, _))| end);
+                match conflict {
+                    Some(end) => placed = end,
+                    None => break,
+                }
+            }
+        }
         let mut queue = Cycles::ZERO;
-        if let Some(arrival) = start {
-            let arrival = arrival.raw();
-            let occupancy = timing.occupancy.raw();
-            let mut placed = arrival;
-            let wins_outright =
-                req.priority > 0 && matches!(self.config.policy, ArbitrationPolicy::RoundRobin);
-            if !wins_outright {
-                loop {
-                    // A conflicting interval satisfies start < placed + occ
-                    // and end > placed; since no reservation is longer than
-                    // max_reservation_len, its start also exceeds
-                    // placed - max_reservation_len. Range-scan that window.
-                    let lo = placed.saturating_sub(self.channels[channel].max_reservation_len);
-                    let hi = placed + occupancy;
-                    // Upper bound (hi, 0) excludes reservations starting at
-                    // exactly `hi` (they abut ours without overlapping;
-                    // sequence numbers start at 1).
-                    let conflict = self.channels[channel]
-                        .reservations
-                        .range((lo, 0)..(hi, 0))
-                        .find(|(_, &(end, owner, owner_prio))| {
-                            end > placed
-                                && self.queues_behind(
-                                    slot,
-                                    req.priority,
-                                    occupancy,
-                                    owner,
-                                    owner_prio,
-                                )
-                        })
-                        .map(|(_, &(end, _, _))| end);
-                    match conflict {
-                        Some(end) => placed = end,
-                        None => break,
-                    }
-                }
+        if placed > arrival {
+            queue = Cycles::new(placed - arrival);
+            let stats = &mut self.initiators[slot].1;
+            stats.queue_cycles += queue.raw();
+            stats.contended_grants += 1;
+            self.channels[channel].stats.queue_cycles += queue.raw();
+        }
+        if occupancy > 0 {
+            // Weight slots of the Weighted policy map to *DMA* initiators in
+            // first-reservation order (cluster shard order on the platform);
+            // host/PTW occupancy under the global-clock engine must not
+            // consume a cluster's configured weight — those classes always
+            // weigh the default 1 (absent slots fall back to it).
+            if matches!(req.initiator, InitiatorId::Dma { .. }) && !self.timed_order.contains(&slot)
+            {
+                self.timed_order.push(slot);
             }
-            if placed > arrival {
-                queue = Cycles::new(placed - arrival);
-                let stats = &mut self.initiators[slot].1;
-                stats.queue_cycles += queue.raw();
-                stats.contended_grants += 1;
-                self.channels[channel].stats.queue_cycles += queue.raw();
-            }
-            if occupancy > 0 {
-                if !self.timed_order.contains(&slot) {
-                    self.timed_order.push(slot);
-                }
-                self.served[slot] += occupancy;
-                let timeline = &mut self.channels[channel];
-                timeline.reservation_seq += 1;
-                timeline.reservations.insert(
-                    (placed, timeline.reservation_seq),
-                    (placed + occupancy, slot, req.priority),
-                );
-                timeline.max_reservation_len = timeline.max_reservation_len.max(occupancy);
-            }
+            self.served[slot] += occupancy;
+            let timeline = &mut self.channels[channel];
+            timeline.reservation_seq += 1;
+            timeline.reservations.insert(
+                (placed, timeline.reservation_seq),
+                (placed + occupancy, slot, req.priority),
+            );
+            timeline.max_reservation_len = timeline.max_reservation_len.max(occupancy);
         }
 
         if self.last_owner != Some(req.initiator) {
@@ -394,6 +423,22 @@ impl Fabric {
         let config = self.config.clone();
         *self = Self::new(config);
     }
+
+    /// Drops every channel's reservations while keeping all accumulated
+    /// statistics: a new measurement window opens (every initiator's local
+    /// cursor returns to zero on the global clock), so reservations stamped
+    /// in the previous window must not collide with the new one.
+    pub fn clear_timelines(&mut self) {
+        for ch in &mut self.channels {
+            ch.reservations.clear();
+            ch.max_reservation_len = 0;
+            ch.reservation_seq = 0;
+        }
+        for served in &mut self.served {
+            *served = 0;
+        }
+        self.timed_order.clear();
+    }
 }
 
 #[cfg(test)]
@@ -416,30 +461,96 @@ mod tests {
         }
     }
 
+    /// Host accesses are timed now: a host load arriving while a DMA burst
+    /// occupies the bus records the wait it would observe. Replaces the
+    /// pre-global-clock `untimed_accesses_never_queue` (the untimed fast
+    /// path it pinned no longer exists).
     #[test]
-    fn untimed_accesses_never_queue() {
+    fn timed_host_accesses_queue_behind_dma_occupancy() {
         let mut fabric = Fabric::default();
-        for _ in 0..10 {
-            let q = fabric.grant(
-                &MemPortReq::read(InitiatorId::Host, PhysAddr::new(0x1000), 8),
-                None,
-                timing(30, 1),
-            );
-            assert_eq!(q, Cycles::ZERO);
-        }
+        // A DMA burst reserves the bus for [0, 256).
+        fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
+        // A host load arriving mid-burst observes the remaining occupancy.
+        let q = fabric.grant(
+            &MemPortReq::read(InitiatorId::Host, PhysAddr::new(0x8000_0000), 8)
+                .at(Cycles::new(100)),
+            timing(30, 0),
+        );
+        assert_eq!(q, Cycles::new(156), "wait until the burst drains");
         let host = fabric.initiator_stats(InitiatorId::Host).unwrap();
-        assert_eq!(host.reads, 10);
-        assert_eq!(host.queue_cycles, 0);
+        assert_eq!(host.queue_cycles, 156);
+        assert_eq!(host.contended_grants, 1);
+        // A host load arriving after the burst has drained does not queue,
+        // and zero-occupancy host grants never reserve the timeline.
+        let q2 = fabric.grant(
+            &MemPortReq::read(InitiatorId::Host, PhysAddr::new(0x8000_0000), 8)
+                .at(Cycles::new(300)),
+            timing(30, 0),
+        );
+        assert_eq!(q2, Cycles::ZERO);
+        let q3 = fabric.grant(&burst_req(3, 2048).at(Cycles::new(300)), timing(200, 256));
+        assert_eq!(q3, Cycles::ZERO, "occupancy-free host grants block nobody");
+    }
+
+    /// Property (DeterministicRng-driven): for random interleavings of DMA
+    /// bursts and zero-occupancy host probes, every host probe's measured
+    /// queueing equals the remaining occupancy of the busy interval covering
+    /// its arrival on the reference timeline, and zero-occupancy probes never
+    /// change DMA placement.
+    #[test]
+    fn host_queueing_matches_reference_timeline_property() {
+        use sva_common::rng::DeterministicRng;
+        let mut rng = DeterministicRng::new(0xBADC_0FFE);
+        for round in 0..50u64 {
+            let mut fabric = Fabric::default();
+            let mut probe_only = Fabric::default();
+            // Busy intervals of one DMA stream: paced so they never overlap
+            // each other (a single engine pipelines its own bursts).
+            let mut intervals: Vec<(u64, u64)> = Vec::new();
+            let mut t = 0u64;
+            for _ in 0..8 {
+                t += 10 + rng.next_below(500);
+                let occ = 16 + rng.next_below(300);
+                let q = fabric.grant(&burst_req(1, 2048).at(Cycles::new(t)), timing(100, occ));
+                probe_only.grant(&burst_req(1, 2048).at(Cycles::new(t)), timing(100, occ));
+                assert_eq!(q, Cycles::ZERO, "round {round}: single stream never queues");
+                intervals.push((t, t + occ));
+                t += occ;
+            }
+            // Host probes at random arrivals; expected wait from the
+            // reference interval list.
+            for _ in 0..16 {
+                let arrival = rng.next_below(t + 200);
+                let req = MemPortReq::read(InitiatorId::Host, PhysAddr::new(0x8000_0000), 8)
+                    .at(Cycles::new(arrival));
+                let q = fabric.grant(&req, timing(30, 0)).raw();
+                let expected = intervals
+                    .iter()
+                    .find(|&&(s, e)| s <= arrival && arrival < e)
+                    .map(|&(_, e)| e - arrival)
+                    .unwrap_or(0);
+                assert_eq!(q, expected, "round {round}: probe at {arrival}");
+            }
+            // The probes reserved nothing: a second DMA stream sees the same
+            // placement in both fabrics.
+            let late = t + 1000;
+            for i in 0..4u64 {
+                let arrival = Cycles::new(late + i * 50);
+                let a = fabric.grant(&burst_req(3, 2048).at(arrival), timing(100, 256));
+                let b = probe_only.grant(&burst_req(3, 2048).at(arrival), timing(100, 256));
+                assert_eq!(a, b, "round {round}: probes must not perturb DMA placement");
+            }
+        }
     }
 
     #[test]
     fn overlapping_timed_streams_record_contention() {
         let mut fabric = Fabric::default();
         // Cluster 0 occupies the bus for [0, 256).
-        let q0 = fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        let q0 = fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
         assert_eq!(q0, Cycles::ZERO);
         // Cluster 1 arrives at cycle 10 while the bus is busy.
-        let q1 = fabric.grant(&burst_req(3, 2048), Some(Cycles::new(10)), timing(200, 256));
+        let q1 = fabric.grant(&burst_req(3, 2048).at(Cycles::new(10)), timing(200, 256));
         assert_eq!(q1, Cycles::new(246));
         let s1 = fabric.initiator_stats(InitiatorId::dma(3)).unwrap();
         assert_eq!(s1.queue_cycles, 246);
@@ -450,10 +561,10 @@ mod tests {
     #[test]
     fn same_initiator_pipelining_is_not_contention() {
         let mut fabric = Fabric::default();
-        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
         // The same engine's next burst at cycle 1 overlaps its own traffic:
         // that pipelining is modelled by the DMA engine, not the fabric.
-        let q = fabric.grant(&burst_req(1, 2048), Some(Cycles::new(1)), timing(200, 256));
+        let q = fabric.grant(&burst_req(1, 2048).at(Cycles::new(1)), timing(200, 256));
         assert_eq!(q, Cycles::ZERO);
         assert_eq!(
             fabric
@@ -467,10 +578,9 @@ mod tests {
     #[test]
     fn totals_merge_all_initiators() {
         let mut fabric = Fabric::default();
-        fabric.grant(&burst_req(1, 100), Some(Cycles::ZERO), timing(10, 5));
+        fabric.grant(&burst_req(1, 100).at(Cycles::ZERO), timing(10, 5));
         fabric.grant(
-            &MemPortReq::write(InitiatorId::Host, PhysAddr::new(0x2000), 50),
-            None,
+            &MemPortReq::write(InitiatorId::Host, PhysAddr::new(0x2000), 50).at(Cycles::new(100)),
             timing(10, 2),
         );
         fabric.note_latency(InitiatorId::dma(1), Cycles::new(10));
@@ -489,24 +599,45 @@ mod tests {
             contention_enabled: true,
             ..FabricConfig::default()
         });
-        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
         fabric.reset();
         assert_eq!(fabric.initiator_count(), 0);
         assert_eq!(fabric.grants(), 0);
         assert!(fabric.config().contention_enabled, "config survives reset");
         // A burst arriving at cycle 0 after reset sees a free bus.
-        let q = fabric.grant(&burst_req(3, 2048), Some(Cycles::ZERO), timing(200, 256));
+        let q = fabric.grant(&burst_req(3, 2048).at(Cycles::ZERO), timing(200, 256));
         assert_eq!(q, Cycles::ZERO);
+    }
+
+    #[test]
+    fn clear_timelines_keeps_stats_but_frees_the_bus() {
+        let mut fabric = Fabric::default();
+        fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
+        let q = fabric.grant(&burst_req(3, 2048).at(Cycles::new(10)), timing(200, 256));
+        assert_eq!(q, Cycles::new(246));
+        fabric.clear_timelines();
+        // Accounting survives the window boundary...
+        assert_eq!(fabric.grants(), 2);
+        assert_eq!(
+            fabric
+                .initiator_stats(InitiatorId::dma(3))
+                .unwrap()
+                .queue_cycles,
+            246
+        );
+        // ...but the new window's cycle 0 sees a free bus.
+        let q2 = fabric.grant(&burst_req(5, 2048).at(Cycles::ZERO), timing(200, 256));
+        assert_eq!(q2, Cycles::ZERO);
     }
 
     #[test]
     fn priority_wins_arbitration_without_queueing() {
         let mut fabric = Fabric::default();
         // A priority-0 stream holds the bus for [0, 256).
-        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
         // A priority-1 access arriving mid-interval does not queue...
-        let req = burst_req(3, 2048).with_priority(1);
-        let q = fabric.grant(&req, Some(Cycles::new(10)), timing(200, 256));
+        let req = burst_req(3, 2048).with_priority(1).at(Cycles::new(10));
+        let q = fabric.grant(&req, timing(200, 256));
         assert_eq!(q, Cycles::ZERO);
         assert_eq!(
             fabric
@@ -517,7 +648,7 @@ mod tests {
         );
         // ...but its occupancy [10, 266) still blocks later priority-0
         // traffic from a third initiator.
-        let q0 = fabric.grant(&burst_req(5, 2048), Some(Cycles::new(20)), timing(200, 256));
+        let q0 = fabric.grant(&burst_req(5, 2048).at(Cycles::new(20)), timing(200, 256));
         assert_eq!(q0, Cycles::new(246), "queues behind the priority grant");
     }
 
@@ -526,22 +657,22 @@ mod tests {
         // Long-lived timeline: early large interval, then far-future small
         // ones; the max-length window must still find the early conflict.
         let mut fabric = Fabric::default();
-        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(0, 10_000));
-        let q = fabric.grant(&burst_req(3, 64), Some(Cycles::new(9_999)), timing(0, 8));
+        fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(0, 10_000));
+        let q = fabric.grant(&burst_req(3, 64).at(Cycles::new(9_999)), timing(0, 8));
         assert_eq!(q, Cycles::new(1), "tail of the long interval conflicts");
-        let q2 = fabric.grant(&burst_req(3, 64), Some(Cycles::new(50_000)), timing(0, 8));
+        let q2 = fabric.grant(&burst_req(3, 64).at(Cycles::new(50_000)), timing(0, 8));
         assert_eq!(q2, Cycles::ZERO, "far beyond every reservation");
     }
 
     #[test]
     fn rr_cursor_rotates_past_the_granted_slot() {
         let mut fabric = Fabric::default();
-        fabric.grant(&burst_req(1, 64), Some(Cycles::ZERO), timing(10, 8));
+        fabric.grant(&burst_req(1, 64).at(Cycles::ZERO), timing(10, 8));
         assert_eq!(fabric.rr_cursor(), 0, "one slot: cursor wraps to itself");
-        fabric.grant(&burst_req(2, 64), Some(Cycles::new(1000)), timing(10, 8));
+        fabric.grant(&burst_req(2, 64).at(Cycles::new(1000)), timing(10, 8));
         // Slot 1 granted last, cursor favours slot 0 next.
         assert_eq!(fabric.rr_cursor(), 0);
-        fabric.grant(&burst_req(1, 64), Some(Cycles::new(2000)), timing(10, 8));
+        fabric.grant(&burst_req(1, 64).at(Cycles::new(2000)), timing(10, 8));
         assert_eq!(fabric.rr_cursor(), 1);
     }
 
@@ -555,20 +686,17 @@ mod tests {
         // land on different channels, so fully overlapping bursts from two
         // initiators both place at their arrival.
         fabric.grant(
-            &burst_req_at(1, 0x8000_0000, 2048),
-            Some(Cycles::ZERO),
+            &burst_req_at(1, 0x8000_0000, 2048).at(Cycles::ZERO),
             timing(200, 256),
         );
         let q = fabric.grant(
-            &burst_req_at(3, 0x8000_1000, 2048),
-            Some(Cycles::new(10)),
+            &burst_req_at(3, 0x8000_1000, 2048).at(Cycles::new(10)),
             timing(200, 256),
         );
         assert_eq!(q, Cycles::ZERO, "different channel, no conflict");
         // Same channel as the first burst still conflicts.
         let q2 = fabric.grant(
-            &burst_req_at(3, 0x8000_0800, 2048),
-            Some(Cycles::new(10)),
+            &burst_req_at(3, 0x8000_0800, 2048).at(Cycles::new(10)),
             timing(200, 256),
         );
         assert_eq!(q2, Cycles::new(246));
@@ -588,8 +716,8 @@ mod tests {
         });
         for i in 0..16u64 {
             fabric.grant(
-                &burst_req_at(1 + 2 * (i % 3) as u32, 0x8000_0000 + i * 4096, 1024),
-                Some(Cycles::new(i * 10)),
+                &burst_req_at(1 + 2 * (i % 3) as u32, 0x8000_0000 + i * 4096, 1024)
+                    .at(Cycles::new(i * 10)),
                 timing(100, 128),
             );
         }
@@ -617,17 +745,14 @@ mod tests {
             ..FabricConfig::default()
         });
         // Low-priority stream reserves [0, 256).
-        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
         // A high-priority grant ignores it and places at arrival.
-        let hi = burst_req(3, 2048).with_priority(2);
-        assert_eq!(
-            fabric.grant(&hi, Some(Cycles::new(10)), timing(200, 256)),
-            Cycles::ZERO
-        );
+        let hi = burst_req(3, 2048).with_priority(2).at(Cycles::new(10));
+        assert_eq!(fabric.grant(&hi, timing(200, 256)), Cycles::ZERO);
         // An equal-priority grant queues behind the high one (strict
         // ordering within a level), not behind the low one it outranks.
-        let eq = burst_req(5, 2048).with_priority(2);
-        let q = fabric.grant(&eq, Some(Cycles::new(20)), timing(200, 256));
+        let eq = burst_req(5, 2048).with_priority(2).at(Cycles::new(20));
+        let q = fabric.grant(&eq, timing(200, 256));
         assert_eq!(
             q,
             Cycles::new(246),
@@ -645,9 +770,13 @@ mod tests {
         });
         let mut queues = [0u64; 2];
         for i in 0..8u64 {
-            let t = Some(Cycles::new(i * 10));
-            queues[0] += fabric.grant(&burst_req(1, 2048), t, timing(200, 256)).raw();
-            queues[1] += fabric.grant(&burst_req(3, 2048), t, timing(200, 256)).raw();
+            let t = Cycles::new(i * 10);
+            queues[0] += fabric
+                .grant(&burst_req(1, 2048).at(t), timing(200, 256))
+                .raw();
+            queues[1] += fabric
+                .grant(&burst_req(3, 2048).at(t), timing(200, 256))
+                .raw();
         }
         assert!(queues[0] > 0, "first stream also queues: {queues:?}");
         assert!(queues[1] > 0, "second stream also queues: {queues:?}");
@@ -662,10 +791,9 @@ mod tests {
             policy: ArbitrationPolicy::Weighted(vec![1, 1]),
             ..FabricConfig::default()
         });
-        fabric.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        fabric.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
         let q1 = fabric.grant(
-            &burst_req(3, 2048).with_priority(1),
-            Some(Cycles::ZERO),
+            &burst_req(3, 2048).with_priority(1).at(Cycles::ZERO),
             timing(200, 256),
         );
         assert_eq!(
@@ -675,13 +803,59 @@ mod tests {
         );
         // The same sequence under RoundRobin takes the escape hatch.
         let mut rr = Fabric::default();
-        rr.grant(&burst_req(1, 2048), Some(Cycles::ZERO), timing(200, 256));
+        rr.grant(&burst_req(1, 2048).at(Cycles::ZERO), timing(200, 256));
         let q2 = rr.grant(
-            &burst_req(3, 2048).with_priority(1),
-            Some(Cycles::ZERO),
+            &burst_req(3, 2048).with_priority(1).at(Cycles::ZERO),
             timing(200, 256),
         );
         assert_eq!(q2, Cycles::ZERO);
+    }
+
+    #[test]
+    fn weighted_slots_are_not_consumed_by_host_occupancy() {
+        // Under the global-clock engine host accesses reserve occupancy; a
+        // host grant arriving before any DMA must not claim the first
+        // weight slot — the configured 8:1 split still lands on the two DMA
+        // streams, exactly as in the host-free run.
+        let run = |with_host: bool| -> [u64; 2] {
+            let mut fabric = Fabric::new(FabricConfig {
+                policy: ArbitrationPolicy::Weighted(vec![8, 1]),
+                timed_host_ptw: true,
+                ..FabricConfig::default()
+            });
+            if with_host {
+                fabric.grant(
+                    &MemPortReq::read(InitiatorId::Host, PhysAddr::new(0x8000_0000), 64)
+                        .at(Cycles::ZERO),
+                    timing(30, 8),
+                );
+            }
+            for i in 0..16u64 {
+                let t = Cycles::new(1000 + i * 20);
+                fabric.grant(&burst_req(1, 2048).at(t), timing(200, 256));
+                fabric.grant(&burst_req(3, 2048).at(t), timing(200, 256));
+            }
+            [
+                fabric
+                    .initiator_stats(InitiatorId::dma(1))
+                    .unwrap()
+                    .queue_cycles,
+                fabric
+                    .initiator_stats(InitiatorId::dma(3))
+                    .unwrap()
+                    .queue_cycles,
+            ]
+        };
+        let clean = run(false);
+        let with_host = run(true);
+        assert_eq!(
+            clean, with_host,
+            "a preceding host reservation must not shift the DMA weight slots"
+        );
+        assert!(
+            with_host[0] < with_host[1],
+            "weight 8 stays on the first DMA stream: {with_host:?}"
+        );
     }
 
     #[test]
@@ -692,9 +866,9 @@ mod tests {
                 ..FabricConfig::default()
             });
             for i in 0..16u64 {
-                let t = Some(Cycles::new(i * 20));
-                fabric.grant(&burst_req(1, 2048), t, timing(200, 256));
-                fabric.grant(&burst_req(3, 2048), t, timing(200, 256));
+                let t = Cycles::new(i * 20);
+                fabric.grant(&burst_req(1, 2048).at(t), timing(200, 256));
+                fabric.grant(&burst_req(3, 2048).at(t), timing(200, 256));
             }
             [
                 fabric

@@ -21,6 +21,13 @@
 //! wrappers over [`MemorySystem::access`] kept so call sites can migrate
 //! incrementally.
 //!
+//! Every access arrives at a definite point on the platform's global
+//! simulation clock ([`sva_common::GlobalClock`], shared in via
+//! [`MemorySystem::attach_clock`]): callers that track their own pipeline
+//! stamp an explicit issue time, everything else is stamped with the
+//! clock's current reading, and the clock advances to each access's
+//! completion — there is no untimed traffic.
+//!
 //! All timed accesses also move functional data, so kernels computing on the
 //! simulated memory can be verified bit-exactly against host references.
 
@@ -29,8 +36,8 @@ use sva_axi::addrmap::{AddressMap, RegionKind, DRAM_SIZE};
 use sva_axi::{AccessKind, BusConfig, Crossbar, MasterPort, MemTxn};
 use sva_common::stats::Counter;
 use sva_common::{
-    Cycles, Error, InitiatorClass, InitiatorId, MemPortReq, PhysAddr, PortTiming, Result,
-    CACHE_LINE_SIZE,
+    Cycles, Error, GlobalClock, InitiatorClass, InitiatorId, MemPortReq, PhysAddr, PortTiming,
+    Result, CACHE_LINE_SIZE,
 };
 
 use crate::backing::SparseMemory;
@@ -106,11 +113,14 @@ pub enum MemData<'a> {
 #[derive(Debug)]
 pub struct MemReq<'a> {
     /// The access descriptor (initiator, direction, address, burstiness,
-    /// priority). Its `len` is overwritten from the payload buffer.
+    /// priority). Its `len` is overwritten from the payload buffer and its
+    /// `arrival` from [`MemReq::start`] (or the global clock).
     pub port: MemPortReq,
-    /// Initiator-local issue time, when the caller tracks one (DMA bursts).
-    /// Accesses without a timestamp are treated as issued back-to-back and
-    /// never observe cross-initiator queueing.
+    /// Initiator-local issue time, when the caller tracks one (DMA bursts,
+    /// page-table walks, the host-traffic stream). `None` does **not** mean
+    /// "untimed" — the memory system stamps the access with the current
+    /// global-clock reading, so every grant arrives at a definite point on
+    /// the shared virtual timeline.
     pub start: Option<Cycles>,
     /// The payload buffer.
     pub data: MemData<'a>,
@@ -165,7 +175,7 @@ pub struct MemRsp {
     /// queueing delay.
     pub timing: PortTiming,
     /// Cross-initiator queueing delay the access observed on the shared-bus
-    /// timeline (zero for untimed accesses).
+    /// timeline at its arrival time.
     pub queue_delay: Cycles,
 }
 
@@ -210,6 +220,11 @@ pub struct MemorySystem {
     fabric: Fabric,
     stats: MemSysStats,
     host_stall_cycles: Counter,
+    /// The global simulation clock: stamps accesses whose caller does not
+    /// track an issue time, and is advanced to the completion of every
+    /// grant. The platform shares one clock across all its components via
+    /// [`MemorySystem::attach_clock`].
+    clock: GlobalClock,
 }
 
 impl MemorySystem {
@@ -232,8 +247,29 @@ impl MemorySystem {
             fabric: Fabric::new(config.fabric.clone()),
             stats: MemSysStats::default(),
             host_stall_cycles: Counter::new(),
+            clock: GlobalClock::new(),
             config,
         }
+    }
+
+    /// Shares the platform's global clock with this memory system (replacing
+    /// the private clock created by [`MemorySystem::new`]).
+    pub fn attach_clock(&mut self, clock: &GlobalClock) {
+        self.clock = clock.clone();
+    }
+
+    /// The global clock this memory system stamps accesses with.
+    pub const fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    /// Opens a new measurement window: drops every fabric channel's
+    /// reservations (statistics survive) and restarts the global clock, so
+    /// initiator-local cursors restarting at zero do not collide with
+    /// reservations stamped in the previous window.
+    pub fn open_measurement_window(&mut self) {
+        self.fabric.clear_timelines();
+        self.clock.restart();
     }
 
     /// The configuration this system was built with.
@@ -455,7 +491,10 @@ impl MemorySystem {
     /// Moves the payload functionally, computes the timing of the access
     /// according to the initiator's class and the region's policy, passes the
     /// grant through the fabric arbiter (per-initiator accounting, optional
-    /// contention charging) and updates the aggregate statistics.
+    /// contention charging) and updates the aggregate statistics. Every
+    /// access arrives at a definite point on the global clock: either the
+    /// caller's issue time ([`MemReq::start`]) or the clock's current
+    /// reading; the clock is advanced to the access's completion.
     ///
     /// # Errors
     ///
@@ -472,6 +511,7 @@ impl MemorySystem {
             MemData::WriteFrom(buf) => (AccessKind::Write, buf.len() as u64),
         };
         port.len = len;
+        port.arrival = start.unwrap_or_else(|| self.clock.now());
         match data {
             MemData::ReadInto(buf) => self.read_phys(port.addr, buf)?,
             MemData::WriteFrom(buf) => self.write_phys(port.addr, buf)?,
@@ -490,11 +530,22 @@ impl MemorySystem {
         let hop = self.xbar.route(master, &txn);
         let mut timing = self.class_timing(class, kind, port.addr, len, hop)?;
 
-        let queue = self.fabric.grant(&port, start, timing);
-        if self.config.fabric.contention_enabled {
+        let queue = self.fabric.grant(&port, timing);
+        // Charging rule: DMA queueing is charged whenever contention
+        // charging is on (the PR 1/2 model); host and PTW queueing is only
+        // charged when the global-clock engine additionally times those
+        // classes, so the default configuration stays cycle-identical to
+        // the pre-clock model.
+        let charged = self.config.fabric.contention_enabled
+            && (class == InitiatorClass::Device || self.config.fabric.timed_host_ptw);
+        if charged {
             timing.latency += queue;
         }
         self.fabric.note_latency(port.initiator, timing.latency);
+        // Completion on the global clock; when the queueing was charged it
+        // is already part of the latency.
+        let completion = port.arrival + timing.total() + if charged { Cycles::ZERO } else { queue };
+        self.clock.advance_to(completion);
 
         match class {
             InitiatorClass::Host => {
@@ -516,6 +567,14 @@ impl MemorySystem {
     /// Timing of one access by initiator class, mirroring the three paths of
     /// the prototype (Figure 1): cached host traffic, LLC-served page-table
     /// walks and bypassing DMA bursts.
+    ///
+    /// Under the global-clock engine ([`FabricConfig::timed_host_ptw`]) host
+    /// and PTW accesses additionally reserve their payload beats on the
+    /// shared data path, so they block (and are blocked by) concurrent
+    /// traffic; the reservation is a deliberate simplification that applies
+    /// even to LLC-served accesses (standing in for the shared downstream
+    /// bus). Their reported *latency* is unaffected by the extra occupancy —
+    /// host/PTW callers block on latency alone.
     fn class_timing(
         &mut self,
         class: InitiatorClass,
@@ -524,6 +583,11 @@ impl MemorySystem {
         len: u64,
         hop: Cycles,
     ) -> Result<PortTiming> {
+        let host_ptw_occupancy = if self.config.fabric.timed_host_ptw {
+            Cycles::new(self.config.bus.beats_for(len).max(1))
+        } else {
+            Cycles::ZERO
+        };
         let timing = match class {
             InitiatorClass::Host => {
                 let region = self.map.decode(addr)?.kind;
@@ -542,7 +606,7 @@ impl MemorySystem {
                 };
                 PortTiming {
                     latency: hop + path,
-                    occupancy: Cycles::ZERO,
+                    occupancy: host_ptw_occupancy,
                 }
             }
             InitiatorClass::Ptw => {
@@ -554,7 +618,7 @@ impl MemorySystem {
                 let penalty = self.interference_penalty(base);
                 PortTiming {
                     latency: hop + base + penalty,
-                    occupancy: Cycles::ZERO,
+                    occupancy: host_ptw_occupancy,
                 }
             }
             InitiatorClass::Device => {

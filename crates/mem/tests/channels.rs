@@ -48,11 +48,11 @@ fn drive(fabric: &mut Fabric, accesses: &[Access]) -> Vec<u64> {
         .iter()
         .map(|a| {
             let req = MemPortReq::read(InitiatorId::dma(a.device), PhysAddr::new(a.addr), a.len)
-                .as_burst();
+                .as_burst()
+                .at(Cycles::new(a.arrival));
             fabric
                 .grant(
                     &req,
-                    Some(Cycles::new(a.arrival)),
                     PortTiming {
                         latency: Cycles::new(100),
                         occupancy: Cycles::new(a.occupancy),
