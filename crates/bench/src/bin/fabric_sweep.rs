@@ -22,7 +22,7 @@
 
 use sva_bench::par::par_map;
 use sva_bench::{parse_args, with_banner, RunSize};
-use sva_common::ArbitrationPolicy;
+use sva_common::{ArbitrationPolicy, QueueDepths};
 use sva_kernels::KernelKind;
 use sva_soc::config::SocVariant;
 use sva_soc::experiments::fabric::{self, FabricKnobs, FabricSweepResult};
@@ -55,6 +55,7 @@ fn main() {
 
     // Scaling grid: the PR 1 trajectory at the baseline fabric.
     let baseline = FabricKnobs::default();
+    let unbounded = QueueDepths::UNBOUNDED;
     let mut grid = Vec::new();
     for &n in clusters {
         for &variant in &variants {
@@ -65,6 +66,7 @@ fn main() {
                     latency,
                     1usize,
                     ArbitrationPolicy::RoundRobin,
+                    unbounded,
                     baseline,
                 ));
             }
@@ -94,6 +96,7 @@ fn main() {
                 base_latency,
                 channels,
                 policy.clone(),
+                unbounded,
                 baseline,
             ));
         }
@@ -107,20 +110,42 @@ fn main() {
             base_latency,
             1usize,
             ArbitrationPolicy::RoundRobin,
+            unbounded,
             knobs,
         ));
     }
+    // Queue-depth grid: the split-transaction fabric under maximal
+    // contention. Finite request/response queues at the host-idle baseline
+    // (DMA-only backpressure) and under the full timed engine (host stream
+    // + batched walker also competing for credits). The unbounded corner is
+    // already covered by the grids above.
+    for &depths in &[QueueDepths::bounded(16, 16), QueueDepths::bounded(4, 4)] {
+        for &knobs in &[FabricKnobs::ALL[0], FabricKnobs::ALL[3]] {
+            grid.push((
+                max_clusters,
+                SocVariant::IommuLlc,
+                base_latency,
+                1usize,
+                ArbitrationPolicy::RoundRobin,
+                depths,
+                knobs,
+            ));
+        }
+    }
 
-    let points = par_map(grid, |(n, variant, latency, channels, policy, knobs)| {
-        fabric::run_point(
-            kernel, paper_size, n, variant, latency, channels, &policy, knobs,
-        )
-        .unwrap_or_else(|e| {
-            panic!(
-                "fabric point {n}x {variant:?} @{latency} ch{channels} {policy:?} {knobs:?} failed: {e:?}"
+    let points = par_map(
+        grid,
+        |(n, variant, latency, channels, policy, depths, knobs)| {
+            fabric::run_point(
+                kernel, paper_size, n, variant, latency, channels, &policy, depths, knobs,
             )
-        })
-    });
+            .unwrap_or_else(|e| {
+                panic!(
+                    "fabric point {n}x {variant:?} @{latency} ch{channels} {policy:?} {depths} {knobs:?} failed: {e:?}"
+                )
+            })
+        },
+    );
     let result = FabricSweepResult { points };
 
     with_banner(

@@ -112,6 +112,13 @@ pub struct DmaStats {
     pub translations: u64,
     /// Cycles spent blocked on address translation.
     pub translation_cycles: u64,
+    /// Cycles burst issue stalled waiting for a request-queue credit at the
+    /// fabric port (the target channel's request FIFO was full). The stall
+    /// pushes the engine's issue pipeline back — the next burst cannot
+    /// issue while the current one waits for a credit — which is the
+    /// upstream backpressure a split-transaction fabric exerts. Always zero
+    /// with the default unbounded queue depths.
+    pub issue_stall_cycles: u64,
     /// Total cycles the engine was busy (issue to last completion), summed
     /// over transfer batches.
     pub busy_cycles: u64,
@@ -212,7 +219,7 @@ impl DmaEngine {
                 let initiator = InitiatorId::dma(self.config.device_id);
                 let chunk = &mut buf[..burst.len as usize];
                 let priority = self.config.priority;
-                let timing = match req.dir {
+                let rsp = match req.dir {
                     Direction::ToTcdm => {
                         let rsp = mem.access(
                             MemReq::read(initiator, pa, chunk)
@@ -221,7 +228,7 @@ impl DmaEngine {
                                 .at(issue_t),
                         )?;
                         tcdm.write(req.tcdm_offset + done, chunk)?;
-                        rsp.timing
+                        rsp
                     }
                     Direction::FromTcdm => {
                         tcdm.read(req.tcdm_offset + done, chunk)?;
@@ -231,17 +238,30 @@ impl DmaEngine {
                                 .priority(priority)
                                 .at(issue_t),
                         )?
-                        .timing
                     }
                 };
+                let timing = rsp.timing;
+                // Credit-based issue: if the target channel's request queue
+                // was full, the burst sat at the fabric port for
+                // `issue_stall` cycles before it could even enter the
+                // fabric. The stall holds the engine's request channel —
+                // the next burst cannot issue until the credit was granted
+                // — which is how full channel FIFOs push contention
+                // upstream into the engine. (When contention charging is
+                // on, the stall is also part of the returned latency, so
+                // the data path sees it too.)
+                let credit_granted = issue_t + rsp.issue_stall;
+                self.stats.issue_stall_cycles += rsp.issue_stall.raw();
+
                 let data_start = (issue_t + timing.latency).max(data_bus_free);
                 let burst_done = data_start + timing.occupancy;
                 data_bus_free = burst_done;
                 completion = completion.max(burst_done);
                 outstanding.push_back(burst_done);
 
-                // The request channel is free again shortly after issuing.
-                issue_free = issue_t + Cycles::new(1);
+                // The request channel is free again shortly after the
+                // request-queue credit was granted.
+                issue_free = credit_granted + Cycles::new(1);
 
                 self.stats.bursts += 1;
                 self.stats.bytes += burst.len;
@@ -419,6 +439,181 @@ mod tests {
             t_translated.raw() as f64 > t_baseline.raw() as f64 * 1.5,
             "translated {t_translated} should be much slower than baseline {t_baseline}"
         );
+    }
+
+    /// Queue-aware issue: under a split-transaction fabric with a one-slot
+    /// request queue, an engine issuing into a bus already backed up by
+    /// another initiator stalls at the port (its own waiting request holds
+    /// the slot), and the stall is visible both in the engine's statistics
+    /// and in the fabric's per-initiator row. With unbounded depths the
+    /// same workload never stalls and the completion time matches the pure
+    /// reservation model.
+    #[test]
+    fn shallow_request_queue_stalls_burst_issue() {
+        let run = |bounded: bool| -> (Cycles, u64, u64) {
+            let mut fabric = sva_mem::FabricConfig {
+                contention_enabled: true,
+                ..sva_mem::FabricConfig::default()
+            };
+            if bounded {
+                fabric.req_queue_depth = 1;
+                fabric.rsp_queue_depth = 1;
+            }
+            let mut mem = MemorySystem::new(MemSysConfig {
+                dram_latency: Cycles::new(600),
+                fabric,
+                ..MemSysConfig::default()
+            });
+            let mut iommu = Iommu::new(IommuConfig::disabled());
+            let mut tcdm = Tcdm::default();
+            // Stream 1 saturates the bus first (shard order: it is placed
+            // first-fit and never queues)...
+            let mut dma_a = DmaEngine::new(DmaConfig {
+                device_id: 1,
+                ..DmaConfig::default()
+            });
+            dma_a
+                .execute(
+                    &mut mem,
+                    &mut iommu,
+                    &mut tcdm,
+                    &[DmaRequest::input(bypass_addr(0), 0, 32 * 1024)],
+                    Cycles::ZERO,
+                )
+                .unwrap();
+            // ...then stream 2 issues the same transfer from the same local
+            // zero: every burst queues behind stream 1's reservations, so
+            // its waiting requests pile up at the one-slot request FIFO.
+            let mut dma_b = DmaEngine::new(DmaConfig {
+                device_id: 3,
+                ..DmaConfig::default()
+            });
+            let done = dma_b
+                .execute(
+                    &mut mem,
+                    &mut iommu,
+                    &mut tcdm,
+                    &[DmaRequest::input(bypass_addr(0x10_0000), 0, 32 * 1024)],
+                    Cycles::ZERO,
+                )
+                .unwrap();
+            let row = mem
+                .fabric()
+                .initiator_stats(sva_common::InitiatorId::dma(3))
+                .unwrap();
+            (
+                done,
+                dma_b.stats().issue_stall_cycles,
+                row.issue_stall_cycles,
+            )
+        };
+        let (unbounded_done, unbounded_stall, _) = run(false);
+        assert_eq!(unbounded_stall, 0, "unbounded depths never stall");
+        let (bounded_done, engine_stall, fabric_stall) = run(true);
+        assert!(
+            engine_stall > 0,
+            "burst issue must stall at the full request queue"
+        );
+        assert_eq!(
+            engine_stall, fabric_stall,
+            "engine and fabric agree on the stall"
+        );
+        assert!(
+            bounded_done >= unbounded_done,
+            "backpressure cannot finish earlier: {bounded_done} vs {unbounded_done}"
+        );
+    }
+
+    /// Regression (measurement windows must not leak credits): after
+    /// `open_measurement_window`, a fresh engine re-running the same
+    /// transfer from local cycle zero observes exactly what a fresh memory
+    /// system would — stale queue entries and outstanding reservations from
+    /// the previous window are gone, for the engine's stats and the
+    /// fabric's alike.
+    #[test]
+    fn measurement_window_does_not_leak_credits_or_outstanding_entries() {
+        let shallow_mem = || {
+            MemorySystem::new(MemSysConfig {
+                dram_latency: Cycles::new(600),
+                fabric: sva_mem::FabricConfig {
+                    contention_enabled: true,
+                    req_queue_depth: 1,
+                    rsp_queue_depth: 1,
+                    ..sva_mem::FabricConfig::default()
+                },
+                ..MemSysConfig::default()
+            })
+        };
+        // Runs one transfer on a private clone of `mem` (the probe must not
+        // perturb the system it probes).
+        let transfer = |mem: &MemorySystem, device_id: u32| -> (Cycles, u64) {
+            let mut mem = mem.clone();
+            let mut iommu = Iommu::new(IommuConfig::disabled());
+            let mut tcdm = Tcdm::default();
+            let mut dma = DmaEngine::new(DmaConfig {
+                device_id,
+                ..DmaConfig::default()
+            });
+            let done = dma
+                .execute(
+                    &mut mem,
+                    &mut iommu,
+                    &mut tcdm,
+                    &[DmaRequest::input(bypass_addr(0), 0, 16 * 1024)],
+                    Cycles::ZERO,
+                )
+                .unwrap();
+            (done, dma.stats().issue_stall_cycles)
+        };
+        // Window 1: two engines congest the shallow queues.
+        let mut mem = shallow_mem();
+        {
+            let mut iommu = Iommu::new(IommuConfig::disabled());
+            let mut tcdm = Tcdm::default();
+            for device in [1u32, 3] {
+                DmaEngine::new(DmaConfig {
+                    device_id: device,
+                    ..DmaConfig::default()
+                })
+                .execute(
+                    &mut mem,
+                    &mut iommu,
+                    &mut tcdm,
+                    &[DmaRequest::input(bypass_addr(0), 0, 32 * 1024)],
+                    Cycles::ZERO,
+                )
+                .unwrap();
+            }
+        }
+        // Window 2 on the used system vs window 1 on a fresh system.
+        mem.open_measurement_window();
+        let used = transfer(&mem, 5);
+        let fresh = transfer(&shallow_mem(), 5);
+        assert_eq!(
+            used, fresh,
+            "a fresh window must behave like a fresh system (no leaked credits)"
+        );
+        // A cloned platform is equally independent: congesting the original
+        // after the clone must not stall the clone.
+        let mem_clone = mem.clone();
+        {
+            let mut iommu = Iommu::new(IommuConfig::disabled());
+            let mut tcdm = Tcdm::default();
+            DmaEngine::new(DmaConfig {
+                device_id: 7,
+                ..DmaConfig::default()
+            })
+            .execute(
+                &mut mem,
+                &mut iommu,
+                &mut tcdm,
+                &[DmaRequest::input(bypass_addr(0), 0, 32 * 1024)],
+                Cycles::ZERO,
+            )
+            .unwrap();
+        }
+        let clone_run = transfer(&mem_clone, 5);
+        assert_eq!(clone_run, fresh, "clones must not share credit queues");
     }
 
     #[test]

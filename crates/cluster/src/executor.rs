@@ -84,6 +84,7 @@ impl KernelRunStats {
             merged.dma.bytes += s.dma.bytes;
             merged.dma.translations += s.dma.translations;
             merged.dma.translation_cycles += s.dma.translation_cycles;
+            merged.dma.issue_stall_cycles += s.dma.issue_stall_cycles;
             merged.dma.busy_cycles += s.dma.busy_cycles;
         }
         merged

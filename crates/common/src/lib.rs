@@ -32,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addr;
+pub mod channel;
 pub mod clock;
 pub mod cycles;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod stats;
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::addr::{Iova, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+    pub use crate::channel::{CreditPort, QueueDepths, TimedQueue};
     pub use crate::clock::{GlobalClock, TimeSource};
     pub use crate::cycles::{ClockDomain, Cycles};
     pub use crate::error::{Error, Result};
@@ -54,6 +56,7 @@ pub mod prelude {
 }
 
 pub use addr::{Iova, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
+pub use channel::{CreditPort, QueueDepths, TimedQueue};
 pub use clock::{GlobalClock, TimeSource};
 pub use cycles::{ClockDomain, Cycles};
 pub use error::{Error, Result};

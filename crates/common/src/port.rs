@@ -28,6 +28,12 @@ use crate::cycles::Cycles;
 pub enum InitiatorId {
     /// The CVA6 host core (through its L1 caches).
     Host,
+    /// The synthetic co-running host-traffic stream (conceptually a second
+    /// hart or process on the host side). Distinct from [`InitiatorId::Host`]
+    /// so genuine host self-interference — the stream contending with the
+    /// offload runtime's own copies and page-table writes — is observable on
+    /// the fabric instead of vanishing into the same-initiator exemption.
+    HostStream,
     /// The IOMMU's dedicated page-table-walk port.
     Ptw,
     /// The DMA engine presenting IOMMU device ID `device`.
@@ -47,7 +53,7 @@ impl InitiatorId {
     /// cache policy its traffic uses).
     pub const fn class(self) -> InitiatorClass {
         match self {
-            InitiatorId::Host => InitiatorClass::Host,
+            InitiatorId::Host | InitiatorId::HostStream => InitiatorClass::Host,
             InitiatorId::Ptw => InitiatorClass::Ptw,
             InitiatorId::Dma { .. } => InitiatorClass::Device,
         }
@@ -57,6 +63,7 @@ impl InitiatorId {
     pub fn label(self) -> String {
         match self {
             InitiatorId::Host => "host".to_string(),
+            InitiatorId::HostStream => "host_stream".to_string(),
             InitiatorId::Ptw => "ptw".to_string(),
             InitiatorId::Dma { device } => format!("dma[{device}]"),
         }
@@ -278,6 +285,17 @@ pub struct InitiatorStats {
     pub queue_cycles: u64,
     /// Accesses that arrived while another initiator held the bus.
     pub contended_grants: u64,
+    /// Cycles the initiator's issue stalled waiting for a request-queue
+    /// credit (the channel's request FIFO was full at the arrival instant).
+    /// Always zero with unbounded queue depths.
+    pub issue_stall_cycles: u64,
+    /// Highest request-queue occupancy observed at any of this initiator's
+    /// admissions (including its own entry). Zero with unbounded depths,
+    /// whose occupancy is never tracked.
+    pub req_queue_peak: u64,
+    /// Highest response-queue occupancy observed at any of this initiator's
+    /// grants. Zero with unbounded depths.
+    pub rsp_queue_peak: u64,
 }
 
 impl InitiatorStats {
@@ -296,6 +314,9 @@ impl InitiatorStats {
         self.occupancy_cycles += other.occupancy_cycles;
         self.queue_cycles += other.queue_cycles;
         self.contended_grants += other.contended_grants;
+        self.issue_stall_cycles += other.issue_stall_cycles;
+        self.req_queue_peak = self.req_queue_peak.max(other.req_queue_peak);
+        self.rsp_queue_peak = self.rsp_queue_peak.max(other.rsp_queue_peak);
     }
 }
 
@@ -321,6 +342,8 @@ mod tests {
     #[test]
     fn initiator_classes_and_labels() {
         assert_eq!(InitiatorId::Host.class(), InitiatorClass::Host);
+        assert_eq!(InitiatorId::HostStream.class(), InitiatorClass::Host);
+        assert_eq!(InitiatorId::HostStream.label(), "host_stream");
         assert_eq!(InitiatorId::Ptw.class(), InitiatorClass::Ptw);
         assert_eq!(InitiatorId::dma(3).class(), InitiatorClass::Device);
         assert_eq!(InitiatorId::dma(3).label(), "dma[3]");
@@ -365,11 +388,15 @@ mod tests {
             writes: 2,
             bytes: 128,
             queue_cycles: 7,
+            issue_stall_cycles: 11,
+            req_queue_peak: 3,
             ..InitiatorStats::default()
         };
         a.merge(&b);
         assert_eq!(a.accesses(), 3);
         assert_eq!(a.bytes, 192);
         assert_eq!(a.queue_cycles, 7);
+        assert_eq!(a.issue_stall_cycles, 11);
+        assert_eq!(a.req_queue_peak, 3, "peaks merge by max, not by sum");
     }
 }

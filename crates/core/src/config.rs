@@ -16,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 use sva_cluster::{ClusterConfig, DmaConfig};
-use sva_common::{ArbitrationPolicy, Cycles};
+use sva_common::{ArbitrationPolicy, Cycles, QueueDepths};
 use sva_host::{DriverConfig, HostCpuConfig, HostTrafficConfig, InterferenceLevel};
 use sva_iommu::{IommuConfig, IommuMode};
 use sva_mem::{DramChannelConfig, LlcConfig, MemSysConfig};
@@ -228,6 +228,28 @@ impl PlatformConfig {
     /// Returns a copy using the given fabric arbitration policy.
     pub fn with_arbitration(mut self, policy: ArbitrationPolicy) -> Self {
         self.mem.fabric.policy = policy;
+        self
+    }
+
+    /// Returns a copy whose DRAM channels carry **finite request/response
+    /// queues** of the given depths (clamped to at least one slot each):
+    /// the split-transaction fabric. A full request queue stalls initiator
+    /// issue (credit-based backpressure, reported as
+    /// `issue_stall_cycles`); a full response queue delays grants. The
+    /// default `usize::MAX` depths are cycle-identical to the pure
+    /// reservation model.
+    pub fn with_channel_depths(mut self, req: usize, rsp: usize) -> Self {
+        let depths = QueueDepths::bounded(req, rsp);
+        self.mem.fabric.req_queue_depth = depths.req;
+        self.mem.fabric.rsp_queue_depth = depths.rsp;
+        self
+    }
+
+    /// Returns a copy with the given [`QueueDepths`] (including
+    /// [`QueueDepths::UNBOUNDED`], the default reservation model).
+    pub fn with_queue_depths(mut self, depths: QueueDepths) -> Self {
+        self.mem.fabric.req_queue_depth = depths.req;
+        self.mem.fabric.rsp_queue_depth = depths.rsp;
         self
     }
 

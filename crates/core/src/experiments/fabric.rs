@@ -35,7 +35,7 @@ use crate::config::{PlatformConfig, SocVariant};
 use crate::offload::OffloadRunner;
 use crate::platform::Platform;
 use crate::report::{percent, sci, TextTable};
-use sva_common::{ArbitrationPolicy, Result};
+use sva_common::{ArbitrationPolicy, QueueDepths, Result};
 use sva_host::HostTrafficConfig;
 use sva_mem::ChannelStats;
 
@@ -87,6 +87,12 @@ pub struct InitiatorRow {
     pub queue_cycles: u64,
     /// Accesses that arrived while another initiator held the bus.
     pub contended_grants: u64,
+    /// Issue stalls at full request queues (zero with unbounded depths).
+    pub issue_stall_cycles: u64,
+    /// Highest request-queue occupancy the initiator observed at admission.
+    pub req_queue_peak: u64,
+    /// Highest response-queue occupancy the initiator observed at a grant.
+    pub rsp_queue_peak: u64,
 }
 
 /// Per-channel numbers of one measurement point.
@@ -114,6 +120,13 @@ pub struct FabricPoint {
     /// Arbitration policy label (`round_robin`, `weighted[..]`,
     /// `fixed_priority`).
     pub policy: String,
+    /// Channel queue-depth label (`inf` for the unbounded reservation
+    /// model, `req/rsp` for the split-transaction configuration).
+    pub queue_depths: String,
+    /// Request-queue depth (0 encodes unbounded in the JSON schema).
+    pub req_queue_depth: u64,
+    /// Response-queue depth (0 encodes unbounded in the JSON schema).
+    pub rsp_queue_depth: u64,
     /// Whether the timed host-traffic stream was injected into the window.
     pub host_traffic: bool,
     /// Whether the MSHR-style batched walker was enabled.
@@ -147,6 +160,12 @@ impl FabricPoint {
     pub fn queue_cycles(&self) -> u64 {
         self.initiators.iter().map(|r| r.queue_cycles).sum()
     }
+
+    /// Total issue stalls (request-queue backpressure) observed at this
+    /// point.
+    pub fn issue_stall_cycles(&self) -> u64 {
+        self.initiators.iter().map(|r| r.issue_stall_cycles).sum()
+    }
 }
 
 /// The full sweep.
@@ -174,8 +193,31 @@ impl FabricSweepResult {
                 && p.dram_latency == latency
                 && p.channels == channels
                 && p.policy == policy
+                && p.queue_depths == "inf"
                 && !p.host_traffic
                 && !p.ptw_batching
+        })
+    }
+
+    /// Finds the point of the queue-depth sub-grid for a given cluster
+    /// count, depth label and knob combination (single channel,
+    /// round-robin, IOMMU+LLC).
+    pub fn get_depths(
+        &self,
+        clusters: usize,
+        latency: u64,
+        depths: &str,
+        knobs: FabricKnobs,
+    ) -> Option<&FabricPoint> {
+        self.points.iter().find(|p| {
+            p.clusters == clusters
+                && p.variant == SocVariant::IommuLlc
+                && p.dram_latency == latency
+                && p.channels == 1
+                && p.policy == "round_robin"
+                && p.queue_depths == depths
+                && p.host_traffic == knobs.host_traffic
+                && p.ptw_batching == knobs.ptw_batching
         })
     }
 
@@ -194,6 +236,7 @@ impl FabricSweepResult {
                 && p.dram_latency == latency
                 && p.channels == 1
                 && p.policy == "round_robin"
+                && p.queue_depths == "inf"
                 && p.host_traffic == knobs.host_traffic
                 && p.ptw_batching == knobs.ptw_batching
         })
@@ -214,6 +257,7 @@ impl FabricSweepResult {
             "Latency",
             "Ch",
             "Policy",
+            "Qdepth",
             "Host",
             "PTW",
             "Wall cyc",
@@ -221,6 +265,7 @@ impl FabricSweepResult {
             "%DMA",
             "IOTLB hit",
             "Queue cyc",
+            "Stall cyc",
             "Switches",
         ]);
         for p in &self.points {
@@ -241,6 +286,7 @@ impl FabricSweepResult {
                 p.dram_latency.to_string(),
                 p.channels.to_string(),
                 p.policy.clone(),
+                p.queue_depths.clone(),
                 if p.host_traffic { "noisy" } else { "idle" }.to_string(),
                 if p.ptw_batching { "batched" } else { "serial" }.to_string(),
                 sci(p.total),
@@ -248,6 +294,7 @@ impl FabricSweepResult {
                 percent(dma_share),
                 percent(p.iotlb_hit_rate),
                 p.queue_cycles().to_string(),
+                p.issue_stall_cycles().to_string(),
                 p.grant_switches.to_string(),
             ]);
         }
@@ -265,13 +312,17 @@ impl FabricSweepResult {
                 .map(|r| {
                     format!(
                         "{{\"initiator\": \"{}\", \"accesses\": {}, \"bytes\": {}, \
-                         \"occupancy_cycles\": {}, \"queue_cycles\": {}, \"contended_grants\": {}}}",
+                         \"occupancy_cycles\": {}, \"queue_cycles\": {}, \"contended_grants\": {}, \
+                         \"issue_stall_cycles\": {}, \"req_queue_peak\": {}, \"rsp_queue_peak\": {}}}",
                         r.initiator,
                         r.accesses,
                         r.bytes,
                         r.occupancy_cycles,
                         r.queue_cycles,
-                        r.contended_grants
+                        r.contended_grants,
+                        r.issue_stall_cycles,
+                        r.req_queue_peak,
+                        r.rsp_queue_peak
                     )
                 })
                 .collect();
@@ -281,18 +332,23 @@ impl FabricSweepResult {
                 .map(|c| {
                     format!(
                         "{{\"channel\": {}, \"grants\": {}, \"bytes\": {}, \
-                         \"occupancy_cycles\": {}, \"queue_cycles\": {}}}",
+                         \"occupancy_cycles\": {}, \"queue_cycles\": {}, \
+                         \"issue_stall_cycles\": {}, \"req_queue_peak\": {}, \"rsp_queue_peak\": {}}}",
                         c.channel,
                         c.stats.grants,
                         c.stats.bytes,
                         c.stats.occupancy_cycles,
-                        c.stats.queue_cycles
+                        c.stats.queue_cycles,
+                        c.stats.issue_stall_cycles,
+                        c.stats.req_queue_peak,
+                        c.stats.rsp_queue_peak
                     )
                 })
                 .collect();
             out.push_str(&format!(
                 "    {{\"kernel\": \"{}\", \"clusters\": {}, \"variant\": \"{}\", \
                  \"dram_latency\": {}, \"channels\": {}, \"policy\": \"{}\", \
+                 \"queue_depths\": \"{}\", \"req_queue_depth\": {}, \"rsp_queue_depth\": {}, \
                  \"host_traffic\": {}, \"ptw_batching\": {}, \
                  \"total\": {}, \"compute\": {}, \"dma_wait\": {}, \
                  \"iotlb_hit_rate\": {:.6}, \
@@ -305,6 +361,9 @@ impl FabricSweepResult {
                 p.dram_latency,
                 p.channels,
                 p.policy,
+                p.queue_depths,
+                p.req_queue_depth,
+                p.rsp_queue_depth,
                 p.host_traffic,
                 p.ptw_batching,
                 p.total,
@@ -341,7 +400,10 @@ impl FabricSweepResult {
 /// injected into the measurement window (turning the global-clock engine
 /// on, so host and PTW queueing is charged); with
 /// [`FabricKnobs::ptw_batching`] the walker coalesces concurrent walks in
-/// its MSHR-style walk table.
+/// its MSHR-style walk table. Finite `depths` switch the fabric into the
+/// split-transaction model: full request queues stall initiator issue
+/// (reported per initiator as `issue_stall_cycles`), full response queues
+/// delay grants.
 ///
 /// # Errors
 ///
@@ -355,6 +417,7 @@ pub fn run_point(
     latency: u64,
     channels: usize,
     policy: &ArbitrationPolicy,
+    depths: QueueDepths,
     knobs: FabricKnobs,
 ) -> Result<FabricPoint> {
     let workload = if paper_size {
@@ -366,7 +429,8 @@ pub fn run_point(
         .with_clusters(clusters)
         .with_fabric_contention()
         .with_memory_channels(channels)
-        .with_arbitration(policy.clone());
+        .with_arbitration(policy.clone())
+        .with_queue_depths(depths);
     if matches!(policy, ArbitrationPolicy::FixedPriority) {
         config = config.with_cluster_priorities((0..clusters).map(|i| i as u8).collect());
     }
@@ -390,6 +454,9 @@ pub fn run_point(
             occupancy_cycles: snap.stats.occupancy_cycles,
             queue_cycles: snap.stats.queue_cycles,
             contended_grants: snap.stats.contended_grants,
+            issue_stall_cycles: snap.stats.issue_stall_cycles,
+            req_queue_peak: snap.stats.req_queue_peak,
+            rsp_queue_peak: snap.stats.rsp_queue_peak,
         })
         .collect();
 
@@ -408,6 +475,17 @@ pub fn run_point(
         dram_latency: latency,
         channels: platform.mem.fabric().channel_count(),
         policy: policy.label(),
+        queue_depths: depths.label(),
+        req_queue_depth: if depths.req == usize::MAX {
+            0
+        } else {
+            depths.req as u64
+        },
+        rsp_queue_depth: if depths.rsp == usize::MAX {
+            0
+        } else {
+            depths.rsp as u64
+        },
         host_traffic: knobs.host_traffic,
         ptw_batching: knobs.ptw_batching,
         total: report.stats.total.raw(),
@@ -454,6 +532,7 @@ pub fn run(
                             latency,
                             ch,
                             policy,
+                            QueueDepths::UNBOUNDED,
                             FabricKnobs::default(),
                         )?);
                     }
@@ -524,6 +603,7 @@ mod tests {
                     200,
                     1,
                     &ArbitrationPolicy::RoundRobin,
+                    QueueDepths::UNBOUNDED,
                     knobs,
                 )
                 .unwrap()
@@ -539,7 +619,7 @@ mod tests {
         let host_queue = |p: &FabricPoint| {
             p.initiators
                 .iter()
-                .find(|r| r.initiator == "host")
+                .find(|r| r.initiator == "host_stream")
                 .map(|r| r.queue_cycles)
                 .unwrap_or(0)
         };
@@ -558,6 +638,69 @@ mod tests {
         assert!(json.contains("\"host_traffic\": true"));
         assert!(json.contains("\"ptw_batching\": true"));
         assert!(json.contains("\"ptw_coalesced_reads\""));
+    }
+
+    #[test]
+    fn queue_depth_sub_grid_reports_issue_stalls() {
+        let run_depths = |depths: QueueDepths| {
+            run_point(
+                KernelKind::Gemm,
+                false,
+                4,
+                SocVariant::IommuLlc,
+                200,
+                1,
+                &ArbitrationPolicy::RoundRobin,
+                depths,
+                FabricKnobs {
+                    host_traffic: true,
+                    ptw_batching: true,
+                },
+            )
+            .unwrap()
+        };
+        let unbounded = run_depths(QueueDepths::UNBOUNDED);
+        let shallow = run_depths(QueueDepths::bounded(4, 4));
+        assert!(unbounded.verified && shallow.verified);
+        assert_eq!(unbounded.issue_stall_cycles(), 0, "inf depths never stall");
+        assert!(
+            shallow.issue_stall_cycles() > 0,
+            "finite request queues must stall issue under contention"
+        );
+        assert!(
+            shallow.total >= unbounded.total,
+            "backpressure cannot speed the device up: {} vs {}",
+            shallow.total,
+            unbounded.total
+        );
+        let dma_stalls: u64 = shallow
+            .initiators
+            .iter()
+            .filter(|r| r.initiator.starts_with("dma"))
+            .map(|r| r.issue_stall_cycles)
+            .sum();
+        assert!(dma_stalls > 0, "DMA issue must observe backpressure");
+        let result = FabricSweepResult {
+            points: vec![unbounded, shallow],
+        };
+        let point = result
+            .get_depths(
+                4,
+                200,
+                "4/4",
+                FabricKnobs {
+                    host_traffic: true,
+                    ptw_batching: true,
+                },
+            )
+            .expect("depth sub-grid point is addressable");
+        assert_eq!(point.req_queue_depth, 4);
+        let json = result.to_json();
+        assert!(json.contains("\"queue_depths\": \"inf\""));
+        assert!(json.contains("\"queue_depths\": \"4/4\""));
+        assert!(json.contains("\"req_queue_depth\": 4"));
+        assert!(json.contains("\"issue_stall_cycles\""));
+        assert!(json.contains("\"req_queue_peak\""));
     }
 
     #[test]
@@ -600,6 +743,7 @@ mod tests {
                     200,
                     ch,
                     &ArbitrationPolicy::RoundRobin,
+                    QueueDepths::UNBOUNDED,
                     FabricKnobs::default(),
                 )
                 .unwrap()
@@ -627,6 +771,7 @@ mod tests {
                 200,
                 2,
                 &policy,
+                QueueDepths::UNBOUNDED,
                 FabricKnobs::default(),
             )
             .unwrap();

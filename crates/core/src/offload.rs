@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use sva_cluster::{block_partition, KernelRunStats, TileRange};
 use sva_common::rng::DeterministicRng;
 use sva_common::{Cycles, Error, Iova, PhysAddr, Result, VirtAddr};
-use sva_host::{HostKernelRunner, HostRunStats, MappingHandle};
+use sva_host::{HostKernelRunner, HostRunStats, HostTrafficStats, MappingHandle, TrafficPhase};
 use sva_iommu::{Iommu, IommuConfig, IommuStats};
 use sva_kernels::{BufferKind, Workload};
 
@@ -87,6 +87,12 @@ pub struct OffloadReport {
     pub verified: bool,
     /// IOMMU statistics accumulated during the run.
     pub iommu: IommuStats,
+    /// Host-traffic stream accounting for the whole flow, split between the
+    /// setup (copy/map) and device phases (`None` when no stream is
+    /// configured). Setup-phase queueing is host *self*-interference: the
+    /// stream contending with the runtime's own copies and page-table
+    /// writes.
+    pub host_traffic: Option<HostTrafficStats>,
 }
 
 impl OffloadReport {
@@ -141,6 +147,9 @@ impl OffloadRunner {
         let initial = workload.init(&mut rng);
         let expected = workload.expected(&initial);
         let buffers = self.allocate_user_buffers(platform, workload, &initial)?;
+        if let Some(stream) = platform.host_traffic.as_mut() {
+            stream.reset_stats();
+        }
 
         match mode {
             OffloadMode::HostOnly => self.run_host_only(platform, workload, &buffers, &expected),
@@ -166,6 +175,9 @@ impl OffloadRunner {
         let mut rng = DeterministicRng::new(self.seed);
         let initial = workload.init(&mut rng);
         let expected = workload.expected(&initial);
+        if let Some(stream) = platform.host_traffic.as_mut() {
+            stream.reset_stats();
+        }
 
         if platform.iommu.is_translating() {
             let buffers = self.allocate_user_buffers(platform, workload, &initial)?;
@@ -259,7 +271,7 @@ impl OffloadRunner {
         platform.mem.open_measurement_window();
         let traffic_slice = match platform.host_traffic.as_mut() {
             Some(stream) => {
-                stream.restart();
+                stream.begin_window(TrafficPhase::Device);
                 stream
                     .config()
                     .accesses
@@ -300,6 +312,49 @@ impl OffloadRunner {
             stream.inject(&mut platform.mem, &platform.clock, rest)?;
         }
         Ok((KernelRunStats::merge_parallel(&shards), shards))
+    }
+
+    // ------------------------------------------------------------------
+    // Setup-phase host traffic
+    // ------------------------------------------------------------------
+
+    /// Opens a setup-phase traffic window when a stream is configured
+    /// (ROADMAP item "Host traffic during full-app flows"): the fabric
+    /// timelines are cleared, the global clock restarts — the runtime's
+    /// copies and page-table writes are stamped from zero — and the stream
+    /// rewinds, accounted to [`TrafficPhase::Setup`]. Because the stream
+    /// presents its own `host_stream` identity, it genuinely contends with
+    /// the runtime's `host` traffic on the fabric: host self-interference
+    /// during offload setup becomes measurable. Returns the slice of stream
+    /// accesses to inject before each of the `ops` runtime operations
+    /// (mirroring the device window's shard interleaving).
+    fn begin_setup_traffic(platform: &mut Platform, ops: u64) -> u64 {
+        match platform.host_traffic.as_mut() {
+            Some(stream) => {
+                platform.mem.open_measurement_window();
+                stream.begin_window(TrafficPhase::Setup);
+                stream.config().accesses.div_ceil(ops + 1).max(1)
+            }
+            None => 0,
+        }
+    }
+
+    /// Injects up to `count` stream accesses into the current window.
+    fn inject_traffic(platform: &mut Platform, count: u64) -> Result<()> {
+        if let Some(stream) = platform.host_traffic.as_mut() {
+            stream.inject(&mut platform.mem, &platform.clock, count)?;
+        }
+        Ok(())
+    }
+
+    /// Drains whatever the current traffic window still holds, so every
+    /// window injects the same host load regardless of operation count.
+    fn drain_traffic(platform: &mut Platform) -> Result<()> {
+        if let Some(stream) = platform.host_traffic.as_mut() {
+            let rest = stream.remaining();
+            stream.inject(&mut platform.mem, &platform.clock, rest)?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -437,6 +492,7 @@ impl OffloadRunner {
             total: host.total,
             verified,
             iommu: platform.iommu.stats(),
+            host_traffic: platform.host_traffic.as_ref().map(|s| *s.stats()),
         })
     }
 
@@ -454,10 +510,17 @@ impl OffloadRunner {
             shadows.push(platform.reserved.alloc_bytes(spec.bytes())?);
         }
 
-        // Copy inputs to the device-visible area (timed + functional).
+        // Copy inputs to the device-visible area (timed + functional). When
+        // a host-traffic stream is configured it runs through the copy
+        // phase too — the stream's reads interleave with the copy engine's
+        // accesses, so the copies queue behind genuine concurrent host
+        // load (setup-phase self-interference).
+        let copies_in = buffers.iter().filter(|b| b.kind.copied_to_device()).count() as u64;
+        let slice = Self::begin_setup_traffic(platform, copies_in);
         let mut copy_cycles = Cycles::ZERO;
         for (buf, pa) in buffers.iter().zip(&shadows) {
             if buf.kind.copied_to_device() {
+                Self::inject_traffic(platform, slice)?;
                 let stats = platform.copy.copy_to_device(
                     &mut platform.cpu,
                     &mut platform.mem,
@@ -469,6 +532,7 @@ impl OffloadRunner {
                 copy_cycles += stats.cycles;
             }
         }
+        Self::drain_traffic(platform)?;
 
         // Run the device on physical (bypass-window) addresses. Copy-based
         // offloads present the bypassed device ID, so translation is off.
@@ -480,9 +544,17 @@ impl OffloadRunner {
         let (device, device_per_cluster) =
             Self::run_device_sharded(platform, workload, &device_ptrs, Some(&mut bypass_iommu))?;
 
-        // Copy the results back into the user buffers.
+        // Copy the results back into the user buffers, again under the
+        // setup-phase stream (a fresh window: the device run consumed the
+        // previous one).
+        let copies_out = buffers
+            .iter()
+            .filter(|b| b.kind.copied_from_device())
+            .count() as u64;
+        let slice = Self::begin_setup_traffic(platform, copies_out);
         for (buf, pa) in buffers.iter().zip(&shadows) {
             if buf.kind.copied_from_device() {
+                Self::inject_traffic(platform, slice)?;
                 let stats = platform.copy.copy_from_device(
                     &mut platform.cpu,
                     &mut platform.mem,
@@ -494,6 +566,7 @@ impl OffloadRunner {
                 copy_cycles += stats.cycles;
             }
         }
+        Self::drain_traffic(platform)?;
 
         let actual = self.read_back_virtual(platform, workload, buffers)?;
         let verified = workload.verify(expected, &actual).is_ok();
@@ -511,6 +584,7 @@ impl OffloadRunner {
             total: copy_cycles + overhead + device.total,
             verified,
             iommu: platform.iommu.stats(),
+            host_traffic: platform.host_traffic.as_ref().map(|s| *s.stats()),
         })
     }
 
@@ -526,11 +600,17 @@ impl OffloadRunner {
         }
 
         // Listing 1: flush L1 and LLC so device-visible memory is coherent,
-        // then create the IOVA mappings, then flush L1 again.
+        // then create the IOVA mappings, then flush L1 again. A configured
+        // host-traffic stream runs through the map phase: its reads contend
+        // with the driver's page-table writes on the fabric and evict the
+        // freshly written PTEs from the LLC — the setup-phase
+        // self-interference the ROADMAP called out.
+        let slice = Self::begin_setup_traffic(platform, buffers.len() as u64);
         let mut map_cycles = platform.cpu.flush_l1();
         map_cycles += platform.mem.flush_llc();
         let mut handles: Vec<MappingHandle> = Vec::with_capacity(buffers.len());
         for buf in buffers {
+            Self::inject_traffic(platform, slice)?;
             let (handle, cost) = platform.driver.map_buffer(
                 &mut platform.cpu,
                 &mut platform.mem,
@@ -543,6 +623,7 @@ impl OffloadRunner {
             map_cycles += cost.cycles;
             handles.push(handle);
         }
+        Self::drain_traffic(platform)?;
         map_cycles += platform.cpu.flush_l1();
 
         // Device execution on IO virtual addresses, sharded across clusters.
@@ -578,6 +659,7 @@ impl OffloadRunner {
             total: map_cycles + overhead + device.total,
             verified,
             iommu: platform.iommu.stats(),
+            host_traffic: platform.host_traffic.as_ref().map(|s| *s.stats()),
         })
     }
 }
@@ -806,6 +888,69 @@ mod tests {
         assert!(
             (four as f64) < one as f64 * 0.5,
             "4 clusters ({four}) should at least halve the 1-cluster wall clock ({one})"
+        );
+    }
+
+    #[test]
+    fn host_traffic_extends_into_copy_and_map_phases() {
+        use sva_host::HostTrafficConfig;
+        let run = |mode: OffloadMode, traffic: bool| {
+            let mut config = PlatformConfig::iommu_with_llc(200)
+                .with_clusters(2)
+                .with_fabric_contention();
+            if traffic {
+                config = config.with_host_traffic(HostTrafficConfig {
+                    accesses: 512,
+                    ..HostTrafficConfig::default()
+                });
+            }
+            let mut platform = Platform::new(config).unwrap();
+            OffloadRunner::new(23)
+                .run(&mut platform, &AxpyWorkload::with_elems(16_384), mode)
+                .unwrap()
+        };
+        for mode in [OffloadMode::CopyOffload, OffloadMode::ZeroCopy] {
+            let idle = run(mode, false);
+            let noisy = run(mode, true);
+            assert!(idle.verified && noisy.verified);
+            assert!(idle.host_traffic.is_none(), "no stream, no report row");
+            let stats = noisy.host_traffic.expect("stream accounting reported");
+            // The stream ran in both phases: each copy/map window and the
+            // device window injected their full configured load.
+            assert!(stats.setup.issued > 0, "{mode:?}: setup phase injected");
+            assert!(stats.device.issued > 0, "{mode:?}: device phase injected");
+            assert_eq!(
+                stats.issued,
+                stats.setup.issued + stats.device.issued,
+                "{mode:?}: phases partition the stream"
+            );
+            // Host self-interference: the stream queues behind the
+            // runtime's own copies / page-table writes during setup.
+            assert!(
+                stats.setup.queue_cycles > 0,
+                "{mode:?}: setup-phase queueing must be observable"
+            );
+            assert!(
+                noisy.copy_or_map >= idle.copy_or_map,
+                "{mode:?}: interference cannot speed setup up ({} vs {})",
+                noisy.copy_or_map,
+                idle.copy_or_map
+            );
+        }
+        // The copy engine streams through the polluted LLC and shares the
+        // bus with the stream, so copy-based setup must get strictly
+        // slower. (The map path's timed accesses are cold misses and
+        // posted writes either way, and first-fit placement simulates the
+        // runtime's accesses before the overlapping stream slices, so its
+        // cost is interference-insensitive — the stream's own setup-phase
+        // queueing above is where map-phase contention surfaces.)
+        let idle_copy = run(OffloadMode::CopyOffload, false);
+        let noisy_copy = run(OffloadMode::CopyOffload, true);
+        assert!(
+            noisy_copy.copy_or_map > idle_copy.copy_or_map,
+            "copy-phase interference must cost cycles ({} vs {})",
+            noisy_copy.copy_or_map,
+            idle_copy.copy_or_map
         );
     }
 

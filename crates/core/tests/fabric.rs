@@ -233,7 +233,7 @@ fn timed_host_traffic_contends_with_dma_and_ptw() {
         };
         (
             report.stats.total.raw(),
-            queue_of(InitiatorId::Host),
+            queue_of(InitiatorId::HostStream),
             queue_of(InitiatorId::Ptw),
         )
     };

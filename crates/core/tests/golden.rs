@@ -54,6 +54,22 @@ const TIMED_GOLDEN: &[(KernelKind, u64)] = &[
     (KernelKind::Sort, 966_869),
 ];
 
+/// Pinned counts for the split-transaction fabric: the timed-engine
+/// configuration with **finite channel queues** (request/response depth 4).
+/// Issue now sees request-channel backpressure — full FIFOs stall the DMA
+/// engines and the page-table walker upstream instead of only pricing the
+/// bus after the fact.
+const SHALLOW_GOLDEN: &[(KernelKind, u64)] = &[
+    (KernelKind::Axpy, 440_456),
+    (KernelKind::Gemm, 948_264),
+    (KernelKind::Gesummv, 876_780),
+    (KernelKind::Heat3d, 907_963),
+    (KernelKind::Sort, 1_142_344),
+];
+
+/// Queue depth of the shallow-queue golden configuration.
+const SHALLOW_DEPTH: usize = 4;
+
 fn golden_config(clusters: usize) -> PlatformConfig {
     PlatformConfig::iommu_with_llc(GOLDEN_LATENCY)
         .with_clusters(clusters)
@@ -166,7 +182,7 @@ fn timed_engine_golden_counts_hold() {
                 .unwrap_or(0)
         };
         assert!(
-            queue_of(sva_common::InitiatorId::Host) > 0,
+            queue_of(sva_common::InitiatorId::HostStream) > 0,
             "{kind:?}: the host stream must observe queueing"
         );
         assert!(
@@ -181,6 +197,83 @@ fn timed_engine_golden_counts_hold() {
     assert!(
         failures.is_empty(),
         "timed-engine golden counts drifted:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// The split-transaction fabric locked down: finite request/response queues
+/// (depth 4) on the timed-engine configuration reproduce their pinned
+/// counts, are never faster than the unbounded-queue run (backpressure
+/// only delays), and — the point of the model — both the DMA engines and
+/// the page-table walker observe nonzero `issue_stall_cycles`: full channel
+/// FIFOs stall issue upstream.
+#[test]
+fn shallow_queue_golden_counts_hold() {
+    let mut failures = Vec::new();
+    for &(kind, expected) in SHALLOW_GOLDEN {
+        let config = golden_config(4)
+            .with_host_traffic(HostTrafficConfig::default())
+            .with_ptw_batching()
+            .with_channel_depths(SHALLOW_DEPTH, SHALLOW_DEPTH);
+        let wl = kind.small_workload();
+        let mut platform = Platform::new(config).unwrap();
+        let report = OffloadRunner::new(GOLDEN_SEED)
+            .run_device_only(&mut platform, wl.as_ref())
+            .unwrap();
+        assert!(report.verified, "{kind:?} shallow-queue run must verify");
+        let actual = report.stats.total.raw();
+        if actual != expected {
+            failures.push(format!(
+                "{kind:?} shallow queues: pinned {expected}, measured {actual}"
+            ));
+        }
+        let timed = TIMED_GOLDEN
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map(|&(_, total)| total)
+            .expect("every shallow kernel has a timed pin");
+        assert!(
+            actual >= timed,
+            "{kind:?}: backpressure cannot speed the device up ({actual} vs unbounded {timed})"
+        );
+        let stall_of = |id: sva_common::InitiatorId| {
+            platform
+                .mem
+                .fabric()
+                .initiator_stats(id)
+                .map(|s| s.issue_stall_cycles)
+                .unwrap_or(0)
+        };
+        let dma_stall: u64 = (0..4)
+            .map(|i| stall_of(sva_common::InitiatorId::dma(1 + 2 * i)))
+            .sum();
+        assert!(
+            dma_stall > 0,
+            "{kind:?}: DMA issue must stall at the full request queue"
+        );
+        assert!(
+            stall_of(sva_common::InitiatorId::Ptw) > 0,
+            "{kind:?}: the walker must stall at the full request queue"
+        );
+        assert_eq!(
+            stall_of(sva_common::InitiatorId::Host),
+            0,
+            "{kind:?}: untimed-cursor host accesses do not stall"
+        );
+        // The per-initiator peaks never exceed the configured depth.
+        for snap in platform.mem.fabric_stats() {
+            assert!(
+                snap.stats.req_queue_peak <= SHALLOW_DEPTH as u64
+                    && snap.stats.rsp_queue_peak <= SHALLOW_DEPTH as u64,
+                "{kind:?}: {} peak exceeds depth: {:?}",
+                snap.id,
+                snap.stats
+            );
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "shallow-queue golden counts drifted:\n  {}",
         failures.join("\n  ")
     );
 }

@@ -30,4 +30,7 @@ pub use copy::{CopyEngine, CopyStats};
 pub use cpu::{HostCpu, HostCpuConfig};
 pub use driver::{DriverConfig, IommuDriver, MappingCost, MappingHandle};
 pub use exec::{HostKernelCost, HostKernelRunner, HostRunStats};
-pub use traffic::{HostTrafficConfig, HostTrafficStats, HostTrafficStream, InterferenceLevel};
+pub use traffic::{
+    HostTrafficConfig, HostTrafficStats, HostTrafficStream, InterferenceLevel, PhaseTraffic,
+    TrafficPhase,
+};

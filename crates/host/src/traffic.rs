@@ -71,16 +71,66 @@ impl HostTrafficConfig {
     }
 }
 
+/// Which phase of an offload the stream is currently injected into.
+///
+/// The stream runs during the **device** measurement window (the classic
+/// injection point) and, when the runtime extends it there, during the
+/// **setup** phase of a full application flow — the copy-in/copy-out of a
+/// copy-based offload or the cache-flush + `create_iommu_mapping` sequence
+/// of a zero-copy offload. Keeping the accounting split per phase is what
+/// makes host *self*-interference (the stream contending with the runtime's
+/// own copies and page-table writes) separable from device-phase
+/// interference.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficPhase {
+    /// Copy/map phases of `OffloadRunner::run` (offload setup/teardown).
+    Setup,
+    /// The device measurement window (kernel execution).
+    #[default]
+    Device,
+}
+
+/// Per-phase accounting of the stream.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTraffic {
+    /// Accesses issued during the phase.
+    pub issued: u64,
+    /// Cross-initiator queueing the phase's accesses observed on the fabric
+    /// (waiting behind DMA/PTW/host occupancy).
+    pub queue_cycles: u64,
+    /// Issue stalls the phase's accesses observed because the host port's
+    /// request queue was full (nonzero only with finite channel depths).
+    pub stall_cycles: u64,
+}
+
 /// Statistics of the stream (fabric-level accounting lives in the
-/// per-initiator `host` row of `Fabric::snapshot`).
+/// per-initiator `host_stream` row of `Fabric::snapshot`).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostTrafficStats {
-    /// Accesses issued since the last restart.
+    /// Accesses issued since the last statistics reset.
     pub issued: u64,
     /// Bytes read.
     pub bytes: u64,
     /// Summed latency the stream observed (including charged queueing).
     pub latency_cycles: u64,
+    /// Issue stalls observed because the host port's request queue was full.
+    pub stall_cycles: u64,
+    /// Accounting of the accesses injected into offload setup phases
+    /// (copy/map), separating host self-interference during offload setup
+    /// from device-phase interference.
+    pub setup: PhaseTraffic,
+    /// Accounting of the accesses injected into device measurement windows.
+    pub device: PhaseTraffic,
+}
+
+impl HostTrafficStats {
+    /// The accounting row of `phase`.
+    pub fn phase(&self, phase: TrafficPhase) -> &PhaseTraffic {
+        match phase {
+            TrafficPhase::Setup => &self.setup,
+            TrafficPhase::Device => &self.device,
+        }
+    }
 }
 
 /// A paced stream of timed host reads contending on the memory fabric.
@@ -94,8 +144,17 @@ pub struct HostTrafficStats {
 #[derive(Clone, Debug)]
 pub struct HostTrafficStream {
     config: HostTrafficConfig,
-    /// Index of the next access to issue (also the pacing cursor).
+    /// Index of the next access to issue.
     next: u64,
+    /// Issue time of the next access. Normally the pacing grid `i × gap`;
+    /// under request-queue backpressure the stream is **closed-loop**: a
+    /// new request cannot present until the previous one was admitted into
+    /// the channel FIFO, so the cursor is bumped past the admission point
+    /// (an open-loop source pumping into a saturated finite queue would
+    /// accumulate unbounded stall, which no real master does).
+    cursor: Cycles,
+    /// Which offload phase the current window's accesses are accounted to.
+    phase: TrafficPhase,
     stats: HostTrafficStats,
 }
 
@@ -105,6 +164,8 @@ impl HostTrafficStream {
         Self {
             config,
             next: 0,
+            cursor: Cycles::ZERO,
+            phase: TrafficPhase::default(),
             stats: HostTrafficStats::default(),
         }
     }
@@ -114,15 +175,39 @@ impl HostTrafficStream {
         &self.config
     }
 
-    /// Statistics since the last [`HostTrafficStream::restart`].
+    /// Statistics since the last [`HostTrafficStream::reset_stats`] (or
+    /// [`HostTrafficStream::restart`]).
     pub const fn stats(&self) -> &HostTrafficStats {
         &self.stats
     }
 
-    /// Rewinds the stream to the start of a new measurement window.
-    pub fn restart(&mut self) {
+    /// The phase the stream currently accounts its accesses to.
+    pub const fn phase(&self) -> TrafficPhase {
+        self.phase
+    }
+
+    /// Rewinds the pacing cursor to the start of a new measurement window
+    /// accounted to `phase`; accumulated statistics survive (a full
+    /// application flow spans several windows — setup, device — and the
+    /// final report wants all of them).
+    pub fn begin_window(&mut self, phase: TrafficPhase) {
         self.next = 0;
+        self.cursor = Cycles::ZERO;
+        self.phase = phase;
+    }
+
+    /// Clears the accumulated statistics (a new run begins).
+    pub fn reset_stats(&mut self) {
         self.stats = HostTrafficStats::default();
+    }
+
+    /// Rewinds the stream to the start of a new device measurement window
+    /// and clears the statistics (the pre-phase behaviour; callers tracking
+    /// multi-window flows use [`HostTrafficStream::begin_window`] +
+    /// [`HostTrafficStream::reset_stats`] instead).
+    pub fn restart(&mut self) {
+        self.begin_window(TrafficPhase::Device);
+        self.reset_stats();
     }
 
     /// Number of accesses not yet issued in this window.
@@ -149,14 +234,41 @@ impl HostTrafficStream {
         let n = count.min(self.remaining());
         for _ in 0..n {
             let i = self.next;
-            let issue = Cycles::new(i * self.config.gap.raw());
+            // Paced issue, closed-loop under backpressure: at least `gap`
+            // after the previous request entered the channel FIFO, and
+            // never before the pacing grid point. With unbounded queue
+            // depths the stall is always zero and this is exactly `i × gap`.
+            let issue = self.cursor.max(Cycles::new(i * self.config.gap.raw()));
             let addr = PhysAddr::new(base + (i * self.config.stride) % self.config.region_bytes);
-            let rsp = mem.access(MemReq::read(InitiatorId::Host, addr, &mut buf).at(issue))?;
+            // The stream presents its own initiator identity (a co-running
+            // hart), distinct from the runtime's `InitiatorId::Host`
+            // traffic, so host self-interference during offload setup is
+            // observable instead of vanishing into the same-initiator
+            // exemption.
+            let rsp =
+                mem.access(MemReq::read(InitiatorId::HostStream, addr, &mut buf).at(issue))?;
             self.next += 1;
             self.stats.issued += 1;
             self.stats.bytes += self.config.len;
             self.stats.latency_cycles += rsp.latency().raw();
-            clock.advance_to(issue + rsp.latency());
+            self.stats.stall_cycles += rsp.issue_stall.raw();
+            let phase = match self.phase {
+                TrafficPhase::Setup => &mut self.stats.setup,
+                TrafficPhase::Device => &mut self.stats.device,
+            };
+            phase.issued += 1;
+            phase.queue_cycles += rsp.queue_delay.raw();
+            phase.stall_cycles += rsp.issue_stall.raw();
+            self.cursor = issue + rsp.issue_stall + self.config.gap;
+            // Device windows: the clock follows the stream's cursor so
+            // later untimed host activity lands after the stream. Setup
+            // windows: the stream is a *concurrent* co-running process —
+            // the runtime's own copies and page-table writes drive the
+            // clock, and the stream's arrivals overlap them on the
+            // timeline instead of serialising in front of them.
+            if self.phase == TrafficPhase::Device {
+                clock.advance_to(issue + rsp.latency());
+            }
         }
         Ok(())
     }
@@ -237,13 +349,83 @@ mod tests {
         // last issue point.
         assert!(clock.now() >= Cycles::new(31 * 100));
         // Timed host accesses reserved bus occupancy: a DMA burst arriving
-        // inside the window observes queueing behind host traffic.
+        // inside the window observes queueing behind host traffic. The
+        // stream presents its own `host_stream` identity.
         let host = mem
             .fabric()
-            .initiator_stats(InitiatorId::Host)
-            .expect("host row exists");
+            .initiator_stats(InitiatorId::HostStream)
+            .expect("host_stream row exists");
         assert_eq!(host.reads, 32);
         assert!(host.occupancy_cycles > 0, "stream must reserve occupancy");
+        assert_eq!(stream.stats().device.issued, 32, "default phase is device");
+        assert_eq!(stream.stats().setup.issued, 0);
+    }
+
+    #[test]
+    fn phases_split_the_accounting_and_windows_keep_stats() {
+        let mut mem = timed_mem();
+        let clock = GlobalClock::new();
+        let mut stream = HostTrafficStream::new(HostTrafficConfig {
+            accesses: 8,
+            ..HostTrafficConfig::default()
+        });
+        stream.begin_window(TrafficPhase::Setup);
+        stream.inject(&mut mem, &clock, 8).unwrap();
+        assert_eq!(stream.stats().setup.issued, 8);
+        // A new device window rewinds the cursor but keeps the setup row.
+        stream.begin_window(TrafficPhase::Device);
+        assert_eq!(stream.remaining(), 8);
+        stream.inject(&mut mem, &clock, 8).unwrap();
+        assert_eq!(stream.stats().setup.issued, 8);
+        assert_eq!(stream.stats().device.issued, 8);
+        assert_eq!(stream.stats().issued, 16);
+        assert_eq!(
+            stream.stats().phase(TrafficPhase::Setup).issued,
+            8,
+            "phase accessor addresses the right row"
+        );
+        stream.reset_stats();
+        assert_eq!(stream.stats().issued, 0);
+    }
+
+    #[test]
+    fn full_host_port_records_issue_stalls() {
+        use sva_mem::MemSysConfig;
+        // One-slot request queue: back-to-back paced reads with long
+        // occupancies pile up at the port and the stall is measured.
+        let mut mem = MemorySystem::new(MemSysConfig {
+            fabric: FabricConfig {
+                timed_host_ptw: true,
+                contention_enabled: true,
+                req_queue_depth: 1,
+                rsp_queue_depth: 1,
+                ..FabricConfig::default()
+            },
+            ..MemSysConfig::default()
+        });
+        let clock = GlobalClock::new();
+        let mut stream = HostTrafficStream::new(HostTrafficConfig {
+            accesses: 32,
+            gap: Cycles::new(1),
+            len: 2048,
+            ..HostTrafficConfig::default()
+        });
+        stream.inject(&mut mem, &clock, 32).unwrap();
+        assert!(
+            stream.stats().stall_cycles > 0,
+            "a full host port must record stalls: {:?}",
+            stream.stats()
+        );
+        assert_eq!(
+            stream.stats().device.stall_cycles,
+            stream.stats().stall_cycles
+        );
+        let row = mem
+            .fabric()
+            .initiator_stats(InitiatorId::HostStream)
+            .unwrap();
+        assert_eq!(row.issue_stall_cycles, stream.stats().stall_cycles);
+        assert!(row.req_queue_peak >= 1);
     }
 
     #[test]

@@ -157,19 +157,35 @@ impl PageTableWalker {
             // The MSHR capacity is a *concurrency* bound: a new read is only
             // held in a register if fewer than `mshr_entries` reads are in
             // flight at its issue instant — an unheld read simply cannot be
-            // coalesced on (the serial fallback). Records of completed reads
-            // are retained for the rest of the measurement window, because
+            // coalesced on (the serial fallback). The bound is additionally
+            // clamped by the walker's *port credits*: under a
+            // split-transaction fabric with a finite request queue
+            // (`FabricConfig::req_queue_depth`), the walker cannot keep more
+            // reads in flight than its port has request-queue slots, however
+            // large its walk table is. The clamp mirrors the fabric's own
+            // participation rule — PTW grants only take request-queue
+            // credits under the global-clock engine (`timed_host_ptw`), so
+            // without it the walker does not throttle itself for slots its
+            // traffic never occupies. Records of completed reads are
+            // retained for the rest of the measurement window, because
             // shards are simulated sequentially: a later-simulated,
             // conceptually concurrent walk may revisit any instant of the
             // window and must find the registers that were live then. The
             // table is purged per window (statistics reset) and on every
             // invalidation.
+            let fabric = &mem.config().fabric;
+            let port_credits = if fabric.timed_host_ptw {
+                fabric.req_queue_depth.max(1)
+            } else {
+                usize::MAX
+            };
+            let in_flight_limit = self.mshr_entries.min(port_credits);
             let in_flight_now = self
                 .table
                 .iter()
                 .filter(|e| e.issued <= now.raw() && e.complete > now.raw())
                 .count();
-            if in_flight_now < self.mshr_entries {
+            if in_flight_now < in_flight_limit {
                 self.table.push(WalkEntry {
                     pte_addr: pte_addr.raw(),
                     value,
@@ -566,6 +582,74 @@ mod tests {
             );
             assert_eq!(ptw.faults(), 0);
         }
+    }
+
+    /// The walker's in-flight reads are bounded by its port's credits: with
+    /// a one-slot request queue at the fabric (under the global-clock
+    /// engine, where PTW traffic actually takes credits), only one PTE read
+    /// can be held as an in-flight register at a time, however large the
+    /// walk table — so a follower that would have coalesced on a second
+    /// register re-reads instead. Conservation still holds, and the
+    /// credit-bound walker never issues fewer reads than the unbounded one.
+    /// Without `timed_host_ptw` the clamp must not apply (the fabric never
+    /// takes PTW credits then).
+    #[test]
+    fn port_credits_bound_the_walk_table() {
+        let run = |req_depth: usize, timed: bool| -> (u64, u64) {
+            let mut mem = MemorySystem::new(MemSysConfig {
+                dram_latency: Cycles::new(600),
+                llc_enabled: false,
+                fabric: sva_mem::FabricConfig {
+                    req_queue_depth: req_depth,
+                    timed_host_ptw: timed,
+                    ..sva_mem::FabricConfig::default()
+                },
+                ..MemSysConfig::default()
+            });
+            let mut frames = FrameAllocator::linux_pool();
+            let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+            let va = space
+                .alloc_buffer(&mut mem, &mut frames, 4 * PAGE_SIZE)
+                .unwrap();
+            let iova = Iova::from_virt(va);
+            let mut ptw = PageTableWalker::with_batching(DEFAULT_MSHR_ENTRIES);
+            let mut walks = 0u64;
+            // Overlapping walks of two neighbouring pages: with full
+            // credits the second page's leaf read is held and later walks
+            // coalesce on it; with one credit it cannot be held while the
+            // first page's read is outstanding.
+            for i in 0..6u64 {
+                let page = i % 2;
+                let res = ptw
+                    .walk_at(
+                        &mut mem,
+                        space.root(),
+                        iova + page * PAGE_SIZE,
+                        false,
+                        Cycles::new(i * 5),
+                    )
+                    .unwrap();
+                walks += 1;
+                assert_eq!(res.reads + res.coalesced, 3, "levels resolve once");
+            }
+            assert_eq!(ptw.pte_reads() + ptw.coalesced_reads(), walks * 3);
+            (ptw.pte_reads(), ptw.coalesced_reads())
+        };
+        let (full_reads, full_coalesced) = run(usize::MAX, true);
+        let (credit_reads, credit_coalesced) = run(1, true);
+        assert!(full_coalesced > 0);
+        assert!(
+            credit_reads > full_reads,
+            "one port credit must force re-reads: {credit_reads} vs {full_reads}"
+        );
+        assert!(credit_coalesced < full_coalesced);
+        // Outside the timed engine, PTW traffic never takes request-queue
+        // credits, so the walk table must not throttle itself.
+        assert_eq!(
+            run(1, false),
+            (full_reads, full_coalesced),
+            "the clamp must mirror the fabric's participation rule"
+        );
     }
 
     /// Invalidation purges the in-flight registers: a concurrent walk after

@@ -107,6 +107,15 @@ pub struct ChannelStats {
     pub occupancy_cycles: u64,
     /// Cross-initiator queueing observed on the channel's timeline.
     pub queue_cycles: u64,
+    /// Issue stalls accumulated at the channel's request queue (admissions
+    /// delayed because the queue was full; zero with unbounded depths).
+    pub issue_stall_cycles: u64,
+    /// Highest request-queue occupancy observed at any admission (zero with
+    /// unbounded depths, whose occupancy is never tracked).
+    pub req_queue_peak: u64,
+    /// Highest response-queue occupancy observed at any grant (zero with
+    /// unbounded depths).
+    pub rsp_queue_peak: u64,
 }
 
 #[cfg(test)]

@@ -62,7 +62,7 @@ pub use backing::SparseMemory;
 pub use cache::{Cache, CacheConfig, CacheOutcome};
 pub use channels::{ChannelStats, DramChannelConfig};
 pub use dram::{Dram, DramConfig};
-pub use fabric::{Fabric, FabricConfig, InitiatorSnapshot};
+pub use fabric::{Fabric, FabricConfig, GrantOutcome, InitiatorSnapshot};
 pub use interference::Interference;
 pub use llc::{Llc, LlcConfig};
 pub use spm::Scratchpad;

@@ -172,11 +172,19 @@ impl<'a> MemReq<'a> {
 pub struct MemRsp {
     /// Latency to first data and data-bus occupancy of the access. When
     /// [`FabricConfig::contention_enabled`] is set, the latency includes the
-    /// queueing delay.
+    /// queueing delay and any issue stall.
     pub timing: PortTiming,
     /// Cross-initiator queueing delay the access observed on the shared-bus
-    /// timeline at its arrival time.
+    /// timeline at its admission time (bus contention plus waiting for a
+    /// response-queue slot).
     pub queue_delay: Cycles,
+    /// Stall between the access's arrival and its request-queue admission —
+    /// the channel's request FIFO was full, so the *issue* of the access
+    /// was held at the fabric port. Initiators that pipeline their own
+    /// issue (the DMA engines) must propagate this upstream: the next
+    /// request cannot issue while this one waits for a credit. Always zero
+    /// with the default unbounded queue depths.
+    pub issue_stall: Cycles,
 }
 
 impl MemRsp {
@@ -269,6 +277,7 @@ impl MemorySystem {
     /// reservations stamped in the previous window.
     pub fn open_measurement_window(&mut self) {
         self.fabric.clear_timelines();
+        self.dram.clear_response_window();
         self.clock.restart();
     }
 
@@ -530,21 +539,42 @@ impl MemorySystem {
         let hop = self.xbar.route(master, &txn);
         let mut timing = self.class_timing(class, kind, port.addr, len, hop)?;
 
-        let queue = self.fabric.grant(&port, timing);
+        let outcome = self.fabric.admit(&port, timing);
+        let queue = outcome.queue;
+        let stall = outcome.issue_stall;
+        // Service span of the access *excluding* fabric delays, captured
+        // before charging folds them into the latency.
+        let service_span = timing.total();
         // Charging rule: DMA queueing is charged whenever contention
         // charging is on (the PR 1/2 model); host and PTW queueing is only
         // charged when the global-clock engine additionally times those
         // classes, so the default configuration stays cycle-identical to
-        // the pre-clock model.
+        // the pre-clock model. Issue stalls (request-queue backpressure)
+        // follow the same rule: charged into the returned latency so a
+        // caller that blocks on latency observes them, while the DMA
+        // engines additionally push their issue cursor back.
         let charged = self.config.fabric.contention_enabled
             && (class == InitiatorClass::Device || self.config.fabric.timed_host_ptw);
         if charged {
-            timing.latency += queue;
+            timing.latency += queue + stall;
         }
         self.fabric.note_latency(port.initiator, timing.latency);
-        // Completion on the global clock; when the queueing was charged it
-        // is already part of the latency.
-        let completion = port.arrival + timing.total() + if charged { Cycles::ZERO } else { queue };
+        // The delayer's response FIFO sees the completion window on the
+        // global clock: in flight from the start of service (arrival plus
+        // any stall and queueing) for the *uncharged* service span — the
+        // charged copy of the delays already moved the start, so using the
+        // charged latency here would double-count them. Recorded only when
+        // the split-transaction queues are live; the unbounded default has
+        // no consumer for the occupancy record and windows are not
+        // guaranteed to be opened (and cleared) by every flow.
+        if self.config.fabric.queues_bounded() {
+            self.dram
+                .note_response_window(port.arrival + stall + queue, service_span);
+        }
+        // Completion on the global clock; when the delays were charged they
+        // are already part of the latency.
+        let completion =
+            port.arrival + timing.total() + if charged { Cycles::ZERO } else { queue + stall };
         self.clock.advance_to(completion);
 
         match class {
@@ -561,7 +591,15 @@ impl MemorySystem {
         Ok(MemRsp {
             timing,
             queue_delay: queue,
+            issue_stall: stall,
         })
+    }
+
+    /// The request-queue credit port serving `addr` — the handle an
+    /// initiator holds to observe (or reason about) the backlog of the
+    /// channel it issues into. Clones share the fabric's queue state.
+    pub fn req_port_for(&self, addr: PhysAddr) -> sva_common::CreditPort {
+        self.fabric.req_port_for(addr)
     }
 
     /// Timing of one access by initiator class, mirroring the three paths of

@@ -10,6 +10,15 @@
 //! 3. `num_channels = 1` reproduces the single-timeline fabric
 //!    cycle-for-cycle, checked against an independent naive reimplementation
 //!    of first-fit interval placement.
+//!
+//! The split-transaction queue layer adds three more:
+//!
+//! 4. finite depths conserve the *what* — bytes, occupancy, grants — and
+//!    the per-channel stall/queue rows keep summing to the fabric totals;
+//! 5. shallower queues never reduce total cycles (backpressure only
+//!    delays);
+//! 6. depth = ∞ — and any depth the traffic never fills — is cycle- and
+//!    stall-identical to the pure reservation fabric.
 
 use sva_common::rng::DeterministicRng;
 use sva_common::{Cycles, InitiatorId, MemPortReq, PhysAddr, PortTiming};
@@ -44,23 +53,38 @@ fn random_accesses(rng: &mut DeterministicRng, n: usize) -> Vec<Access> {
 }
 
 fn drive(fabric: &mut Fabric, accesses: &[Access]) -> Vec<u64> {
+    drive_split(fabric, accesses)
+        .into_iter()
+        .map(|(queue, _)| queue)
+        .collect()
+}
+
+/// Drives the accesses and returns each one's `(queue, issue_stall)` split.
+fn drive_split(fabric: &mut Fabric, accesses: &[Access]) -> Vec<(u64, u64)> {
     accesses
         .iter()
         .map(|a| {
             let req = MemPortReq::read(InitiatorId::dma(a.device), PhysAddr::new(a.addr), a.len)
                 .as_burst()
                 .at(Cycles::new(a.arrival));
-            fabric
-                .grant(
-                    &req,
-                    PortTiming {
-                        latency: Cycles::new(100),
-                        occupancy: Cycles::new(a.occupancy),
-                    },
-                )
-                .raw()
+            let outcome = fabric.admit(
+                &req,
+                PortTiming {
+                    latency: Cycles::new(100),
+                    occupancy: Cycles::new(a.occupancy),
+                },
+            );
+            (outcome.queue.raw(), outcome.issue_stall.raw())
         })
         .collect()
+}
+
+fn bounded_config(depth: usize) -> FabricConfig {
+    FabricConfig {
+        req_queue_depth: depth,
+        rsp_queue_depth: depth,
+        ..FabricConfig::default()
+    }
 }
 
 #[test]
@@ -215,5 +239,140 @@ fn single_channel_reproduces_the_single_timeline_fabric_cycle_for_cycle() {
             fabric_queues, naive_queues,
             "case {case}: single-channel fabric diverged from the reference"
         );
+    }
+}
+
+/// Invariant 4: whatever the queue depths, *what* is accounted never
+/// changes — grants, bytes and occupancy are conserved — and the new
+/// stall/peak statistics keep the per-channel rows summing (stalls) or
+/// bounding (peaks) the per-initiator totals.
+#[test]
+fn finite_depths_conserve_stats_and_channel_sums() {
+    let mut rng = DeterministicRng::new(0x0F11_7E57);
+    for case in 0..10 {
+        let mut case_rng = rng.fork(case);
+        let n = 1 + case_rng.next_below(120) as usize;
+        let accesses = random_accesses(&mut case_rng, n);
+        let mut reference: Option<(u64, u64, u64)> = None;
+        for depth in [1usize, 2, 4, 8, usize::MAX] {
+            let mut fabric = Fabric::new(FabricConfig {
+                channels: DramChannelConfig::interleaved(2),
+                ..bounded_config(depth)
+            });
+            let split = drive_split(&mut fabric, &accesses);
+            let total = fabric.total();
+            let per_channel = fabric.channel_stats();
+
+            // Conservation of the functional accounting across depths.
+            let key = (total.bytes, total.occupancy_cycles, total.accesses());
+            match reference {
+                None => reference = Some(key),
+                Some(k) => assert_eq!(k, key, "case {case}, depth {depth}"),
+            }
+
+            // Per-access outcomes sum to the per-initiator statistics...
+            assert_eq!(
+                split.iter().map(|&(q, _)| q).sum::<u64>(),
+                total.queue_cycles,
+                "case {case}, depth {depth}: queue sums"
+            );
+            assert_eq!(
+                split.iter().map(|&(_, s)| s).sum::<u64>(),
+                total.issue_stall_cycles,
+                "case {case}, depth {depth}: stall sums"
+            );
+            // ...and the per-channel rows sum to the fabric totals.
+            assert_eq!(
+                per_channel.iter().map(|c| c.queue_cycles).sum::<u64>(),
+                total.queue_cycles
+            );
+            assert_eq!(
+                per_channel
+                    .iter()
+                    .map(|c| c.issue_stall_cycles)
+                    .sum::<u64>(),
+                total.issue_stall_cycles
+            );
+            // Peaks respect the configured depth, and the per-initiator
+            // peaks never exceed the channel peaks.
+            if depth != usize::MAX {
+                for c in &per_channel {
+                    assert!(c.req_queue_peak as usize <= depth);
+                    assert!(c.rsp_queue_peak as usize <= depth);
+                }
+                let ch_req_peak = per_channel.iter().map(|c| c.req_queue_peak).max().unwrap();
+                for snap in fabric.snapshot() {
+                    assert!(snap.stats.req_queue_peak <= ch_req_peak);
+                }
+            } else {
+                assert_eq!(total.issue_stall_cycles, 0, "inf depths never stall");
+            }
+        }
+    }
+}
+
+/// Invariant 5: shallower queues never reduce total cycles — per access,
+/// the total delay (issue stall + queueing) under a shallower queue is at
+/// least the delay the unbounded fabric measured, and the totals are
+/// monotone along the depth ladder.
+#[test]
+fn shallower_queues_never_reduce_total_cycles() {
+    let mut rng = DeterministicRng::new(0x005A_1107);
+    for case in 0..10 {
+        let mut case_rng = rng.fork(case);
+        let n = 1 + case_rng.next_below(100) as usize;
+        let accesses = random_accesses(&mut case_rng, n);
+        let mut prev_total: Option<u64> = None;
+        // Deep to shallow: total delay must not decrease.
+        for depth in [usize::MAX, 8, 4, 2, 1] {
+            let mut fabric = Fabric::new(bounded_config(depth));
+            let split = drive_split(&mut fabric, &accesses);
+            let total: u64 = split.iter().map(|&(q, s)| q + s).sum();
+            if let Some(prev) = prev_total {
+                assert!(
+                    total >= prev,
+                    "case {case}: depth {depth} reduced total delay ({total} < {prev})"
+                );
+            }
+            prev_total = Some(total);
+        }
+    }
+}
+
+/// Invariant 6: unbounded depths — and any finite depth the traffic never
+/// fills — are cycle- and stall-identical to the pure reservation fabric
+/// (the PR 3 engine): same queue delays, zero stalls.
+#[test]
+fn unbounded_depth_is_cycle_identical_to_the_reservation_fabric() {
+    let mut rng = DeterministicRng::new(0x01DE_1717);
+    for case in 0..12 {
+        let mut case_rng = rng.fork(case);
+        let n = 1 + case_rng.next_below(120) as usize;
+        let accesses = random_accesses(&mut case_rng, n);
+
+        let mut reference = Fabric::default();
+        let ref_queues = drive(&mut reference, &accesses);
+
+        // Explicit unbounded depths: the queue machinery is skipped.
+        let mut unbounded = Fabric::new(bounded_config(usize::MAX));
+        let unbounded_split = drive_split(&mut unbounded, &accesses);
+        assert_eq!(
+            unbounded_split.iter().map(|&(q, _)| q).collect::<Vec<_>>(),
+            ref_queues,
+            "case {case}: unbounded depths diverged from the reservation fabric"
+        );
+        assert!(unbounded_split.iter().all(|&(_, s)| s == 0));
+
+        // A finite depth deeper than the whole access count: the queues can
+        // never fill, so the split-transaction flow is cycle-identical too.
+        let mut deep = Fabric::new(bounded_config(n + 1));
+        let deep_split = drive_split(&mut deep, &accesses);
+        assert_eq!(
+            deep_split.iter().map(|&(q, _)| q).collect::<Vec<_>>(),
+            ref_queues,
+            "case {case}: never-full finite queues diverged"
+        );
+        assert!(deep_split.iter().all(|&(_, s)| s == 0));
+        assert_eq!(deep.total().queue_cycles, reference.total().queue_cycles);
     }
 }
