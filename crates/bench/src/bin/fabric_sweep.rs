@@ -22,10 +22,13 @@
 
 use sva_bench::par::par_map;
 use sva_bench::{parse_args, with_banner, RunSize};
-use sva_common::{ArbitrationPolicy, QueueDepths};
+use sva_common::Cycles;
+use sva_common::{ArbitrationPolicy, QueueDepths, ReplacementPolicy, TlbOrg};
 use sva_kernels::KernelKind;
 use sva_soc::config::SocVariant;
-use sva_soc::experiments::fabric::{self, FabricKnobs, FabricSweepResult};
+use sva_soc::experiments::fabric::{
+    self, FabricKnobs, FabricSweepResult, TlbHierarchyConfig, TlbKnobs, TlbLevelConfig,
+};
 
 fn out_path() -> String {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +71,7 @@ fn main() {
                     ArbitrationPolicy::RoundRobin,
                     unbounded,
                     baseline,
+                    TlbKnobs::default(),
                 ));
             }
         }
@@ -98,6 +102,7 @@ fn main() {
                 policy.clone(),
                 unbounded,
                 baseline,
+                TlbKnobs::default(),
             ));
         }
     }
@@ -112,6 +117,7 @@ fn main() {
             ArbitrationPolicy::RoundRobin,
             unbounded,
             knobs,
+            TlbKnobs::default(),
         ));
     }
     // Queue-depth grid: the split-transaction fabric under maximal
@@ -129,19 +135,56 @@ fn main() {
                 ArbitrationPolicy::RoundRobin,
                 depths,
                 knobs,
+                TlbKnobs::default(),
             ));
+        }
+    }
+
+    // TLB grid: the two-level translation hierarchy under maximal
+    // contention — L1/L2 geometry x replacement policy x demand paging
+    // on/off (single channel, round-robin, IOMMU+LLC; the single-level
+    // premapped corner is already in the scaling grid).
+    for &(l1_entries, l2_sets, l2_ways) in &[(4usize, 8usize, 4usize), (8, 16, 4)] {
+        for policy in [
+            ReplacementPolicy::TrueLru,
+            ReplacementPolicy::PseudoLru,
+            ReplacementPolicy::Fifo,
+        ] {
+            for demand_paging in [false, true] {
+                let hierarchy = TlbHierarchyConfig {
+                    l1: TlbLevelConfig::new(
+                        TlbOrg::fully_associative(l1_entries),
+                        policy,
+                        Cycles::new(1),
+                    ),
+                    l2: TlbLevelConfig::new(TlbOrg::new(l2_sets, l2_ways), policy, Cycles::new(4)),
+                };
+                grid.push((
+                    max_clusters,
+                    SocVariant::IommuLlc,
+                    base_latency,
+                    1usize,
+                    ArbitrationPolicy::RoundRobin,
+                    unbounded,
+                    baseline,
+                    TlbKnobs {
+                        hierarchy: Some(hierarchy),
+                        demand_paging,
+                    },
+                ));
+            }
         }
     }
 
     let points = par_map(
         grid,
-        |(n, variant, latency, channels, policy, depths, knobs)| {
+        |(n, variant, latency, channels, policy, depths, knobs, tlb)| {
             fabric::run_point(
-                kernel, paper_size, n, variant, latency, channels, &policy, depths, knobs,
+                kernel, paper_size, n, variant, latency, channels, &policy, depths, knobs, tlb,
             )
             .unwrap_or_else(|e| {
                 panic!(
-                    "fabric point {n}x {variant:?} @{latency} ch{channels} {policy:?} {depths} {knobs:?} failed: {e:?}"
+                    "fabric point {n}x {variant:?} @{latency} ch{channels} {policy:?} {depths} {knobs:?} {tlb:?} failed: {e:?}"
                 )
             })
         },
@@ -149,7 +192,7 @@ fn main() {
     let result = FabricSweepResult { points };
 
     with_banner(
-        "Fabric scaling: clusters x variant x latency x channels x policy",
+        "Fabric scaling: clusters x variant x latency x channels x policy x TLB",
         || result.render(),
     );
 

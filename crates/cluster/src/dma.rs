@@ -19,8 +19,8 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 use sva_axi::BurstPlan;
-use sva_common::{Cycles, InitiatorId, Iova, PhysAddr, Result};
-use sva_iommu::Iommu;
+use sva_common::{Cycles, Error, InitiatorId, Iova, PhysAddr, Result};
+use sva_iommu::{Iommu, PageRequestHandler};
 use sva_mem::{MemReq, MemorySystem};
 
 use crate::tcdm::Tcdm;
@@ -119,6 +119,13 @@ pub struct DmaStats {
     /// upstream backpressure a split-transaction fabric exerts. Always zero
     /// with the default unbounded queue depths.
     pub issue_stall_cycles: u64,
+    /// IO page faults the engine recovered from through the ATS/PRI
+    /// stall-and-retry loop (always zero with demand paging off — faults
+    /// are errors then).
+    pub page_faults: u64,
+    /// Cycles bursts stalled waiting for page-request group responses
+    /// (fault detection → resume), including overflow backoff.
+    pub fault_stall_cycles: u64,
     /// Total cycles the engine was busy (issue to last completion), summed
     /// over transfer batches.
     pub busy_cycles: u64,
@@ -171,6 +178,36 @@ impl DmaEngine {
         requests: &[DmaRequest],
         start: Cycles,
     ) -> Result<Cycles> {
+        self.execute_with_pri(mem, iommu, tcdm, requests, start, None)
+    }
+
+    /// [`DmaEngine::execute`] with an optional ATS/PRI page-request handler.
+    ///
+    /// With a handler present and demand paging configured on the IOMMU, a
+    /// translation fault no longer aborts the transfer: the engine issues a
+    /// **page-request group** covering the rest of the faulting transfer,
+    /// **stalls** until the host's group response completes (plus a backoff
+    /// penalty when the group overflowed the bounded page-request queue),
+    /// and **retries** the translation — up to the IOMMU's
+    /// `max_fault_retries` bound, after which the fault is terminal. The
+    /// full round trip is charged into the engine's issue pipeline
+    /// ([`DmaStats::fault_stall_cycles`]), so cold-start demand paging is
+    /// visible in the device wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable IO page faults (no handler, demand paging
+    /// off, retry budget exhausted, or the host has no backing mapping) and
+    /// out-of-range TCDM or memory accesses.
+    pub fn execute_with_pri(
+        &mut self,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        tcdm: &mut Tcdm,
+        requests: &[DmaRequest],
+        start: Cycles,
+        mut pri: Option<&mut (dyn PageRequestHandler + '_)>,
+    ) -> Result<Cycles> {
         let mut issue_free = start;
         let mut data_bus_free = start;
         let mut completion = start;
@@ -200,15 +237,65 @@ impl DmaEngine {
                 // IOMMU at its issue time, so an IOTLB miss's page-table
                 // walk lands at the right point on the fabric timelines;
                 // IOTLB hits are cheap, misses serialise the burst behind
-                // the walk.
+                // the walk. Under demand paging a fault turns into an
+                // ATS/PRI stall-and-retry instead of an error.
                 let is_write = req.dir == Direction::FromTcdm;
-                let (pa, trans) = iommu.translate_at(
-                    mem,
-                    self.config.device_id,
-                    Iova::new(burst.addr.raw()),
-                    is_write,
-                    issue_t,
-                )?;
+                let mut attempts = 0u32;
+                let (pa, trans) = loop {
+                    match iommu.translate_at(
+                        mem,
+                        self.config.device_id,
+                        Iova::new(burst.addr.raw()),
+                        is_write,
+                        issue_t,
+                    ) {
+                        Ok(res) => break res,
+                        Err(fault @ Error::IoPageFault { .. }) => {
+                            let recoverable = iommu.demand_paging() && pri.is_some();
+                            attempts += 1;
+                            if !recoverable || attempts > iommu.config().max_fault_retries {
+                                // Under demand paging the IOMMU routed this
+                                // fault to the page-request path; the device
+                                // is giving up, so the terminal fault must
+                                // still reach the driver's fault queue.
+                                if iommu.demand_paging() {
+                                    iommu.record_terminal_fault(
+                                        self.config.device_id,
+                                        Iova::new(burst.addr.raw()),
+                                        is_write,
+                                    );
+                                }
+                                return Err(fault);
+                            }
+                            let handler = pri.as_deref_mut().expect("recoverable implies handler");
+                            // The device issues a page-request group for
+                            // the rest of this transfer: the faulting page
+                            // plus everything it is about to touch.
+                            let (_, dropped) = iommu.enqueue_page_requests(
+                                mem,
+                                self.config.device_id,
+                                Iova::new(burst.addr.raw()),
+                                req.len - done,
+                                is_write,
+                                issue_t,
+                            );
+                            let mut resume = handler.service(mem, iommu, issue_t)?;
+                            if dropped > 0 {
+                                // The queue overflowed mid-group: the tail
+                                // pages will re-fault, so the device backs
+                                // off before retrying.
+                                resume += iommu.config().page_request_backoff;
+                            }
+                            // Guarantee forward progress on the retry even
+                            // if the host answered instantaneously.
+                            resume = resume.max(issue_t + Cycles::new(1));
+                            self.stats.page_faults += 1;
+                            self.stats.fault_stall_cycles += (resume - issue_t).raw();
+                            issue_t = resume;
+                        }
+                        Err(other) => return Err(other),
+                    }
+                };
                 self.stats.translations += 1;
                 self.stats.translation_cycles += trans.raw();
                 issue_t += trans;
@@ -383,6 +470,127 @@ mod tests {
             Cycles::ZERO,
         );
         assert!(err.is_err());
+    }
+
+    /// The ATS/PRI loop end to end at the engine level: nothing is
+    /// device-mapped up front, every page faults on first touch, the host
+    /// servicer pages them in, and the transfer still completes with the
+    /// right data — slower than the pre-mapped run, with the fault stalls
+    /// accounted.
+    #[test]
+    fn demand_paged_transfer_stalls_retries_and_completes() {
+        use sva_host::{FaultServicer, IommuDriver};
+        use sva_iommu::TlbHierarchyConfig;
+        use sva_vm::AddressSpace;
+
+        let len = 8 * PAGE_SIZE;
+        let run = |demand: bool| -> (Cycles, DmaStats, sva_iommu::IommuStats, Vec<u8>) {
+            let mut mem = MemorySystem::default();
+            let mut frames = FrameAllocator::linux_pool();
+            let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+            let va = space.alloc_buffer(&mut mem, &mut frames, len).unwrap();
+            let data: Vec<u8> = (0..len).map(|i| (i % 239) as u8).collect();
+            space.write_virt(&mut mem, va, &data).unwrap();
+
+            let mut iommu = Iommu::new(IommuConfig {
+                demand_paging: demand,
+                tlb_hierarchy: Some(TlbHierarchyConfig::default()),
+                ..IommuConfig::default()
+            });
+            let mut cpu = sva_host::HostCpu::default();
+            let mut driver = IommuDriver::default();
+            driver
+                .attach(&mut cpu, &mut mem, &mut iommu, &mut frames, space.pscid())
+                .unwrap();
+            if !demand {
+                driver
+                    .map_buffer(&mut cpu, &mut mem, &mut iommu, &space, &mut frames, va, len)
+                    .unwrap();
+            }
+
+            let mut tcdm = Tcdm::default();
+            let mut dma = DmaEngine::new(DmaConfig::default());
+            let mut servicer = FaultServicer::new(&mut driver, &space, &mut frames);
+            let done = dma
+                .execute_with_pri(
+                    &mut mem,
+                    &mut iommu,
+                    &mut tcdm,
+                    &[DmaRequest::input(Iova::from_virt(va), 0, len)],
+                    Cycles::ZERO,
+                    Some(&mut servicer),
+                )
+                .unwrap();
+            let mut check = vec![0u8; len as usize];
+            tcdm.read(0, &mut check).unwrap();
+            (done, *dma.stats(), iommu.stats(), check)
+        };
+
+        let (premapped_done, premapped_stats, _, premapped_data) = run(false);
+        assert_eq!(
+            premapped_stats.page_faults, 0,
+            "pre-mapped run never faults"
+        );
+        let (demand_done, demand_stats, iommu_stats, demand_data) = run(true);
+
+        assert_eq!(demand_data, premapped_data, "paged-in data is correct");
+        assert!(demand_stats.page_faults > 0, "cold start must fault");
+        assert!(demand_stats.fault_stall_cycles > 0);
+        assert!(
+            demand_done > premapped_done,
+            "demand paging must cost cycles: {demand_done} vs {premapped_done}"
+        );
+        let pri = iommu_stats.page_requests;
+        assert_eq!(pri.serviced, 8, "every page was paged in exactly once");
+        assert_eq!(pri.failed, 0);
+        assert!(pri.group_responses > 0);
+        assert_eq!(pri.service_time.count(), 8);
+        assert!(iommu_stats.page_request_p50 > 0);
+        assert!(iommu_stats.page_request_p99 >= iommu_stats.page_request_p50);
+    }
+
+    /// A truly unmapped address (no host backing) stays a terminal fault
+    /// even with demand paging and a handler: the bounded retry loop gives
+    /// up.
+    #[test]
+    fn demand_paging_cannot_recover_bad_addresses() {
+        use sva_host::{FaultServicer, IommuDriver};
+        use sva_vm::AddressSpace;
+
+        let mut mem = MemorySystem::default();
+        let mut frames = FrameAllocator::linux_pool();
+        let space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+        let mut iommu = Iommu::new(IommuConfig {
+            demand_paging: true,
+            max_fault_retries: 3,
+            ..IommuConfig::default()
+        });
+        let mut cpu = sva_host::HostCpu::default();
+        let mut driver = IommuDriver::default();
+        driver
+            .attach(&mut cpu, &mut mem, &mut iommu, &mut frames, space.pscid())
+            .unwrap();
+        let mut tcdm = Tcdm::default();
+        let mut dma = DmaEngine::new(DmaConfig::default());
+        let mut servicer = FaultServicer::new(&mut driver, &space, &mut frames);
+        let err = dma.execute_with_pri(
+            &mut mem,
+            &mut iommu,
+            &mut tcdm,
+            &[DmaRequest::input(Iova::new(0x6666_0000), 0, 64)],
+            Cycles::ZERO,
+            Some(&mut servicer),
+        );
+        assert!(matches!(err, Err(sva_common::Error::IoPageFault { .. })));
+        assert!(
+            iommu.stats().page_requests.failed > 0,
+            "the host marked the unresolvable request failed"
+        );
+        // The abort is not silent: giving up records a terminal fault the
+        // driver can observe on the fault queue.
+        let fault = iommu.pop_fault().expect("terminal fault recorded");
+        assert_eq!(fault.iova, Iova::new(0x6666_0000));
+        assert_eq!(fault.reason, sva_iommu::FaultReason::PageNotMapped);
     }
 
     #[test]

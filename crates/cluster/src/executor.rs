@@ -16,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 use sva_common::{Cycles, GlobalClock, Result};
-use sva_iommu::Iommu;
+use sva_iommu::{Iommu, PageRequestHandler};
 use sva_mem::MemorySystem;
 
 use crate::dma::{DmaConfig, DmaEngine, DmaStats};
@@ -85,6 +85,8 @@ impl KernelRunStats {
             merged.dma.translations += s.dma.translations;
             merged.dma.translation_cycles += s.dma.translation_cycles;
             merged.dma.issue_stall_cycles += s.dma.issue_stall_cycles;
+            merged.dma.page_faults += s.dma.page_faults;
+            merged.dma.fault_stall_cycles += s.dma.fault_stall_cycles;
             merged.dma.busy_cycles += s.dma.busy_cycles;
         }
         merged
@@ -151,6 +153,23 @@ impl ClusterExecutor {
         iommu: &mut Iommu,
         kernel: &mut dyn DeviceKernel,
     ) -> Result<KernelRunStats> {
+        self.run_with_pri(mem, iommu, kernel, None)
+    }
+
+    /// [`ClusterExecutor::run`] with an optional ATS/PRI page-request
+    /// handler: every DMA batch of the tile loop can recover from IO page
+    /// faults through the handler's stall-and-retry loop (demand paging).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable IOMMU faults and TCDM/memory range errors.
+    pub fn run_with_pri(
+        &mut self,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        kernel: &mut dyn DeviceKernel,
+        mut pri: Option<&mut (dyn PageRequestHandler + '_)>,
+    ) -> Result<KernelRunStats> {
         self.dma.reset_stats();
         let n = kernel.num_tiles();
         let mut stats = KernelRunStats {
@@ -179,12 +198,13 @@ impl ClusterExecutor {
         // shared functional memory) before its descriptors are first read.
         kernel.plan_tile(0, &TileCtx::new(mem, iommu, device_id))?;
         let first_io = kernel.tile_io(0);
-        let mut dma_free = self.dma.execute(
+        let mut dma_free = self.dma.execute_with_pri(
             mem,
             iommu,
             &mut self.tcdm,
             &first_io.inputs,
             self.clock.now(),
+            pri.as_deref_mut(),
         )?;
         input_ready[0] = Some(dma_free);
 
@@ -200,12 +220,13 @@ impl ClusterExecutor {
             if self.config.double_buffer && tile + 1 < n {
                 kernel.plan_tile(tile + 1, &TileCtx::new(mem, iommu, device_id))?;
                 let next_io = kernel.tile_io(tile + 1);
-                dma_free = self.dma.execute(
+                dma_free = self.dma.execute_with_pri(
                     mem,
                     iommu,
                     &mut self.tcdm,
                     &next_io.inputs,
                     self.clock.now().max(dma_free),
+                    pri.as_deref_mut(),
                 )?;
                 input_ready[tile + 1] = Some(dma_free);
             }
@@ -218,12 +239,13 @@ impl ClusterExecutor {
             // Write back this tile's outputs (overlaps with the next tile's
             // compute when double buffering).
             let io = kernel.tile_io(tile);
-            dma_free = self.dma.execute(
+            dma_free = self.dma.execute_with_pri(
                 mem,
                 iommu,
                 &mut self.tcdm,
                 &io.outputs,
                 self.clock.now().max(dma_free),
+                pri.as_deref_mut(),
             )?;
 
             if !self.config.double_buffer {
@@ -236,12 +258,13 @@ impl ClusterExecutor {
                 if tile + 1 < n {
                     kernel.plan_tile(tile + 1, &TileCtx::new(mem, iommu, device_id))?;
                     let next_io = kernel.tile_io(tile + 1);
-                    dma_free = self.dma.execute(
+                    dma_free = self.dma.execute_with_pri(
                         mem,
                         iommu,
                         &mut self.tcdm,
                         &next_io.inputs,
                         self.clock.now().max(dma_free),
+                        pri.as_deref_mut(),
                     )?;
                     input_ready[tile + 1] = Some(dma_free);
                 }

@@ -40,6 +40,7 @@ pub mod port;
 pub mod rng;
 pub mod size;
 pub mod stats;
+pub mod tlb;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
@@ -53,6 +54,7 @@ pub mod prelude {
     };
     pub use crate::size::{GIB, KIB, MIB};
     pub use crate::stats::{Counter, RunningStats};
+    pub use crate::tlb::{ReplacementPolicy, TlbOrg};
 }
 
 pub use addr::{Iova, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
@@ -64,3 +66,4 @@ pub use port::{
     ArbitrationPolicy, InitiatorClass, InitiatorId, InitiatorStats, MemPortReq, PortDir, PortTiming,
 };
 pub use size::{GIB, KIB, MIB};
+pub use tlb::{ReplacementPolicy, TlbOrg};

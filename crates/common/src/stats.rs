@@ -263,6 +263,26 @@ impl Histogram {
             .enumerate()
             .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
     }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`), resolved to the lower
+    /// bound of the bucket holding the rank-`⌈q·n⌉` sample; samples in the
+    /// overflow bucket resolve to the histogram's upper edge. Returns 0 for
+    /// an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (lower, count) in self.iter() {
+            cumulative += count;
+            if cumulative >= rank {
+                return lower;
+            }
+        }
+        self.bucket_width * self.buckets.len() as u64
+    }
 }
 
 #[cfg(test)]
@@ -340,5 +360,19 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn histogram_rejects_zero_width() {
         let _ = Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(10, 10);
+        assert_eq!(h.percentile(0.5), 0, "empty histogram");
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(0.5), 40, "median falls in the fifth bucket");
+        assert_eq!(h.percentile(1.0), 90);
+        h.record(5000); // overflow sample
+        assert_eq!(h.percentile(1.0), 100, "overflow resolves to the edge");
     }
 }

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use sva_cluster::{ClusterConfig, DmaConfig};
 use sva_common::{ArbitrationPolicy, Cycles, QueueDepths};
 use sva_host::{DriverConfig, HostCpuConfig, HostTrafficConfig, InterferenceLevel};
-use sva_iommu::{IommuConfig, IommuMode};
+use sva_iommu::{IommuConfig, IommuMode, TlbHierarchyConfig};
 use sva_mem::{DramChannelConfig, LlcConfig, MemSysConfig};
 
 /// The three platform variants of the evaluation.
@@ -292,6 +292,43 @@ impl PlatformConfig {
     pub fn with_ptw_mshr_entries(mut self, entries: usize) -> Self {
         self.iommu.ptw_batching = true;
         self.iommu.ptw_mshr_entries = entries.max(1);
+        self
+    }
+
+    /// Returns a copy whose IOMMU runs the **two-level translation
+    /// hierarchy**: a private L1 ATC per device in front of a shared L2
+    /// IOTLB, each with its own organisation, replacement policy and
+    /// lookup latency (charged into every translation). The default
+    /// (`None`) is the paper prototype's single IOTLB, cycle-identical to
+    /// the pre-hierarchy model.
+    pub fn with_tlb_hierarchy(mut self, hierarchy: TlbHierarchyConfig) -> Self {
+        self.iommu.tlb_hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// Returns a copy with the default two-level hierarchy (4-entry
+    /// fully-associative ATC per device, 32-entry 8×4 shared L2, true
+    /// LRU).
+    pub fn with_default_tlb_hierarchy(self) -> Self {
+        self.with_tlb_hierarchy(TlbHierarchyConfig::default())
+    }
+
+    /// Returns a copy with **ATS/PRI-style demand paging**: zero-copy
+    /// offloads skip the driver's up-front `map_buffer` pass, every page
+    /// the device touches faults on first access, the fault enqueues a
+    /// page request on the IOMMU's bounded queue, and the host driver
+    /// services it by mapping the page through the timed memory system
+    /// while the faulting DMA engine stalls-and-retries. Fault service
+    /// latency is surfaced through `OffloadReport::iommu`
+    /// (`page_requests`, percentiles) and the DMA engines'
+    /// `fault_stall_cycles`.
+    ///
+    /// Note: workloads whose tile planning peeks device-visible memory
+    /// before the first DMA touch (the sort kernel's merge-path pre-pass)
+    /// are incompatible with cold-start demand paging — the probe sees an
+    /// unmapped page — and must pre-map as usual.
+    pub fn with_demand_paging(mut self) -> Self {
+        self.iommu.demand_paging = true;
         self
     }
 }

@@ -1,6 +1,9 @@
 //! Fabric-scaling sweep: cluster count × platform variant × DRAM latency,
 //! plus the global-clock sub-grid (timed host interference × MSHR-style
-//! PTW batching, [`FabricKnobs`]).
+//! PTW batching, [`FabricKnobs`]) and the translation sub-grid (two-level
+//! TLB hierarchy × replacement policy × ATS/PRI demand paging,
+//! [`TlbKnobs`] — per-level hit splits and page-request latency
+//! percentiles in every point).
 //!
 //! This experiment goes beyond the paper: it scales the platform to N
 //! accelerator clusters sharing the IOMMU and the memory fabric, shards one
@@ -37,6 +40,7 @@ use crate::platform::Platform;
 use crate::report::{percent, sci, TextTable};
 use sva_common::{ArbitrationPolicy, QueueDepths, Result};
 use sva_host::HostTrafficConfig;
+pub use sva_iommu::{TlbHierarchyConfig, TlbLevelConfig};
 use sva_mem::ChannelStats;
 
 /// The global-clock knobs of one measurement point: timed host traffic in
@@ -70,6 +74,35 @@ impl FabricKnobs {
             ptw_batching: true,
         },
     ];
+}
+
+/// The translation knobs of one measurement point: the two-level TLB
+/// hierarchy and ATS/PRI demand paging. `TlbKnobs::default()` is the
+/// paper prototype's single IOTLB with faults-are-errors.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TlbKnobs {
+    /// Two-level hierarchy configuration (`None` = single-level IOTLB).
+    pub hierarchy: Option<TlbHierarchyConfig>,
+    /// Run with demand paging: no up-front mapping, faults are paged in
+    /// through the page-request loop.
+    pub demand_paging: bool,
+}
+
+impl TlbKnobs {
+    /// Compact label used as the point's `tlb` field
+    /// (`"single"` or e.g. `"l1:1x4-lru+l2:8x4-lru"`).
+    pub fn label(&self) -> String {
+        match self.hierarchy {
+            None => "single".to_string(),
+            Some(h) => format!(
+                "l1:{}-{}+l2:{}-{}",
+                h.l1.org.label(),
+                h.l1.policy.label(),
+                h.l2.org.label(),
+                h.l2.policy.label()
+            ),
+        }
+    }
 }
 
 /// Per-initiator numbers of one measurement point.
@@ -131,14 +164,36 @@ pub struct FabricPoint {
     pub host_traffic: bool,
     /// Whether the MSHR-style batched walker was enabled.
     pub ptw_batching: bool,
+    /// Translation-hierarchy label (`"single"` for the prototype IOTLB).
+    pub tlb: String,
+    /// Whether the run cold-started through ATS/PRI demand paging.
+    pub demand_paging: bool,
     /// Device wall-clock cycles (slowest shard).
     pub total: u64,
     /// Aggregate compute cycles across shards.
     pub compute: u64,
     /// Aggregate DMA-wait cycles across shards.
     pub dma_wait: u64,
-    /// IOTLB hit rate over the whole run (0 when the variant has no IOMMU).
+    /// Hit rate of the shared IOTLB (the L2 of the hierarchy; 0 when the
+    /// variant has no IOMMU).
     pub iotlb_hit_rate: f64,
+    /// Aggregate hit rate of the per-device L1 ATCs (0 in the single-level
+    /// configuration).
+    pub atc_hit_rate: f64,
+    /// Page requests accepted into the page-request queue.
+    pub page_requests: u64,
+    /// Page requests dropped at the full queue (overflow ⇒ device backoff).
+    pub page_requests_dropped: u64,
+    /// Page faults serviced by the host (pages paged in on demand).
+    pub faults_serviced: u64,
+    /// Mean page-request service latency in cycles (0 without samples).
+    pub page_req_latency_mean: f64,
+    /// Approximate median page-request service latency.
+    pub page_req_latency_p50: u64,
+    /// Approximate 90th-percentile page-request service latency.
+    pub page_req_latency_p90: u64,
+    /// Approximate 99th-percentile page-request service latency.
+    pub page_req_latency_p99: u64,
     /// Page-table walks performed.
     pub ptw_walks: u64,
     /// PTE reads the walker issued to memory.
@@ -196,6 +251,32 @@ impl FabricSweepResult {
                 && p.queue_depths == "inf"
                 && !p.host_traffic
                 && !p.ptw_batching
+                && p.tlb == "single"
+                && !p.demand_paging
+        })
+    }
+
+    /// Finds the point of the TLB sub-grid for a given cluster count, TLB
+    /// label and demand-paging flag (single channel, round-robin,
+    /// IOMMU+LLC, baseline fabric knobs).
+    pub fn get_tlb(
+        &self,
+        clusters: usize,
+        latency: u64,
+        tlb: &str,
+        demand_paging: bool,
+    ) -> Option<&FabricPoint> {
+        self.points.iter().find(|p| {
+            p.clusters == clusters
+                && p.variant == SocVariant::IommuLlc
+                && p.dram_latency == latency
+                && p.channels == 1
+                && p.policy == "round_robin"
+                && p.queue_depths == "inf"
+                && !p.host_traffic
+                && !p.ptw_batching
+                && p.tlb == tlb
+                && p.demand_paging == demand_paging
         })
     }
 
@@ -218,6 +299,8 @@ impl FabricSweepResult {
                 && p.queue_depths == depths
                 && p.host_traffic == knobs.host_traffic
                 && p.ptw_batching == knobs.ptw_batching
+                && p.tlb == "single"
+                && !p.demand_paging
         })
     }
 
@@ -239,6 +322,8 @@ impl FabricSweepResult {
                 && p.queue_depths == "inf"
                 && p.host_traffic == knobs.host_traffic
                 && p.ptw_batching == knobs.ptw_batching
+                && p.tlb == "single"
+                && !p.demand_paging
         })
     }
 
@@ -260,10 +345,14 @@ impl FabricSweepResult {
             "Qdepth",
             "Host",
             "PTW",
+            "TLB",
+            "Paging",
             "Wall cyc",
             "Speedup",
             "%DMA",
+            "ATC hit",
             "IOTLB hit",
+            "Faults",
             "Queue cyc",
             "Stall cyc",
             "Switches",
@@ -289,10 +378,14 @@ impl FabricSweepResult {
                 p.queue_depths.clone(),
                 if p.host_traffic { "noisy" } else { "idle" }.to_string(),
                 if p.ptw_batching { "batched" } else { "serial" }.to_string(),
+                p.tlb.clone(),
+                if p.demand_paging { "demand" } else { "premap" }.to_string(),
                 sci(p.total),
                 speedup,
                 percent(dma_share),
+                percent(p.atc_hit_rate),
                 percent(p.iotlb_hit_rate),
+                p.faults_serviced.to_string(),
                 p.queue_cycles().to_string(),
                 p.issue_stall_cycles().to_string(),
                 p.grant_switches.to_string(),
@@ -350,8 +443,13 @@ impl FabricSweepResult {
                  \"dram_latency\": {}, \"channels\": {}, \"policy\": \"{}\", \
                  \"queue_depths\": \"{}\", \"req_queue_depth\": {}, \"rsp_queue_depth\": {}, \
                  \"host_traffic\": {}, \"ptw_batching\": {}, \
+                 \"tlb\": \"{}\", \"demand_paging\": {}, \
                  \"total\": {}, \"compute\": {}, \"dma_wait\": {}, \
-                 \"iotlb_hit_rate\": {:.6}, \
+                 \"iotlb_hit_rate\": {:.6}, \"atc_hit_rate\": {:.6}, \
+                 \"page_requests\": {}, \"page_requests_dropped\": {}, \
+                 \"faults_serviced\": {}, \"page_req_latency_mean\": {:.1}, \
+                 \"page_req_latency_p50\": {}, \"page_req_latency_p90\": {}, \
+                 \"page_req_latency_p99\": {}, \
                  \"ptw_walks\": {}, \"ptw_reads\": {}, \"ptw_coalesced_reads\": {}, \
                  \"verified\": {}, \"grant_switches\": {}, \
                  \"initiators\": [{}], \"per_channel\": [{}]}}{}\n",
@@ -366,10 +464,20 @@ impl FabricSweepResult {
                 p.rsp_queue_depth,
                 p.host_traffic,
                 p.ptw_batching,
+                p.tlb,
+                p.demand_paging,
                 p.total,
                 p.compute,
                 p.dma_wait,
                 p.iotlb_hit_rate,
+                p.atc_hit_rate,
+                p.page_requests,
+                p.page_requests_dropped,
+                p.faults_serviced,
+                p.page_req_latency_mean,
+                p.page_req_latency_p50,
+                p.page_req_latency_p90,
+                p.page_req_latency_p99,
                 p.ptw_walks,
                 p.ptw_reads,
                 p.ptw_coalesced_reads,
@@ -403,7 +511,10 @@ impl FabricSweepResult {
 /// its MSHR-style walk table. Finite `depths` switch the fabric into the
 /// split-transaction model: full request queues stall initiator issue
 /// (reported per initiator as `issue_stall_cycles`), full response queues
-/// delay grants.
+/// delay grants. [`TlbKnobs`] select the translation hierarchy (per-device
+/// L1 ATC + shared L2 IOTLB with per-level hit splits in the point) and
+/// ATS/PRI demand paging (cold-start page-in with fault-latency
+/// percentiles).
 ///
 /// # Errors
 ///
@@ -419,6 +530,7 @@ pub fn run_point(
     policy: &ArbitrationPolicy,
     depths: QueueDepths,
     knobs: FabricKnobs,
+    tlb: TlbKnobs,
 ) -> Result<FabricPoint> {
     let workload = if paper_size {
         kind.paper_workload()
@@ -439,6 +551,12 @@ pub fn run_point(
     }
     if knobs.ptw_batching {
         config = config.with_ptw_batching();
+    }
+    if let Some(hierarchy) = tlb.hierarchy {
+        config = config.with_tlb_hierarchy(hierarchy);
+    }
+    if tlb.demand_paging {
+        config = config.with_demand_paging();
     }
     let mut platform = Platform::new(config)?;
     let report = OffloadRunner::new(0xFAB).run_device_only(&mut platform, workload.as_ref())?;
@@ -488,10 +606,20 @@ pub fn run_point(
         },
         host_traffic: knobs.host_traffic,
         ptw_batching: knobs.ptw_batching,
+        tlb: tlb.label(),
+        demand_paging: tlb.demand_paging,
         total: report.stats.total.raw(),
         compute: report.stats.compute.raw(),
         dma_wait: report.stats.dma_wait.raw(),
         iotlb_hit_rate: report.iommu.iotlb.hit_rate(),
+        atc_hit_rate: report.iommu.atc.hit_rate(),
+        page_requests: report.iommu.page_requests.requests,
+        page_requests_dropped: report.iommu.page_requests.dropped,
+        faults_serviced: report.iommu.page_requests.serviced,
+        page_req_latency_mean: report.iommu.page_requests.service_time.mean(),
+        page_req_latency_p50: report.iommu.page_request_p50,
+        page_req_latency_p90: report.iommu.page_request_p90,
+        page_req_latency_p99: report.iommu.page_request_p99,
         ptw_walks: report.iommu.ptw_walks,
         ptw_reads: report.iommu.ptw_reads,
         ptw_coalesced_reads: report.iommu.ptw_coalesced_reads,
@@ -534,6 +662,7 @@ pub fn run(
                             policy,
                             QueueDepths::UNBOUNDED,
                             FabricKnobs::default(),
+                            TlbKnobs::default(),
                         )?);
                     }
                 }
@@ -605,6 +734,7 @@ mod tests {
                     &ArbitrationPolicy::RoundRobin,
                     QueueDepths::UNBOUNDED,
                     knobs,
+                    TlbKnobs::default(),
                 )
                 .unwrap()
             })
@@ -656,6 +786,7 @@ mod tests {
                     host_traffic: true,
                     ptw_batching: true,
                 },
+                TlbKnobs::default(),
             )
             .unwrap()
         };
@@ -704,6 +835,74 @@ mod tests {
     }
 
     #[test]
+    fn tlb_sub_grid_reports_hierarchy_splits_and_demand_paging() {
+        let hierarchy = TlbHierarchyConfig::default();
+        let run_tlb = |tlb: TlbKnobs| {
+            run_point(
+                KernelKind::Gemm,
+                false,
+                2,
+                SocVariant::IommuLlc,
+                200,
+                1,
+                &ArbitrationPolicy::RoundRobin,
+                QueueDepths::UNBOUNDED,
+                FabricKnobs::default(),
+                tlb,
+            )
+            .unwrap()
+        };
+        let single = run_tlb(TlbKnobs::default());
+        let hier = run_tlb(TlbKnobs {
+            hierarchy: Some(hierarchy),
+            demand_paging: false,
+        });
+        let demand = run_tlb(TlbKnobs {
+            hierarchy: Some(hierarchy),
+            demand_paging: true,
+        });
+        assert!(single.verified && hier.verified && demand.verified);
+
+        assert_eq!(single.tlb, "single");
+        assert_eq!(single.atc_hit_rate, 0.0, "no ATC without the hierarchy");
+        assert_eq!(single.faults_serviced, 0);
+
+        assert!(hier.atc_hit_rate > 0.0, "the hierarchy splits hits into L1");
+        assert_eq!(hier.faults_serviced, 0, "pre-mapped runs never fault");
+
+        assert!(demand.demand_paging);
+        assert!(demand.faults_serviced > 0, "cold start pages in on demand");
+        assert!(demand.page_requests >= demand.faults_serviced);
+        assert!(demand.page_req_latency_p50 > 0);
+        assert!(demand.page_req_latency_p99 >= demand.page_req_latency_p50);
+        assert!(
+            demand.total > hier.total,
+            "demand paging must cost wall-clock: {} vs {}",
+            demand.total,
+            hier.total
+        );
+
+        // Points are addressable and the JSON schema carries the fields.
+        let label = hier.tlb.clone();
+        let result = FabricSweepResult {
+            points: vec![single, hier, demand],
+        };
+        assert!(result.get_tlb(2, 200, "single", false).is_some());
+        assert!(result.get_tlb(2, 200, &label, true).is_some());
+        assert!(
+            result.get(2, SocVariant::IommuLlc, 200).is_some(),
+            "the baseline getter still finds the single-level point"
+        );
+        let json = result.to_json();
+        assert!(json.contains("\"tlb\": \"single\""));
+        assert!(json.contains("\"tlb\": \"l1:1x4-lru+l2:8x4-lru\""));
+        assert!(json.contains("\"demand_paging\": true"));
+        assert!(json.contains("\"atc_hit_rate\""));
+        assert!(json.contains("\"faults_serviced\""));
+        assert!(json.contains("\"page_req_latency_p99\""));
+    }
+
+    #[test]
     fn render_and_json_contain_every_point() {
         let result = run(
             KernelKind::Axpy,
@@ -745,6 +944,7 @@ mod tests {
                     &ArbitrationPolicy::RoundRobin,
                     QueueDepths::UNBOUNDED,
                     FabricKnobs::default(),
+                    TlbKnobs::default(),
                 )
                 .unwrap()
                 .total
@@ -773,6 +973,7 @@ mod tests {
                 &policy,
                 QueueDepths::UNBOUNDED,
                 FabricKnobs::default(),
+                TlbKnobs::default(),
             )
             .unwrap();
             assert!(p.verified, "{policy:?} run must verify");

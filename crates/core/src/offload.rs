@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 use sva_cluster::{block_partition, KernelRunStats, TileRange};
 use sva_common::rng::DeterministicRng;
 use sva_common::{Cycles, Error, Iova, PhysAddr, Result, VirtAddr};
-use sva_host::{HostKernelRunner, HostRunStats, HostTrafficStats, MappingHandle, TrafficPhase};
+use sva_host::{
+    FaultServicer, HostKernelRunner, HostRunStats, HostTrafficStats, MappingHandle, TrafficPhase,
+};
 use sva_iommu::{Iommu, IommuConfig, IommuStats};
 use sva_kernels::{BufferKind, Workload};
 
@@ -182,21 +184,23 @@ impl OffloadRunner {
         if platform.iommu.is_translating() {
             let buffers = self.allocate_user_buffers(platform, workload, &initial)?;
             // Listing 1: flush caches, then map right before the offload so
-            // the freshly written PTEs sit in the LLC.
+            // the freshly written PTEs sit in the LLC. Under demand paging
+            // the up-front map pass is skipped entirely — every page the
+            // device touches cold-starts through the page-request loop.
             platform.cpu.flush_l1();
             platform.mem.flush_llc();
-            let mut handles = Vec::new();
-            for buf in &buffers {
-                let (handle, _) = platform.driver.map_buffer(
-                    &mut platform.cpu,
-                    &mut platform.mem,
-                    &mut platform.iommu,
-                    &platform.space,
-                    &mut platform.frames,
-                    buf.va,
-                    buf.bytes,
-                )?;
-                handles.push(handle);
+            if !platform.iommu.demand_paging() {
+                for buf in &buffers {
+                    platform.driver.map_buffer(
+                        &mut platform.cpu,
+                        &mut platform.mem,
+                        &mut platform.iommu,
+                        &platform.space,
+                        &mut platform.frames,
+                        buf.va,
+                        buf.bytes,
+                    )?;
+                }
             }
             platform.cpu.flush_l1();
             platform.iommu.reset_stats();
@@ -283,6 +287,9 @@ impl OffloadRunner {
         let total_tiles = workload.device_kernel(device_ptrs).num_tiles();
         let blocks = block_partition(total_tiles, num_clusters);
         let mut shards = Vec::with_capacity(num_clusters);
+        // Demand paging is only live for the platform's own translating
+        // IOMMU — a bypass override (copy-based offload) never faults.
+        let demand_paging = iommu_override.is_none() && platform.iommu.demand_paging();
         let mut override_iommu = iommu_override;
         for (cluster_idx, (start, len)) in blocks.into_iter().enumerate() {
             if let Some(stream) = platform.host_traffic.as_mut() {
@@ -302,7 +309,20 @@ impl OffloadRunner {
                 Some(i) => i,
                 None => &mut platform.iommu,
             };
-            let stats = platform.clusters[cluster_idx].run(&mut platform.mem, iommu, &mut shard)?;
+            let stats = if demand_paging {
+                // The host driver stands by to service page-request groups:
+                // faults stall the shard's DMA instead of aborting it.
+                let mut servicer =
+                    FaultServicer::new(&mut platform.driver, &platform.space, &mut platform.frames);
+                platform.clusters[cluster_idx].run_with_pri(
+                    &mut platform.mem,
+                    iommu,
+                    &mut shard,
+                    Some(&mut servicer),
+                )?
+            } else {
+                platform.clusters[cluster_idx].run(&mut platform.mem, iommu, &mut shard)?
+            };
             shards.push(stats);
         }
         // Drain the rest of the configured stream so every window injects
@@ -604,24 +624,30 @@ impl OffloadRunner {
         // host-traffic stream runs through the map phase: its reads contend
         // with the driver's page-table writes on the fabric and evict the
         // freshly written PTEs from the LLC — the setup-phase
-        // self-interference the ROADMAP called out.
+        // self-interference the ROADMAP called out. Under demand paging the
+        // map pass is skipped: pages become device-resident through the
+        // page-request loop on first touch, and there is nothing to tear
+        // down up front (the unmap section below is likewise empty).
+        let demand_paging = platform.iommu.demand_paging();
         let slice = Self::begin_setup_traffic(platform, buffers.len() as u64);
         let mut map_cycles = platform.cpu.flush_l1();
         map_cycles += platform.mem.flush_llc();
         let mut handles: Vec<MappingHandle> = Vec::with_capacity(buffers.len());
-        for buf in buffers {
-            Self::inject_traffic(platform, slice)?;
-            let (handle, cost) = platform.driver.map_buffer(
-                &mut platform.cpu,
-                &mut platform.mem,
-                &mut platform.iommu,
-                &platform.space,
-                &mut platform.frames,
-                buf.va,
-                buf.bytes,
-            )?;
-            map_cycles += cost.cycles;
-            handles.push(handle);
+        if !demand_paging {
+            for buf in buffers {
+                Self::inject_traffic(platform, slice)?;
+                let (handle, cost) = platform.driver.map_buffer(
+                    &mut platform.cpu,
+                    &mut platform.mem,
+                    &mut platform.iommu,
+                    &platform.space,
+                    &mut platform.frames,
+                    buf.va,
+                    buf.bytes,
+                )?;
+                map_cycles += cost.cycles;
+                handles.push(handle);
+            }
         }
         Self::drain_traffic(platform)?;
         map_cycles += platform.cpu.flush_l1();
@@ -951,6 +977,123 @@ mod tests {
             "copy-phase interference must cost cycles ({} vs {})",
             noisy_copy.copy_or_map,
             idle_copy.copy_or_map
+        );
+    }
+
+    #[test]
+    fn tlb_hierarchy_runs_verify_and_split_hits_across_levels() {
+        let wl = GemmWorkload::with_dim(64);
+        let config = PlatformConfig::iommu_with_llc(200)
+            .with_clusters(2)
+            .with_fabric_contention()
+            .with_default_tlb_hierarchy();
+        let mut platform = Platform::new(config).unwrap();
+        let report = OffloadRunner::new(19)
+            .run_device_only(&mut platform, &wl)
+            .unwrap();
+        assert!(report.verified);
+        assert!(report.iommu.atc.hits > 0, "the private ATCs serve hits");
+        assert!(report.iommu.atc.misses > 0);
+        assert!(
+            report.iommu.iotlb.hits > 0,
+            "the shared L2 serves ATC misses"
+        );
+        assert!(
+            report.iommu.iotlb.total() < report.iommu.atc.total(),
+            "L1 filters traffic away from L2"
+        );
+        assert_eq!(
+            report.iommu.atc.total(),
+            report.iommu.translations - report.iommu.bypassed,
+            "every translated access probes L1"
+        );
+    }
+
+    #[test]
+    fn demand_paged_device_runs_verify_and_account_the_fault_loop() {
+        let wl = GemmWorkload::with_dim(64);
+        let base = || {
+            PlatformConfig::iommu_with_llc(200)
+                .with_clusters(2)
+                .with_fabric_contention()
+                .with_default_tlb_hierarchy()
+        };
+        let mut pre = Platform::new(base()).unwrap();
+        let premapped = OffloadRunner::new(29)
+            .run_device_only(&mut pre, &wl)
+            .unwrap();
+        assert_eq!(premapped.iommu.page_requests.serviced, 0);
+
+        let mut platform = Platform::new(base().with_demand_paging()).unwrap();
+        let report = OffloadRunner::new(29)
+            .run_device_only(&mut platform, &wl)
+            .unwrap();
+        assert!(report.verified, "demand-paged results are correct");
+        let pri = report.iommu.page_requests;
+        assert!(pri.serviced > 0, "pages were paged in on demand");
+        assert_eq!(pri.failed, 0);
+        assert!(pri.group_responses > 0);
+        assert!(report.iommu.page_request_p50 > 0, "latency percentiles");
+        assert!(report.stats.dma.page_faults > 0);
+        assert!(report.stats.dma.fault_stall_cycles > 0);
+        assert!(
+            report.stats.total > premapped.stats.total,
+            "cold-start paging must cost device cycles ({} vs {})",
+            report.stats.total,
+            premapped.stats.total
+        );
+    }
+
+    #[test]
+    fn demand_paged_zero_copy_application_verifies_without_premap() {
+        let wl = AxpyWorkload::with_elems(16_384);
+        let config = PlatformConfig::iommu_with_llc(200)
+            .with_demand_paging()
+            .with_fabric_contention();
+        let mut platform = Platform::new(config).unwrap();
+        let report = OffloadRunner::new(37)
+            .run(&mut platform, &wl, OffloadMode::ZeroCopy)
+            .unwrap();
+        assert!(report.verified);
+        assert!(
+            report.iommu.page_requests.serviced > 0,
+            "the application faulted its working set in"
+        );
+        assert_eq!(
+            report.unmap,
+            Cycles::ZERO,
+            "nothing was pre-mapped, nothing to tear down"
+        );
+    }
+
+    #[test]
+    fn page_request_queue_overflow_backs_off_and_still_completes() {
+        let wl = AxpyWorkload::with_elems(16_384);
+        let run = |entries: usize| {
+            let mut config = PlatformConfig::iommu_with_llc(200)
+                .with_fabric_contention()
+                .with_demand_paging();
+            config.iommu.page_request_entries = entries;
+            let mut platform = Platform::new(config).unwrap();
+            OffloadRunner::new(41)
+                .run_device_only(&mut platform, &wl)
+                .unwrap()
+        };
+        let roomy = run(64);
+        let tiny = run(1);
+        assert!(roomy.verified && tiny.verified);
+        assert_eq!(roomy.iommu.page_requests.dropped, 0, "64 slots never drop");
+        assert!(
+            tiny.iommu.page_requests.dropped > 0,
+            "a one-slot queue must overflow on multi-page groups"
+        );
+        assert!(
+            tiny.iommu.page_requests.group_responses > roomy.iommu.page_requests.group_responses,
+            "smaller groups, more responses"
+        );
+        assert!(
+            tiny.stats.total >= roomy.stats.total,
+            "overflow backoff cannot speed the device up"
         );
     }
 

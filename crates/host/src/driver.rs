@@ -19,9 +19,9 @@
 
 use serde::{Deserialize, Serialize};
 use sva_axi::addrmap::DRAM_BASE;
-use sva_common::{Cycles, Error, Iova, PhysAddr, Result, VirtAddr, MIB, PAGE_SIZE};
-use sva_iommu::{Command, Iommu};
-use sva_mem::MemorySystem;
+use sva_common::{Cycles, Error, InitiatorId, Iova, PhysAddr, Result, VirtAddr, MIB, PAGE_SIZE};
+use sva_iommu::{Command, Iommu, PageRequestHandler};
+use sva_mem::{MemReq, MemorySystem};
 use sva_vm::{AddressSpace, FrameAllocator, PageTable, PteFlags};
 
 use crate::cpu::HostCpu;
@@ -46,6 +46,15 @@ pub struct DriverConfig {
     pub per_page_ops: u64,
     /// Device ID the cluster's DMA traffic uses.
     pub device_id: u32,
+    /// Cycles from a device's page-request group hitting the IOMMU queue to
+    /// the host fault handler starting to run (interrupt delivery, context
+    /// switch into the IOMMU driver's PRI thread).
+    pub fault_signal_latency: Cycles,
+    /// Handler cycles per serviced page request (looking the faulting
+    /// process/VMA up, pinning the page, building the mapping request) —
+    /// on top of the timed page-table touches the handler performs on the
+    /// fabric.
+    pub per_fault_cycles: Cycles,
 }
 
 impl Default for DriverConfig {
@@ -55,6 +64,8 @@ impl Default for DriverConfig {
             mmio_access: Cycles::new(40),
             per_page_ops: 60,
             device_id: 1,
+            fault_signal_latency: Cycles::new(800),
+            per_fault_cycles: Cycles::new(1_200),
         }
     }
 }
@@ -286,6 +297,103 @@ impl IommuDriver {
 impl Default for IommuDriver {
     fn default() -> Self {
         Self::new(DriverConfig::default())
+    }
+}
+
+/// The host side of the ATS/PRI demand-paging loop: borrows the driver,
+/// the faulting process' address space and the frame allocator for the
+/// duration of a device run and services the IOMMU's page-request queue.
+///
+/// Servicing a request mirrors what the kernel's IO-page-fault handler
+/// does: resolve the faulting IOVA against the process page table (the
+/// host mapping must exist — demand paging makes *device* mappings lazy,
+/// not host ones), install the leaf into the device's IO page table, and
+/// touch the page-table memory **through the timed memory system** as
+/// host-initiated fabric traffic, so the handler's stores queue behind
+/// concurrent DMA like any other initiator. All pending requests are
+/// drained into one **group response**; its completion time is when the
+/// faulting device may retry.
+pub struct FaultServicer<'a> {
+    driver: &'a mut IommuDriver,
+    space: &'a AddressSpace,
+    frames: &'a mut FrameAllocator,
+}
+
+impl<'a> FaultServicer<'a> {
+    /// Creates a servicer around the driver state of one platform.
+    pub fn new(
+        driver: &'a mut IommuDriver,
+        space: &'a AddressSpace,
+        frames: &'a mut FrameAllocator,
+    ) -> Self {
+        Self {
+            driver,
+            space,
+            frames,
+        }
+    }
+}
+
+impl PageRequestHandler for FaultServicer<'_> {
+    fn service(
+        &mut self,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        now: Cycles,
+    ) -> Result<Cycles> {
+        let io_table = self.driver.io_table.ok_or(Error::IommuNotPresent)?;
+        let cfg = self.driver.config;
+        // Interrupt delivery + handler entry.
+        let mut t = now + cfg.fault_signal_latency;
+        let mut serviced_at: Vec<Cycles> = Vec::new();
+        let mut any = false;
+        while let Some(req) = iommu.pop_page_request() {
+            any = true;
+            t += cfg.per_fault_cycles;
+            let page_va = VirtAddr::from_iova(req.iova).page_base();
+            // The host mapping must exist; a request for a page the process
+            // never mapped is unresolvable and answered "invalid" (the
+            // device's bounded retry loop turns that into a terminal
+            // fault).
+            let Ok(pa) = self.space.translate(mem, page_va) else {
+                iommu.note_page_request_failed();
+                continue;
+            };
+            // Functional mapping into the IO page table, then the timed
+            // page-table touches: the handler reads the non-leaf levels and
+            // writes the leaf PTE on the fabric as host traffic.
+            io_table.map_page(
+                mem,
+                self.frames,
+                page_va,
+                pa.page_base(),
+                PteFlags::user_rw(),
+            )?;
+            let walk = io_table.walk(mem, page_va)?;
+            for (level, (pte_addr, pte)) in walk.entries.iter().enumerate() {
+                let rsp = if level + 1 == walk.entries.len() {
+                    let bytes = pte.raw().to_le_bytes();
+                    mem.access(MemReq::write(InitiatorId::Host, *pte_addr, &bytes).at(t))?
+                } else {
+                    let mut bytes = [0u8; 8];
+                    mem.access(MemReq::read(InitiatorId::Host, *pte_addr, &mut bytes).at(t))?
+                };
+                t += rsp.latency();
+            }
+            self.driver.mapped_pages += 1;
+            serviced_at.push(req.issued_at);
+        }
+        if any {
+            // The page tables changed under the walker: in-flight MSHR
+            // registers must not serve pre-update PTE values (the fence
+            // the handler issues before responding).
+            iommu.purge_walk_table();
+            iommu.note_group_response();
+            for issued in serviced_at {
+                iommu.note_page_request_serviced(t.saturating_sub(issued));
+            }
+        }
+        Ok(t)
     }
 }
 

@@ -28,7 +28,7 @@ pub mod traffic;
 
 pub use copy::{CopyEngine, CopyStats};
 pub use cpu::{HostCpu, HostCpuConfig};
-pub use driver::{DriverConfig, IommuDriver, MappingCost, MappingHandle};
+pub use driver::{DriverConfig, FaultServicer, IommuDriver, MappingCost, MappingHandle};
 pub use exec::{HostKernelCost, HostKernelRunner, HostRunStats};
 pub use traffic::{
     HostTrafficConfig, HostTrafficStats, HostTrafficStream, InterferenceLevel, PhaseTraffic,

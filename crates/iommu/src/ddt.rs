@@ -212,7 +212,10 @@ impl DeviceDirectory {
     /// Untimed, side-effect-free context lookup: decodes the directory slot
     /// straight from functional memory without touching the device-context
     /// cache or its statistics. Used by functional inspection paths
-    /// (`Iommu::probe_translation`).
+    /// (`Iommu::probe_translation`); like every `probe`/`peek` entry point
+    /// of this crate it is invisible to the timing model and the
+    /// accounting by contract (see the crate-level "Untimed probes"
+    /// section in `crate::iommu`).
     ///
     /// # Errors
     ///

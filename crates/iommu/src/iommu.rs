@@ -1,21 +1,53 @@
 //! The top-level IOMMU model.
 //!
 //! [`Iommu::translate`] is the single entry point the cluster DMA engine
-//! uses: it runs the device-context lookup, the IOTLB lookup and, on a miss,
+//! uses: it runs the device-context lookup, the TLB lookups and, on a miss,
 //! the page-table walk, and returns the physical address together with the
 //! number of cycles the translation added to the transaction.
+//!
+//! # The translation hierarchy
+//!
+//! By default the IOMMU keeps the paper prototype's single 4-entry,
+//! fully-associative, true-LRU IOTLB. [`IommuConfig::tlb_hierarchy`]
+//! upgrades it to a configurable **two-level hierarchy**: one private L1
+//! address-translation cache (ATC) per device in front of one shared L2
+//! IOTLB, each with its own organisation ([`sva_common::TlbOrg`]),
+//! replacement policy ([`sva_common::ReplacementPolicy`]) and lookup
+//! latency. A translation probes L1, then L2 (filling L1 on an L2 hit),
+//! then walks the page table (filling both levels), charging the
+//! per-level latencies into the cycles it returns — so TLB pressure shows
+//! up in DMA issue times, not only in hit rates. Invalidation commands
+//! purge **both** levels plus the walker's in-flight MSHR registers.
+//!
+//! # Untimed probes
+//!
+//! Every `probe`/`peek` entry point in this crate —
+//! [`Iommu::probe_translation`], [`IoTlb::probe`],
+//! [`DeviceDirectory::peek`] — is **untimed and uncounted by contract**:
+//! no cycles are charged, no global-clock traffic is issued, no
+//! replacement state moves, and no hit/miss statistic or fault record is
+//! touched. They exist for functional inspection (address-generation
+//! pre-passes, tests, experiment harnesses) and are invisible to the
+//! timing model; use [`Iommu::translate_at`] for anything a device would
+//! actually issue.
 
 use serde::{Deserialize, Serialize};
-use sva_common::stats::{HitMiss, RunningStats};
-use sva_common::{Cycles, Error, Iova, PhysAddr, Result};
+use sva_common::stats::{Histogram, HitMiss, RunningStats};
+use sva_common::{Cycles, Error, Iova, PhysAddr, ReplacementPolicy, Result, TlbOrg};
 use sva_mem::MemorySystem;
 use sva_vm::FrameAllocator;
 
 use crate::ddt::{DeviceContext, DeviceDirectory};
 use crate::iotlb::IoTlb;
+use crate::pri::PageRequestStats;
 use crate::ptw::PageTableWalker;
-use crate::queues::{BoundedQueue, Command, FaultReason, FaultRecord};
+use crate::queues::{BoundedQueue, Command, FaultReason, FaultRecord, PageRequest};
 use crate::regs::{RegisterFile, DDTP_MODE_1LVL};
+
+/// Width of one bucket of the page-request service-latency histogram.
+const PRI_HIST_BUCKET: u64 = 512;
+/// Number of buckets of the page-request service-latency histogram.
+const PRI_HIST_BUCKETS: usize = 256;
 
 /// Operating mode of the IOMMU instance.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,14 +64,71 @@ pub enum IommuMode {
     Translating,
 }
 
+/// Geometry, policy and lookup cost of one level of the translation
+/// hierarchy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbLevelConfig {
+    /// Organisation of the level (`sets × ways`).
+    pub org: TlbOrg,
+    /// Replacement policy of the level.
+    pub policy: ReplacementPolicy,
+    /// Cycles charged for probing this level (hit or miss detection).
+    pub lookup_latency: Cycles,
+}
+
+impl TlbLevelConfig {
+    /// Creates a level configuration.
+    pub const fn new(org: TlbOrg, policy: ReplacementPolicy, lookup_latency: Cycles) -> Self {
+        Self {
+            org,
+            policy,
+            lookup_latency,
+        }
+    }
+}
+
+/// The two-level translation hierarchy: a private L1 ATC per device in
+/// front of a shared L2 IOTLB.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbHierarchyConfig {
+    /// The per-device L1 address-translation cache.
+    pub l1: TlbLevelConfig,
+    /// The shared L2 IOTLB behind every ATC.
+    pub l2: TlbLevelConfig,
+}
+
+impl Default for TlbHierarchyConfig {
+    /// A small private ATC (4 fully-associative entries, 1-cycle lookup)
+    /// in front of a 32-entry 8×4 set-associative shared IOTLB (4-cycle
+    /// lookup), both true-LRU.
+    fn default() -> Self {
+        Self {
+            l1: TlbLevelConfig::new(
+                TlbOrg::fully_associative(4),
+                ReplacementPolicy::TrueLru,
+                Cycles::new(1),
+            ),
+            l2: TlbLevelConfig::new(
+                TlbOrg::new(8, 4),
+                ReplacementPolicy::TrueLru,
+                Cycles::new(4),
+            ),
+        }
+    }
+}
+
 /// Configuration of the IOMMU model.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IommuConfig {
     /// Operating mode.
     pub mode: IommuMode,
-    /// Number of IOTLB entries (the prototype uses 4).
+    /// Number of IOTLB entries (the prototype uses 4). Ignored when
+    /// [`IommuConfig::tlb_hierarchy`] is set — the hierarchy's level
+    /// configurations size the TLBs then.
     pub iotlb_entries: usize,
-    /// Latency of an IOTLB lookup (hit or miss detection).
+    /// Latency of an IOTLB lookup (hit or miss detection) in the
+    /// single-level configuration. The hierarchy charges its per-level
+    /// `lookup_latency` knobs instead.
     pub iotlb_hit_latency: Cycles,
     /// Fixed pipeline latency added to every translated transaction.
     pub pipeline_latency: Cycles,
@@ -53,6 +142,24 @@ pub struct IommuConfig {
     /// Capacity of the batched walker's walk table (in-flight PTE reads);
     /// ignored with batching off.
     pub ptw_mshr_entries: usize,
+    /// The two-level translation hierarchy (per-device L1 ATC + shared L2
+    /// IOTLB). `None` — the default — is the paper prototype's single
+    /// IOTLB, cycle-identical to the pre-hierarchy model.
+    pub tlb_hierarchy: Option<TlbHierarchyConfig>,
+    /// ATS/PRI-style demand paging: a translation fault enqueues a page
+    /// request for the host instead of producing a terminal error, and the
+    /// faulting device stalls-and-retries (see [`crate::pri`]). Off by
+    /// default — faults are errors, as in the paper prototype.
+    pub demand_paging: bool,
+    /// Capacity of the page-request queue; a full queue drops requests and
+    /// the device answers with retry backoff.
+    pub page_request_entries: usize,
+    /// Upper bound on a device's stall-and-retry attempts per access
+    /// before the fault becomes terminal.
+    pub max_fault_retries: u32,
+    /// Extra stall a device serves after its page-request group overflowed
+    /// the queue (the dropped tail must re-fault and re-request).
+    pub page_request_backoff: Cycles,
 }
 
 impl Default for IommuConfig {
@@ -65,6 +172,11 @@ impl Default for IommuConfig {
             fault_queue_entries: 64,
             ptw_batching: false,
             ptw_mshr_entries: crate::ptw::DEFAULT_MSHR_ENTRIES,
+            tlb_hierarchy: None,
+            demand_paging: false,
+            page_request_entries: 16,
+            max_fault_retries: 8,
+            page_request_backoff: Cycles::new(1_000),
         }
     }
 }
@@ -86,8 +198,12 @@ pub struct IommuStats {
     pub translations: u64,
     /// Requests that bypassed translation.
     pub bypassed: u64,
-    /// IOTLB hit/miss counts.
+    /// Hit/miss counts of the shared IOTLB (the single TLB in the default
+    /// configuration; the L2 level of the hierarchy).
     pub iotlb: HitMiss,
+    /// Aggregate hit/miss counts of the per-device L1 ATCs (all zero in the
+    /// single-level configuration).
+    pub atc: HitMiss,
     /// Device-context cache hit/miss counts.
     pub dc_cache: HitMiss,
     /// Number of page-table walks performed.
@@ -103,6 +219,18 @@ pub struct IommuStats {
     pub ptw_time: RunningStats,
     /// Total cycles spent translating (IOTLB + DDT + PTW + pipeline).
     pub translation_cycles: u64,
+    /// Fault records dropped at the full fault queue (previously lost
+    /// silently; see [`crate::queues::BoundedQueue::dropped`]).
+    pub fault_records_dropped: u64,
+    /// Page-request path accounting (all zero with demand paging off).
+    pub page_requests: PageRequestStats,
+    /// Approximate median page-request service latency (from the latency
+    /// histogram; 0 without samples).
+    pub page_request_p50: u64,
+    /// Approximate 90th-percentile page-request service latency.
+    pub page_request_p90: u64,
+    /// Approximate 99th-percentile page-request service latency.
+    pub page_request_p99: u64,
 }
 
 /// The RISC-V IOMMU.
@@ -111,10 +239,20 @@ pub struct Iommu {
     config: IommuConfig,
     regs: RegisterFile,
     ddt: Option<DeviceDirectory>,
+    /// The shared IOTLB: the only TLB in the single-level configuration,
+    /// the L2 of the hierarchy.
     iotlb: IoTlb,
+    /// Per-device L1 address-translation caches, ordered by device ID;
+    /// instantiated lazily on first translation and only when
+    /// `config.tlb_hierarchy` is set.
+    atcs: Vec<(u32, IoTlb)>,
     ptw: PageTableWalker,
     commands: BoundedQueue<Command>,
     faults: BoundedQueue<FaultRecord>,
+    /// The ATS/PRI page-request queue (unused with demand paging off).
+    page_requests: BoundedQueue<PageRequest>,
+    pri: PageRequestStats,
+    pri_hist: Histogram,
     translations: u64,
     bypassed: u64,
     translation_cycles: u64,
@@ -126,7 +264,11 @@ impl Iommu {
         Self {
             regs: RegisterFile::new(),
             ddt: None,
-            iotlb: IoTlb::new(config.iotlb_entries),
+            iotlb: match config.tlb_hierarchy {
+                Some(h) => IoTlb::with_org(h.l2.org, h.l2.policy),
+                None => IoTlb::new(config.iotlb_entries),
+            },
+            atcs: Vec::new(),
             ptw: if config.ptw_batching {
                 PageTableWalker::with_batching(config.ptw_mshr_entries)
             } else {
@@ -134,6 +276,9 @@ impl Iommu {
             },
             commands: BoundedQueue::new(64),
             faults: BoundedQueue::new(config.fault_queue_entries),
+            page_requests: BoundedQueue::new(config.page_request_entries.max(1)),
+            pri: PageRequestStats::default(),
+            pri_hist: Histogram::new(PRI_HIST_BUCKET, PRI_HIST_BUCKETS),
             translations: 0,
             bypassed: 0,
             translation_cycles: 0,
@@ -217,14 +362,35 @@ impl Iommu {
     }
 
     /// Processes one driver command (invalidations and fences).
+    ///
+    /// An `IOTINVAL.VMA` purges **every** cached-translation structure the
+    /// scoped pages could live in: the per-device L1 ATCs, the shared L2
+    /// IOTLB *and* the page-table walker's in-flight MSHR registers — no
+    /// stale translation survives at any layer (a property test in
+    /// `tests/invalidation.rs` pins this under concurrent walks).
     pub fn process_command(&mut self, command: Command) {
         self.commands.push(command);
         match command {
             Command::IotlbInvalidate { device_id, iova } => {
                 match (device_id, iova) {
-                    (Some(d), Some(a)) => self.iotlb.invalidate_page(d, a),
-                    (Some(d), None) => self.iotlb.invalidate_device(d),
-                    _ => self.iotlb.invalidate_all(),
+                    (Some(d), Some(a)) => {
+                        self.iotlb.invalidate_page(d, a);
+                        if let Some(atc) = self.atc_mut_existing(d) {
+                            atc.invalidate_page(d, a);
+                        }
+                    }
+                    (Some(d), None) => {
+                        self.iotlb.invalidate_device(d);
+                        if let Some(atc) = self.atc_mut_existing(d) {
+                            atc.invalidate_all();
+                        }
+                    }
+                    _ => {
+                        self.iotlb.invalidate_all();
+                        for (_, atc) in &mut self.atcs {
+                            atc.invalidate_all();
+                        }
+                    }
                 }
                 // The page tables may have changed: in-flight walk-table
                 // registers must not serve pre-invalidation PTE values.
@@ -238,6 +404,39 @@ impl Iommu {
             }
             Command::Fence => {}
         }
+    }
+
+    /// Position of `device_id` in the sorted ATC list.
+    fn atc_index(&self, device_id: u32) -> std::result::Result<usize, usize> {
+        self.atcs.binary_search_by_key(&device_id, |(d, _)| *d)
+    }
+
+    /// The L1 ATC of `device_id`, if one has been instantiated.
+    fn atc_mut_existing(&mut self, device_id: u32) -> Option<&mut IoTlb> {
+        self.atc_index(device_id)
+            .ok()
+            .map(|pos| &mut self.atcs[pos].1)
+    }
+
+    /// The L1 ATC of `device_id`, created on first use from the hierarchy's
+    /// L1 level configuration. Only called on the hierarchy path.
+    fn atc_mut(&mut self, device_id: u32, level: TlbLevelConfig) -> &mut IoTlb {
+        let pos = match self.atc_index(device_id) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                // Give random-policy ATCs decorrelated victim streams.
+                let policy = match level.policy {
+                    ReplacementPolicy::Random(seed) => {
+                        ReplacementPolicy::Random(seed ^ u64::from(device_id).rotate_left(32))
+                    }
+                    other => other,
+                };
+                self.atcs
+                    .insert(pos, (device_id, IoTlb::with_org(level.org, policy)));
+                pos
+            }
+        };
+        &mut self.atcs[pos].1
     }
 
     /// Translates an IO virtual address for `device_id`, with the request
@@ -304,12 +503,20 @@ impl Iommu {
     }
 
     /// Untimed, side-effect-free translation for functional inspection of
-    /// device-visible memory (no IOTLB fill, no statistics, no fault
-    /// records): resolves the device context straight from the in-memory
-    /// directory and walks the page table with functional reads. This is
-    /// what a DMA core's address-generation pre-pass (e.g. the sort
-    /// kernel's merge-path binary search) uses to peek at DRAM-resident
-    /// data without disturbing the timing model.
+    /// device-visible memory: resolves the device context straight from the
+    /// in-memory directory ([`DeviceDirectory::peek`]) and walks the page
+    /// table with functional reads. This is what a DMA core's
+    /// address-generation pre-pass (e.g. the sort kernel's merge-path
+    /// binary search) uses to peek at DRAM-resident data without
+    /// disturbing the timing model, and what the page-request path uses to
+    /// find the unmapped pages of a transfer.
+    ///
+    /// **Contract (shared by every `probe`/`peek` entry point of this
+    /// crate):** no cycles are charged, no timed memory traffic is issued,
+    /// no TLB/DC-cache replacement state moves, and no hit/miss statistic
+    /// or fault record is produced — by design, probes are invisible to
+    /// both the timing model and the accounting. See the crate-level
+    /// "Untimed probes" section.
     ///
     /// # Errors
     ///
@@ -383,18 +590,46 @@ impl Iommu {
             return Ok((PhysAddr::new(iova.raw()), cycles));
         }
 
-        // 2. IOTLB.
-        cycles += self.config.iotlb_hit_latency;
-        if let Some(entry) = self.iotlb.lookup(device_id, iova) {
-            if entry.flags.contains(sva_vm::PteFlags::W) || !is_write {
-                return Ok((entry.translate(iova), cycles));
+        // 2. TLB lookups: either the prototype's single IOTLB or the
+        // two-level hierarchy (private L1 ATC, then shared L2), each level
+        // charging its configured lookup latency into the transaction.
+        let permits = |entry: &crate::iotlb::IoTlbEntry| {
+            entry.flags.contains(sva_vm::PteFlags::W) || !is_write
+        };
+        match self.config.tlb_hierarchy {
+            None => {
+                cycles += self.config.iotlb_hit_latency;
+                if let Some(entry) = self.iotlb.lookup(device_id, iova) {
+                    if permits(&entry) {
+                        return Ok((entry.translate(iova), cycles));
+                    }
+                    // Cached entry does not permit the access: fall through
+                    // to a fresh walk so the fault is reported with
+                    // up-to-date state.
+                }
             }
-            // Cached entry does not permit the access: fall through to a
-            // fresh walk so the fault is reported with up-to-date state.
+            Some(h) => {
+                cycles += h.l1.lookup_latency;
+                if let Some(entry) = self.atc_mut(device_id, h.l1).lookup(device_id, iova) {
+                    if permits(&entry) {
+                        return Ok((entry.translate(iova), cycles));
+                    }
+                }
+                cycles += h.l2.lookup_latency;
+                if let Some(entry) = self.iotlb.lookup(device_id, iova) {
+                    if permits(&entry) {
+                        // L2 hit refills the private ATC.
+                        self.atc_mut(device_id, h.l1)
+                            .fill(device_id, iova, entry.ppn, entry.flags);
+                        return Ok((entry.translate(iova), cycles));
+                    }
+                }
+            }
         }
 
         // 3. Page-table walk, issued at the request's arrival plus the
-        // pipeline/DDT/IOTLB latencies already accumulated.
+        // pipeline/DDT/TLB latencies already accumulated. A successful walk
+        // fills every level above it.
         match self
             .ptw
             .walk_at(mem, ctx.root_pt, iova, is_write, now + cycles)
@@ -403,6 +638,14 @@ impl Iommu {
                 cycles += res.cycles;
                 self.iotlb
                     .fill(device_id, iova, res.leaf.ppn(), res.leaf.flags());
+                if let Some(h) = self.config.tlb_hierarchy {
+                    self.atc_mut(device_id, h.l1).fill(
+                        device_id,
+                        iova,
+                        res.leaf.ppn(),
+                        res.leaf.flags(),
+                    );
+                }
                 Ok((res.leaf.phys_addr() + iova.page_offset(), cycles))
             }
             Err(e) => {
@@ -410,15 +653,167 @@ impl Iommu {
                     Error::IoPageFault { .. } => FaultReason::PageNotMapped,
                     _ => FaultReason::DeviceNotConfigured,
                 };
-                self.faults.push(FaultRecord {
-                    device_id,
-                    iova,
-                    is_write,
-                    reason,
-                });
+                // With demand paging, a not-mapped fault is recoverable: it
+                // is reported through the page-request queue by the device
+                // (ATS/PRI), not the terminal fault queue.
+                if !(self.config.demand_paging && reason == FaultReason::PageNotMapped) {
+                    self.faults.push(FaultRecord {
+                        device_id,
+                        iova,
+                        is_write,
+                        reason,
+                    });
+                }
                 Err(e)
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // The ATS/PRI page-request path (demand paging)
+    // ------------------------------------------------------------------
+
+    /// Whether the page-request path is active (demand paging configured
+    /// and the IOMMU translating).
+    pub const fn demand_paging(&self) -> bool {
+        self.config.demand_paging && self.is_translating()
+    }
+
+    /// Untimed probe of whether `device_id` can already perform the given
+    /// access to `iova` without host intervention: the page must be mapped
+    /// in the device's IO page table **and** its leaf must permit the
+    /// access type (a resident read-only page still needs a page request
+    /// for a write — the host services it by upgrading the mapping).
+    fn probe_access(&self, mem: &MemorySystem, device_id: u32, iova: Iova, is_write: bool) -> bool {
+        match self.config.mode {
+            IommuMode::Disabled | IommuMode::Bypass => true,
+            IommuMode::Translating => {
+                let Some(ddt) = self.ddt.as_ref() else {
+                    return false;
+                };
+                let Ok(ctx) = ddt.peek(mem, device_id) else {
+                    return false;
+                };
+                if ctx.bypass {
+                    return true;
+                }
+                let table = sva_vm::PageTable::from_root(ctx.root_pt);
+                let va = sva_common::VirtAddr::from_iova(iova);
+                match table.walk(mem, va) {
+                    Ok(path) => path
+                        .leaf()
+                        .is_some_and(|pte| pte.is_valid() && pte.permits(is_write)),
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    /// Issues a **page-request group** on behalf of `device_id`: one
+    /// request per page of `[start, start + len)` the device cannot
+    /// already access (unmapped, or mapped without write permission for a
+    /// write group), stamped `now`, pushed into the bounded page-request
+    /// queue. Pages already accessible — or already pending in the queue —
+    /// are skipped.
+    ///
+    /// Returns `(enqueued, dropped)`; a nonzero `dropped` means the queue
+    /// overflowed mid-group and the device must back off (the tail pages
+    /// will fault again and re-request).
+    pub fn enqueue_page_requests(
+        &mut self,
+        mem: &MemorySystem,
+        device_id: u32,
+        start: Iova,
+        len: u64,
+        is_write: bool,
+        now: Cycles,
+    ) -> (u64, u64) {
+        let mut enqueued = 0u64;
+        let mut dropped = 0u64;
+        let first = start.page_base();
+        let end = start + len.max(1);
+        let mut page = first;
+        while page < end {
+            let unmapped = !self.probe_access(mem, device_id, page, is_write);
+            let pending = self
+                .page_requests
+                .iter()
+                .any(|r| r.device_id == device_id && r.iova.page_base() == page.page_base());
+            if unmapped && !pending {
+                if self.page_requests.push(PageRequest {
+                    device_id,
+                    iova: page,
+                    is_write,
+                    issued_at: now,
+                }) {
+                    enqueued += 1;
+                    self.pri.requests += 1;
+                } else {
+                    // The queue is full; keep scanning so every request of
+                    // the group that fails to enqueue is counted — the
+                    // drop statistics promise a per-request count.
+                    dropped += 1;
+                    self.pri.dropped += 1;
+                }
+            }
+            page += sva_common::PAGE_SIZE;
+        }
+        (enqueued, dropped)
+    }
+
+    /// Removes and returns the oldest pending page request (host side).
+    pub fn pop_page_request(&mut self) -> Option<PageRequest> {
+        self.page_requests.pop()
+    }
+
+    /// Number of pending page requests.
+    pub fn pending_page_requests(&self) -> usize {
+        self.page_requests.len()
+    }
+
+    /// Records one request resolved by the host at service latency
+    /// `latency` (request issue → group-response completion).
+    pub fn note_page_request_serviced(&mut self, latency: Cycles) {
+        self.pri.serviced += 1;
+        self.pri.service_time.record_cycles(latency);
+        self.pri_hist.record(latency.raw());
+    }
+
+    /// Records one request the host could not resolve (no backing host
+    /// mapping); the device's bounded retry loop turns it into a terminal
+    /// fault.
+    pub fn note_page_request_failed(&mut self) {
+        self.pri.failed += 1;
+    }
+
+    /// Records the completion of one group response.
+    pub fn note_group_response(&mut self) {
+        self.pri.group_responses += 1;
+    }
+
+    /// Purges the walker's in-flight MSHR registers (the host changed the
+    /// page tables while servicing page requests; the fence after the
+    /// update must not let stale in-flight PTE values serve later walks).
+    pub fn purge_walk_table(&mut self) {
+        self.ptw.invalidate_walk_table();
+    }
+
+    /// Records a **terminal** IO page fault in the fault queue.
+    ///
+    /// The demand-paging path reports *recoverable* not-mapped faults
+    /// through the page-request queue instead of the fault queue; when a
+    /// device's bounded stall-and-retry loop gives up — the retry budget
+    /// is exhausted or no handler is attached — the fault is terminal
+    /// after all and must still reach the driver, so the device records it
+    /// here before aborting (otherwise the abort would be invisible to a
+    /// host polling the fault queue).
+    pub fn record_terminal_fault(&mut self, device_id: u32, iova: Iova, is_write: bool) {
+        self.faults.push(FaultRecord {
+            device_id,
+            iova,
+            is_write,
+            reason: FaultReason::PageNotMapped,
+        });
     }
 
     /// Oldest unread fault, if any.
@@ -433,10 +828,17 @@ impl Iommu {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> IommuStats {
+        let mut atc = HitMiss::new();
+        for (_, tlb) in &self.atcs {
+            let s = tlb.stats();
+            atc.hits += s.hits;
+            atc.misses += s.misses;
+        }
         IommuStats {
             translations: self.translations,
             bypassed: self.bypassed,
             iotlb: self.iotlb.stats(),
+            atc,
             dc_cache: self
                 .ddt
                 .as_ref()
@@ -448,12 +850,25 @@ impl Iommu {
             ptw_coalesced_reads: self.ptw.coalesced_reads(),
             ptw_time: self.ptw.walk_time(),
             translation_cycles: self.translation_cycles,
+            fault_records_dropped: self.faults.dropped(),
+            page_requests: self.pri,
+            page_request_p50: self.pri_hist.percentile(0.50),
+            page_request_p90: self.pri_hist.percentile(0.90),
+            page_request_p99: self.pri_hist.percentile(0.99),
         }
     }
 
-    /// Direct access to the IOTLB (for ablation experiments and tests).
+    /// Direct access to the shared IOTLB — the single TLB in the default
+    /// configuration, the L2 of the hierarchy (for ablation experiments and
+    /// tests).
     pub const fn iotlb(&self) -> &IoTlb {
         &self.iotlb
+    }
+
+    /// Direct access to the L1 ATC of `device_id`, if the hierarchy is
+    /// configured and the device has translated at least once.
+    pub fn atc(&self, device_id: u32) -> Option<&IoTlb> {
+        self.atc_index(device_id).ok().map(|pos| &self.atcs[pos].1)
     }
 
     /// Per-device IOTLB hit/miss statistics, ordered by device ID. Devices
@@ -468,10 +883,18 @@ impl Iommu {
         self.ddt.as_ref().map(|d| d.device_ids()).unwrap_or(&[])
     }
 
-    /// Clears all statistics; cached state (IOTLB, DC cache) is preserved.
+    /// Clears all statistics; cached state (IOTLB, ATCs, DC cache) is
+    /// preserved.
     pub fn reset_stats(&mut self) {
         self.iotlb.reset_stats();
+        for (_, atc) in &mut self.atcs {
+            atc.reset_stats();
+        }
         self.ptw.reset_stats();
+        self.faults.reset_dropped();
+        self.page_requests.reset_dropped();
+        self.pri = PageRequestStats::default();
+        self.pri_hist = Histogram::new(PRI_HIST_BUCKET, PRI_HIST_BUCKETS);
         self.translations = 0;
         self.bypassed = 0;
         self.translation_cycles = 0;
@@ -634,6 +1057,261 @@ mod tests {
         let stats = iommu.stats();
         assert_eq!(stats.iotlb.misses, 16);
         assert_eq!(stats.iotlb.hits, 0);
+    }
+
+    fn hierarchy_config() -> IommuConfig {
+        IommuConfig {
+            tlb_hierarchy: Some(TlbHierarchyConfig::default()),
+            ..IommuConfig::default()
+        }
+    }
+
+    #[test]
+    fn hierarchy_l1_miss_fills_from_l2_and_walks_once() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::new(hierarchy_config());
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        let iova = Iova::from_virt(va);
+
+        // Cold: L1 miss, L2 miss, one walk; both levels fill.
+        iommu.translate(&mut mem, 1, iova, false).unwrap();
+        let s = iommu.stats();
+        assert_eq!(s.atc.misses, 1);
+        assert_eq!(s.iotlb.misses, 1);
+        assert_eq!(s.ptw_walks, 1);
+        assert!(iommu.atc(1).unwrap().probe(1, iova));
+        assert!(iommu.iotlb().probe(1, iova));
+
+        // Warm: L1 hit, L2 untouched, no walk.
+        iommu.translate(&mut mem, 1, iova + 64, false).unwrap();
+        let s = iommu.stats();
+        assert_eq!(s.atc.hits, 1);
+        assert_eq!(s.iotlb.total(), 1, "an L1 hit never reaches L2");
+        assert_eq!(s.ptw_walks, 1);
+
+        // Thrash the tiny L1 (4 entries) with 5 more pages, then return to
+        // the first page: L1 misses, the 32-entry L2 still hits, no walk.
+        for page in 1..6u64 {
+            iommu
+                .translate(&mut mem, 1, Iova::from_virt(va + page * PAGE_SIZE), false)
+                .unwrap();
+        }
+        let walks_before = iommu.stats().ptw_walks;
+        let l2_hits_before = iommu.stats().iotlb.hits;
+        iommu.translate(&mut mem, 1, iova, false).unwrap();
+        let s = iommu.stats();
+        assert_eq!(s.ptw_walks, walks_before, "L2 hit avoids the walk");
+        assert_eq!(s.iotlb.hits, l2_hits_before + 1);
+    }
+
+    #[test]
+    fn hierarchy_charges_per_level_latencies() {
+        // Zero out everything but the TLB lookup latencies so the cycle
+        // delta between an L1 hit and an L2 hit is exactly the L2 knob.
+        let config = IommuConfig {
+            pipeline_latency: Cycles::ZERO,
+            tlb_hierarchy: Some(TlbHierarchyConfig {
+                l1: TlbLevelConfig::new(
+                    TlbOrg::fully_associative(1),
+                    ReplacementPolicy::TrueLru,
+                    Cycles::new(3),
+                ),
+                l2: TlbLevelConfig::new(
+                    TlbOrg::fully_associative(8),
+                    ReplacementPolicy::TrueLru,
+                    Cycles::new(11),
+                ),
+            }),
+            ..IommuConfig::default()
+        };
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::new(config);
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        let a = Iova::from_virt(va);
+        let b = Iova::from_virt(va + PAGE_SIZE);
+        // Warm both pages (b last, so the 1-entry L1 holds b).
+        iommu.translate(&mut mem, 1, a, false).unwrap();
+        iommu.translate(&mut mem, 1, b, false).unwrap();
+        // DC cache is warm now: a translation of b hits L1.
+        let (_, l1_hit) = iommu.translate(&mut mem, 1, b, false).unwrap();
+        // A translation of a misses L1 (holds b) but hits L2.
+        let (_, l2_hit) = iommu.translate(&mut mem, 1, a, false).unwrap();
+        assert_eq!(
+            l2_hit - l1_hit,
+            Cycles::new(11),
+            "the L2 hit pays exactly the L2 lookup latency on top"
+        );
+    }
+
+    #[test]
+    fn hierarchy_invalidation_purges_both_levels() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::new(hierarchy_config());
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        let iova = Iova::from_virt(va);
+        iommu.translate(&mut mem, 1, iova, false).unwrap();
+        assert!(iommu.atc(1).unwrap().probe(1, iova));
+        assert!(iommu.iotlb().probe(1, iova));
+
+        iommu.process_command(Command::IotlbInvalidate {
+            device_id: Some(1),
+            iova: Some(iova),
+        });
+        assert!(!iommu.atc(1).unwrap().probe(1, iova), "L1 purged");
+        assert!(!iommu.iotlb().probe(1, iova), "L2 purged");
+        let walks = iommu.stats().ptw_walks;
+        iommu.translate(&mut mem, 1, iova, false).unwrap();
+        assert_eq!(iommu.stats().ptw_walks, walks + 1, "re-walk after purge");
+    }
+
+    #[test]
+    fn single_level_config_keeps_atc_stats_at_zero() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::default();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        iommu
+            .translate(&mut mem, 1, Iova::from_virt(va), false)
+            .unwrap();
+        let s = iommu.stats();
+        assert_eq!(s.atc.total(), 0);
+        assert!(iommu.atc(1).is_none());
+    }
+
+    /// Satellite regression: fault records dropped at the full fault queue
+    /// used to vanish silently — the drop counter now surfaces through
+    /// `IommuStats::fault_records_dropped`.
+    #[test]
+    fn fault_queue_overflow_is_surfaced_not_silent() {
+        let (mut mem, mut frames, space, _) = setup();
+        let mut iommu = Iommu::new(IommuConfig {
+            fault_queue_entries: 2,
+            ..IommuConfig::default()
+        });
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        for i in 0..5u64 {
+            let bad = Iova::new(0x7F00_0000 + i * PAGE_SIZE);
+            assert!(iommu.translate(&mut mem, 1, bad, false).is_err());
+        }
+        assert_eq!(iommu.pending_faults(), 2, "queue holds its capacity");
+        assert_eq!(
+            iommu.stats().fault_records_dropped,
+            3,
+            "the three overflowed records are counted, not lost"
+        );
+        iommu.reset_stats();
+        assert_eq!(iommu.stats().fault_records_dropped, 0);
+    }
+
+    #[test]
+    fn page_request_groups_dedup_skip_mapped_and_overflow() {
+        let (mut mem, mut frames, space, va) = setup();
+        let mut iommu = Iommu::new(IommuConfig {
+            demand_paging: true,
+            page_request_entries: 4,
+            ..IommuConfig::default()
+        });
+        // Attach against a *fresh* IO table so nothing is device-mapped.
+        let io_table = sva_vm::PageTable::create(&mut frames).unwrap();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), io_table.root())
+            .unwrap();
+        assert!(iommu.demand_paging());
+
+        // Map page 2 of 6 into the device table: the group must skip it.
+        let pa = space.translate(&mem, va + 2 * PAGE_SIZE).unwrap();
+        io_table
+            .map_page(
+                &mut mem,
+                &mut frames,
+                va + 2 * PAGE_SIZE,
+                pa,
+                sva_vm::PteFlags::user_rw(),
+            )
+            .unwrap();
+
+        let iova = Iova::from_virt(va);
+        let (queued, dropped) =
+            iommu.enqueue_page_requests(&mem, 1, iova, 6 * PAGE_SIZE, false, Cycles::new(5));
+        // 6 pages, one mapped → 5 candidates; the queue holds 4.
+        assert_eq!(queued, 4);
+        assert_eq!(dropped, 1);
+        assert_eq!(iommu.pending_page_requests(), 4);
+        let s = iommu.stats();
+        assert_eq!(s.page_requests.requests, 4);
+        assert_eq!(s.page_requests.dropped, 1);
+
+        // Re-requesting the same range enqueues nothing new (dedup against
+        // pending entries), but the tail page still drops.
+        let (queued2, dropped2) =
+            iommu.enqueue_page_requests(&mem, 1, iova, 6 * PAGE_SIZE, false, Cycles::new(9));
+        assert_eq!(queued2, 0);
+        assert_eq!(dropped2, 1);
+
+        // The requests pop in page order and skip the mapped page.
+        let pages: Vec<u64> = std::iter::from_fn(|| iommu.pop_page_request())
+            .map(|r| (r.iova.raw() - iova.raw()) / PAGE_SIZE)
+            .collect();
+        assert_eq!(pages, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn write_groups_request_upgrades_for_read_only_pages() {
+        let (mut mem, mut frames, space, _) = setup();
+        let mut iommu = Iommu::new(IommuConfig {
+            demand_paging: true,
+            ..IommuConfig::default()
+        });
+        let io_table = sva_vm::PageTable::create(&mut frames).unwrap();
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), io_table.root())
+            .unwrap();
+        // Map one page read-only into the device table.
+        let va = sva_common::VirtAddr::new(0x4000_0000);
+        let pa = frames.alloc_frame().unwrap();
+        io_table
+            .map_page(&mut mem, &mut frames, va, pa, sva_vm::PteFlags::user_ro())
+            .unwrap();
+        let iova = Iova::from_virt(va);
+        // A read group has nothing to request: the page is accessible.
+        let (queued, _) = iommu.enqueue_page_requests(&mem, 1, iova, 1, false, Cycles::ZERO);
+        assert_eq!(queued, 0, "resident readable page needs no read request");
+        // A write group must request the page so the host can upgrade the
+        // mapping — a permission fault is serviceable, not just a missing
+        // page.
+        let (queued, _) = iommu.enqueue_page_requests(&mem, 1, iova, 1, true, Cycles::ZERO);
+        assert_eq!(queued, 1, "read-only page needs a write page-request");
+        let req = iommu.pop_page_request().unwrap();
+        assert!(req.is_write);
+    }
+
+    #[test]
+    fn demand_paging_faults_bypass_the_fault_queue() {
+        let (mut mem, mut frames, space, _) = setup();
+        let mut iommu = Iommu::new(IommuConfig {
+            demand_paging: true,
+            ..IommuConfig::default()
+        });
+        iommu
+            .attach_device(&mut mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        assert!(iommu
+            .translate(&mut mem, 1, Iova::new(0x7F00_0000), false)
+            .is_err());
+        assert_eq!(
+            iommu.pending_faults(),
+            0,
+            "recoverable faults are reported through the page-request path"
+        );
     }
 
     #[test]

@@ -1,14 +1,24 @@
-//! The IO translation lookaside buffer.
+//! The IO translation lookaside buffer: a generic set-associative TLB core.
 //!
-//! The prototype configures the IOMMU with **four** IOTLB entries — small on
-//! purpose, because the paper's point is that even a minimal IOTLB suffices
-//! once the shared LLC serves page-table walks. Entries are fully associative
-//! with true-LRU replacement and are tagged by `(device_id, virtual page
-//! number)`.
+//! The prototype configures the IOMMU with **four** fully-associative,
+//! true-LRU IOTLB entries — small on purpose, because the paper's point is
+//! that even a minimal IOTLB suffices once the shared LLC serves page-table
+//! walks. [`IoTlb::new`] builds exactly that configuration.
+//!
+//! The scaled platform generalises the same core into a configurable
+//! organisation ([`TlbOrg`], `sets × ways`) with a pluggable
+//! [`ReplacementPolicy`] (true LRU, bit-PLRU, FIFO, deterministic random),
+//! and instantiates it **twice**: one private L1 address-translation cache
+//! (ATC) per device and one shared L2 IOTLB behind them (see
+//! `crate::iommu`). Entries are tagged by `(device_id, virtual page
+//! number)`, so a shared instance naturally partitions between the
+//! translating devices; hit/miss statistics are kept both globally and per
+//! device.
 
 use serde::{Deserialize, Serialize};
+use sva_common::rng::DeterministicRng;
 use sva_common::stats::HitMiss;
-use sva_common::{Iova, PhysAddr, PAGE_SHIFT};
+use sva_common::{Iova, PhysAddr, ReplacementPolicy, TlbOrg, PAGE_SHIFT};
 use sva_vm::PteFlags;
 
 /// One cached translation.
@@ -22,8 +32,6 @@ pub struct IoTlbEntry {
     pub ppn: u64,
     /// Leaf permissions.
     pub flags: PteFlags,
-    /// LRU timestamp (larger = more recent).
-    lru: u64,
 }
 
 impl IoTlbEntry {
@@ -33,37 +41,84 @@ impl IoTlbEntry {
     }
 }
 
-/// A fully-associative IOTLB with LRU replacement.
+/// One way of a set: the cached translation plus the replacement metadata
+/// the configured policy interprets (an LRU timestamp, a FIFO sequence
+/// number or a PLRU mark bit).
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+struct Slot {
+    entry: IoTlbEntry,
+    stamp: u64,
+}
+
+/// A set-associative TLB with a pluggable replacement policy.
 ///
-/// Entries are tagged by `(device_id, vpn)`, so several translating devices
-/// (one per accelerator cluster in the scaled platform) share the capacity;
-/// hit/miss statistics are kept both globally and per device.
+/// [`IoTlb::new`] is the paper prototype's configuration (fully associative,
+/// true LRU); [`IoTlb::with_org`] opens the full `sets × ways × policy`
+/// space. Lookups and fills are **functional and untimed** — the lookup
+/// latency of a level is charged by the [`crate::Iommu`] that owns it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct IoTlb {
-    capacity: usize,
-    entries: Vec<IoTlbEntry>,
+    org: TlbOrg,
+    policy: ReplacementPolicy,
+    sets: Vec<Vec<Slot>>,
+    /// Monotonic operation counter providing unique LRU/FIFO stamps.
     clock: u64,
+    /// Victim stream for [`ReplacementPolicy::Random`] (`None` otherwise).
+    rng: Option<DeterministicRng>,
     stats: HitMiss,
     per_device: Vec<(u32, HitMiss)>,
     invalidations: u64,
 }
 
 impl IoTlb {
-    /// Creates an IOTLB with `capacity` entries.
+    /// Creates the prototype IOTLB: `capacity` fully-associative entries
+    /// with true-LRU replacement.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "IOTLB needs at least one entry");
+        Self::with_org(
+            TlbOrg::fully_associative(capacity),
+            ReplacementPolicy::TrueLru,
+        )
+    }
+
+    /// Creates a TLB with the given organisation and replacement policy.
+    pub fn with_org(org: TlbOrg, policy: ReplacementPolicy) -> Self {
         Self {
-            capacity,
-            entries: Vec::with_capacity(capacity),
+            org,
+            policy,
+            sets: vec![Vec::with_capacity(org.ways); org.sets],
             clock: 0,
+            rng: match policy {
+                ReplacementPolicy::Random(seed) => Some(DeterministicRng::new(seed)),
+                _ => None,
+            },
             stats: HitMiss::new(),
             per_device: Vec::new(),
             invalidations: 0,
         }
+    }
+
+    /// The organisation of this instance.
+    pub const fn org(&self) -> TlbOrg {
+        self.org
+    }
+
+    /// The replacement policy of this instance.
+    pub const fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Set index of a `(device, page)` tag. With one set this is always
+    /// zero (fully associative); otherwise the device ID is folded into the
+    /// page number so co-running devices do not collide on set 0 for their
+    /// low pages.
+    fn set_index(&self, device_id: u32, vpn: u64) -> usize {
+        ((vpn ^ (device_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % self.org.sets as u64)
+            as usize
     }
 
     fn device_slot(&mut self, device_id: u32) -> &mut HitMiss {
@@ -80,34 +135,83 @@ impl IoTlb {
         &mut self.per_device[pos].1
     }
 
-    /// Number of entries the IOTLB can hold.
+    /// Number of entries the TLB can hold (`sets × ways`).
     pub const fn capacity(&self) -> usize {
-        self.capacity
+        self.org.entries()
     }
 
     /// Number of currently valid entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.sets.iter().map(Vec::len).sum()
     }
 
     /// Returns `true` if no entry is valid.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.sets.iter().all(Vec::is_empty)
     }
 
-    /// Looks up the translation of `iova` for `device_id`, updating LRU and
-    /// hit/miss statistics.
+    /// Marks `slot` of `set` as touched under the configured policy (hit or
+    /// refill).
+    fn touch(policy: ReplacementPolicy, set: &mut [Slot], slot: usize, clock: u64) {
+        match policy {
+            ReplacementPolicy::TrueLru => set[slot].stamp = clock,
+            ReplacementPolicy::PseudoLru => {
+                set[slot].stamp = 1;
+                if set.iter().all(|s| s.stamp == 1) {
+                    for (i, s) in set.iter_mut().enumerate() {
+                        if i != slot {
+                            s.stamp = 0;
+                        }
+                    }
+                }
+            }
+            // FIFO age is fixed at fill time; random needs no metadata.
+            ReplacementPolicy::Fifo | ReplacementPolicy::Random(_) => {}
+        }
+    }
+
+    /// Picks the victim way of a full `set`.
+    fn victim(&mut self, set_idx: usize) -> usize {
+        let set = &self.sets[set_idx];
+        match self.policy {
+            ReplacementPolicy::TrueLru | ReplacementPolicy::Fifo => set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(i, _)| i)
+                .expect("victim is only chosen in a full set"),
+            ReplacementPolicy::PseudoLru => set
+                .iter()
+                .position(|s| s.stamp == 0)
+                // Every way marked (possible right after an all-ways refill
+                // burst): fall back to way 0, matching bit-PLRU hardware
+                // that resets the marks lazily.
+                .unwrap_or(0),
+            ReplacementPolicy::Random(_) => {
+                let ways = set.len() as u64;
+                self.rng
+                    .as_mut()
+                    .expect("random policy carries its stream")
+                    .next_below(ways) as usize
+            }
+        }
+    }
+
+    /// Looks up the translation of `iova` for `device_id`, updating the
+    /// replacement state and hit/miss statistics.
     pub fn lookup(&mut self, device_id: u32, iova: Iova) -> Option<IoTlbEntry> {
         self.clock += 1;
         let vpn = iova.page_number();
+        let set_idx = self.set_index(device_id, vpn);
         let clock = self.clock;
-        let entry = self
-            .entries
-            .iter_mut()
-            .find(|e| e.device_id == device_id && e.vpn == vpn)
-            .map(|e| {
-                e.lru = clock;
-                *e
+        let policy = self.policy;
+        let set = &mut self.sets[set_idx];
+        let entry = set
+            .iter()
+            .position(|s| s.entry.device_id == device_id && s.entry.vpn == vpn)
+            .map(|slot| {
+                Self::touch(policy, set, slot, clock);
+                set[slot].entry
             });
         if entry.is_some() {
             self.stats.hit();
@@ -119,27 +223,32 @@ impl IoTlb {
         entry
     }
 
-    /// Peeks whether a translation is cached without touching LRU or
-    /// statistics.
+    /// Peeks whether a translation is cached **without touching the
+    /// replacement state or the statistics** — the untimed/uncounted probe
+    /// contract (see `Iommu::probe_translation`).
     pub fn probe(&self, device_id: u32, iova: Iova) -> bool {
         let vpn = iova.page_number();
-        self.entries
+        self.sets[self.set_index(device_id, vpn)]
             .iter()
-            .any(|e| e.device_id == device_id && e.vpn == vpn)
+            .any(|s| s.entry.device_id == device_id && s.entry.vpn == vpn)
     }
 
-    /// Inserts a translation, evicting the LRU entry if the IOTLB is full.
+    /// Inserts a translation, evicting the policy's victim if the target
+    /// set is full.
     pub fn fill(&mut self, device_id: u32, iova: Iova, ppn: u64, flags: PteFlags) {
         self.clock += 1;
         let vpn = iova.page_number();
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.device_id == device_id && e.vpn == vpn)
+        let set_idx = self.set_index(device_id, vpn);
+        let clock = self.clock;
+        let policy = self.policy;
+        if let Some(slot) = self.sets[set_idx]
+            .iter()
+            .position(|s| s.entry.device_id == device_id && s.entry.vpn == vpn)
         {
-            e.ppn = ppn;
-            e.flags = flags;
-            e.lru = self.clock;
+            let set = &mut self.sets[set_idx];
+            set[slot].entry.ppn = ppn;
+            set[slot].entry.flags = flags;
+            Self::touch(policy, set, slot, clock);
             return;
         }
         let entry = IoTlbEntry {
@@ -147,38 +256,47 @@ impl IoTlb {
             vpn,
             ppn,
             flags,
-            lru: self.clock,
         };
-        if self.entries.len() < self.capacity {
-            self.entries.push(entry);
+        // FIFO/LRU read the fill stamp as the entry's age; PLRU's touch()
+        // below overwrites it with the mark bit.
+        let slot = Slot {
+            entry,
+            stamp: clock,
+        };
+        let ways = self.org.ways;
+        if self.sets[set_idx].len() < ways {
+            self.sets[set_idx].push(slot);
+            let filled = self.sets[set_idx].len() - 1;
+            Self::touch(policy, &mut self.sets[set_idx], filled, clock);
         } else {
-            let victim = self
-                .entries
-                .iter_mut()
-                .min_by_key(|e| e.lru)
-                .expect("IOTLB is non-empty when full");
-            *victim = entry;
+            let victim = self.victim(set_idx);
+            self.sets[set_idx][victim] = slot;
+            Self::touch(policy, &mut self.sets[set_idx], victim, clock);
         }
     }
 
-    /// Invalidates every entry (the `IOTINVAL.VMA` broadcast the driver issues
-    /// after changing mappings).
+    /// Invalidates every entry (the `IOTINVAL.VMA` broadcast the driver
+    /// issues after changing mappings).
     pub fn invalidate_all(&mut self) {
-        self.entries.clear();
+        for set in &mut self.sets {
+            set.clear();
+        }
         self.invalidations += 1;
     }
 
     /// Invalidates all entries belonging to one device.
     pub fn invalidate_device(&mut self, device_id: u32) {
-        self.entries.retain(|e| e.device_id != device_id);
+        for set in &mut self.sets {
+            set.retain(|s| s.entry.device_id != device_id);
+        }
         self.invalidations += 1;
     }
 
     /// Invalidates the entry for one page of one device, if present.
     pub fn invalidate_page(&mut self, device_id: u32, iova: Iova) {
         let vpn = iova.page_number();
-        self.entries
-            .retain(|e| !(e.device_id == device_id && e.vpn == vpn));
+        let set_idx = self.set_index(device_id, vpn);
+        self.sets[set_idx].retain(|s| !(s.entry.device_id == device_id && s.entry.vpn == vpn));
         self.invalidations += 1;
     }
 
@@ -316,5 +434,111 @@ mod tests {
         assert_eq!(global.total(), summed);
         tlb.reset_stats();
         assert!(tlb.per_device_stats().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Set-associative organisations and alternative policies
+    // ------------------------------------------------------------------
+
+    /// Walks `pages` pages twice and returns the hit count of the second
+    /// sweep.
+    fn second_sweep_hits(mut tlb: IoTlb, pages: u64) -> u64 {
+        for _ in 0..2 {
+            for p in 0..pages {
+                if tlb.lookup(1, Iova::new(p << 12)).is_none() {
+                    tlb.fill(1, Iova::new(p << 12), p, entry_flags());
+                }
+            }
+        }
+        tlb.stats().hits
+    }
+
+    #[test]
+    fn set_associative_tlb_partitions_by_set() {
+        // 4 sets x 2 ways: pages that map to different sets never evict each
+        // other, so an 8-page working set fits exactly.
+        let tlb = IoTlb::with_org(TlbOrg::new(4, 2), ReplacementPolicy::TrueLru);
+        assert_eq!(tlb.capacity(), 8);
+        assert_eq!(second_sweep_hits(tlb, 8), 8);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_miss() {
+        // Direct-mapped with 4 sets: pages 0 and 4 (stride = set count)
+        // conflict and evict each other.
+        let mut tlb = IoTlb::with_org(TlbOrg::direct_mapped(4), ReplacementPolicy::TrueLru);
+        tlb.fill(1, Iova::new(0), 0, entry_flags());
+        tlb.fill(1, Iova::new(4 << 12), 4, entry_flags());
+        assert!(
+            !tlb.probe(1, Iova::new(0)),
+            "conflicting fill must evict the resident page"
+        );
+        assert!(tlb.probe(1, Iova::new(4 << 12)));
+    }
+
+    #[test]
+    fn fifo_ignores_hits_when_choosing_victims() {
+        // Fill pages 0..4, touch page 0 (would save it under LRU), then
+        // fill page 4: FIFO still evicts page 0 (oldest fill).
+        let mut tlb = IoTlb::with_org(TlbOrg::fully_associative(4), ReplacementPolicy::Fifo);
+        for i in 0..4u64 {
+            tlb.fill(1, Iova::new(i << 12), i, entry_flags());
+        }
+        assert!(tlb.lookup(1, Iova::new(0)).is_some());
+        tlb.fill(1, Iova::new(4 << 12), 4, entry_flags());
+        assert!(!tlb.probe(1, Iova::new(0)), "FIFO evicts the oldest fill");
+        assert!(tlb.probe(1, Iova::new(1 << 12)));
+    }
+
+    #[test]
+    fn pseudo_lru_protects_the_most_recent_touch() {
+        let mut tlb = IoTlb::with_org(TlbOrg::fully_associative(4), ReplacementPolicy::PseudoLru);
+        for i in 0..4u64 {
+            tlb.fill(1, Iova::new(i << 12), i, entry_flags());
+        }
+        // Touch page 3; the next victim must not be page 3.
+        assert!(tlb.lookup(1, Iova::new(3 << 12)).is_some());
+        tlb.fill(1, Iova::new(4 << 12), 4, entry_flags());
+        assert!(tlb.probe(1, Iova::new(3 << 12)), "PLRU keeps the MRU entry");
+        assert_eq!(tlb.len(), 4);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut tlb = IoTlb::with_org(
+                TlbOrg::fully_associative(4),
+                ReplacementPolicy::Random(seed),
+            );
+            for i in 0..16u64 {
+                tlb.fill(1, Iova::new(i << 12), i, entry_flags());
+            }
+            (0..16u64)
+                .map(|i| tlb.probe(1, Iova::new(i << 12)))
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same victims");
+        assert_eq!(run(7).iter().filter(|&&p| p).count(), 4);
+    }
+
+    #[test]
+    fn policies_agree_on_contents_below_capacity() {
+        for policy in [
+            ReplacementPolicy::TrueLru,
+            ReplacementPolicy::PseudoLru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random(3),
+        ] {
+            let mut tlb = IoTlb::with_org(TlbOrg::new(2, 4), policy);
+            for i in 0..8u64 {
+                tlb.fill(1, Iova::new(i << 12), i, entry_flags());
+            }
+            for i in 0..8u64 {
+                let e = tlb
+                    .lookup(1, Iova::new(i << 12))
+                    .unwrap_or_else(|| panic!("{policy:?}: page {i} resident below capacity"));
+                assert_eq!(e.ppn, i);
+            }
+        }
     }
 }

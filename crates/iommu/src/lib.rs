@@ -47,13 +47,15 @@
 pub mod ddt;
 pub mod iommu;
 pub mod iotlb;
+pub mod pri;
 pub mod ptw;
 pub mod queues;
 pub mod regs;
 
 pub use ddt::{DeviceContext, DeviceDirectory};
-pub use iommu::{Iommu, IommuConfig, IommuMode, IommuStats};
+pub use iommu::{Iommu, IommuConfig, IommuMode, IommuStats, TlbHierarchyConfig, TlbLevelConfig};
 pub use iotlb::{IoTlb, IoTlbEntry};
+pub use pri::{PageRequestHandler, PageRequestStats};
 pub use ptw::{PageTableWalker, PtwResult};
-pub use queues::{Command, FaultReason, FaultRecord};
+pub use queues::{BoundedQueue, Command, FaultReason, FaultRecord, PageRequest};
 pub use regs::RegisterFile;

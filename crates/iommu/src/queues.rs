@@ -1,16 +1,22 @@
-//! IOMMU command and fault queues.
+//! IOMMU command, fault and page-request queues.
 //!
-//! The RISC-V IOMMU is programmed through two in-memory circular queues: the
+//! The RISC-V IOMMU is programmed through in-memory circular queues: the
 //! **command queue**, through which the driver issues invalidation and fence
-//! commands, and the **fault queue**, through which the IOMMU reports IO page
-//! faults back to the driver. The model keeps both as bounded FIFOs with the
-//! same command vocabulary as the specification, which is what the driver
-//! model exercises when it maps and unmaps buffers.
+//! commands, the **fault queue**, through which the IOMMU reports IO page
+//! faults back to the driver, and — when demand paging is enabled — the
+//! **page-request queue** (the ATS/PRI model), through which a device asks
+//! the host to make pages resident instead of aborting on a translation
+//! fault. The model keeps all of them as bounded FIFOs with the same
+//! command vocabulary as the specification; a full queue **drops** the
+//! entry and counts the drop ([`BoundedQueue::dropped`]), which is exactly
+//! the overflow behaviour the specification defines (and, for the
+//! page-request queue, what forces the requesting device into retry
+//! backoff).
 
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
-use sva_common::Iova;
+use sva_common::{Cycles, Iova};
 
 /// Commands accepted by the IOMMU command queue (the subset used by the
 /// Linux driver for first-stage translation).
@@ -55,12 +61,30 @@ pub struct FaultRecord {
     pub reason: FaultReason,
 }
 
-/// A bounded FIFO used for both queues.
+/// One entry in the page-request queue: a device asking the host to make a
+/// page resident (the ATS/PRI "Page Request" message). The faulting DMA
+/// engine enqueues a **group** of these — the faulting page plus the rest
+/// of the transfer it is about to touch — then stalls until the host's
+/// group response (see `crate::pri`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageRequest {
+    /// Device that needs the page.
+    pub device_id: u32,
+    /// Faulting IO virtual address (the page base is what gets mapped).
+    pub iova: Iova,
+    /// Whether the blocked access is a write.
+    pub is_write: bool,
+    /// Global-clock cycle the device issued the request; the difference to
+    /// the group response's completion is the request's service latency.
+    pub issued_at: Cycles,
+}
+
+/// A bounded FIFO used for all three queues.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BoundedQueue<T> {
     entries: VecDeque<T>,
     capacity: usize,
-    overflows: u64,
+    dropped: u64,
 }
 
 impl<T> BoundedQueue<T> {
@@ -69,16 +93,19 @@ impl<T> BoundedQueue<T> {
         Self {
             entries: VecDeque::with_capacity(capacity),
             capacity,
-            overflows: 0,
+            dropped: 0,
         }
     }
 
-    /// Appends an entry; if the queue is full the entry is dropped and the
-    /// overflow counter incremented (matching the IOMMU's fault-queue
-    /// overflow behaviour).
+    /// Appends an entry; if the queue is full the entry is **dropped** and
+    /// the drop counter incremented (matching the IOMMU's queue-overflow
+    /// behaviour). Callers must not ignore the `false` return when the
+    /// entry carries state the producer needs delivered — the `Iommu`
+    /// surfaces the counters through its statistics so lost records are
+    /// always observable.
     pub fn push(&mut self, entry: T) -> bool {
         if self.entries.len() >= self.capacity {
-            self.overflows += 1;
+            self.dropped += 1;
             return false;
         }
         self.entries.push_back(entry);
@@ -95,14 +122,30 @@ impl<T> BoundedQueue<T> {
         self.entries.len()
     }
 
+    /// Number of entries the queue can hold.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Returns `true` if the queue holds no entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Number of entries dropped because the queue was full.
+    pub const fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Alias for [`BoundedQueue::dropped`], matching the specification's
+    /// "queue overflow" wording.
     pub const fn overflows(&self) -> u64 {
-        self.overflows
+        self.dropped
+    }
+
+    /// Resets the drop counter (a statistics reset; entries are preserved).
+    pub fn reset_dropped(&mut self) {
+        self.dropped = 0;
     }
 
     /// Iterates over queued entries from oldest to newest.
@@ -136,8 +179,13 @@ mod tests {
         assert!(q.push(2));
         assert!(!q.push(3));
         assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.dropped(), 1);
         assert_eq!(q.overflows(), 1);
         assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        q.reset_dropped();
+        assert_eq!(q.dropped(), 0);
+        assert_eq!(q.len(), 2, "resetting the counter keeps the entries");
     }
 
     #[test]
