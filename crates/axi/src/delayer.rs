@@ -113,6 +113,25 @@ impl AxiDelayer {
         self.fifo.admissions()
     }
 
+    /// Peak number of simultaneously in-flight responses observed.
+    pub fn peak_in_flight(&self) -> usize {
+        self.fifo.peak()
+    }
+
+    /// Folds FIFO history before `t` into a base constant (see
+    /// [`TimedQueue::compact_before`]). The caller guarantees no response
+    /// will be noted — and no occupancy queried — before `t`; long
+    /// open-loop runs call this periodically so the FIFO record stays
+    /// bounded.
+    pub fn compact_window_before(&mut self, t: Cycles) {
+        self.fifo.compact_before(t.raw());
+    }
+
+    /// Boundary events currently held by the FIFO's occupancy index.
+    pub fn recorded_events(&self) -> usize {
+        self.fifo.event_count()
+    }
+
     /// Drops the recorded response windows (a new measurement window opens;
     /// arrivals restart from zero on the global clock).
     pub fn clear_window(&mut self) {
@@ -193,5 +212,24 @@ mod tests {
         );
         d.reset_stats();
         assert_eq!(d.responses_recorded(), 0);
+    }
+
+    #[test]
+    fn window_compaction_bounds_the_fifo_record() {
+        let mut d = AxiDelayer::new(Cycles::new(200));
+        for i in 0..100u64 {
+            d.note_response(Cycles::new(i * 10), Cycles::new(235));
+        }
+        let before = d.recorded_events();
+        assert_eq!(d.peak_in_flight(), 24);
+        // History before 800 folds away; responses straddling the watermark
+        // keep answering occupancy queries exactly as before.
+        let at_watermark = d.in_flight_at(Cycles::new(800));
+        d.compact_window_before(Cycles::new(800));
+        assert!(d.recorded_events() < before);
+        assert_eq!(d.in_flight_at(Cycles::new(800)), at_watermark);
+        assert_eq!(d.responses_recorded(), 100, "statistics survive");
+        d.note_response(Cycles::new(6_000), Cycles::new(235));
+        assert_eq!(d.in_flight_at(Cycles::new(6_100)), 1);
     }
 }

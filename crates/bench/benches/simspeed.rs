@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the event-indexed occupancy-timeline
+//! engine: indexed vs linear-scan pushes on a deep bounded queue, the
+//! admission query on a standing backlog, and watermark compaction.
+//!
+//! The `simspeed` binary is the perf *gate* (absolute
+//! simulated-cycles-per-second, written to `BENCH_simspeed.json`); these
+//! benches are the engine-local view for iterating on `channel.rs` itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sva_common::rng::DeterministicRng;
+use sva_common::{NaiveTimedQueue, TimedQueue};
+
+/// The deep-queue batch the `simspeed` stress point uses, at bench size.
+fn batch(pushes: usize) -> Vec<(u64, u64)> {
+    let mut rng = DeterministicRng::new(0x5135_BEEF);
+    let mut cursors = [0u64; 4];
+    (0..pushes)
+        .map(|i| {
+            let shard = i % 4;
+            cursors[shard] += rng.next_below(10);
+            (cursors[shard], cursors[shard] + rng.next_below(600))
+        })
+        .collect()
+}
+
+fn bench_push(c: &mut Criterion) {
+    let work = batch(2_000);
+    let mut group = c.benchmark_group("timed_queue/push_2k_deep64");
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            let mut q = TimedQueue::new(64);
+            for &(enter, exit) in &work {
+                black_box(q.push(enter, exit));
+            }
+            q.stall_cycles()
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut q = NaiveTimedQueue::new(64);
+            for &(enter, exit) in &work {
+                black_box(q.push(enter, exit));
+            }
+            q.stall_cycles()
+        })
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let work = batch(2_000);
+    let mut indexed = TimedQueue::new(64);
+    let mut naive = NaiveTimedQueue::new(64);
+    for &(enter, exit) in &work {
+        indexed.push(enter, exit);
+        naive.push(enter, exit);
+    }
+    let horizon = work.iter().map(|&(_, x)| x).max().unwrap_or(0);
+    let mut group = c.benchmark_group("timed_queue/admission_on_backlog");
+    group.bench_function("indexed", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 97) % horizon;
+            black_box(indexed.admission_at(t))
+        })
+    });
+    group.bench_function("naive", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 97) % horizon;
+            black_box(naive.admission_at(t))
+        })
+    });
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    c.bench_function("timed_queue/push_2k_compacted", |b| {
+        let mut rng = DeterministicRng::new(0x5135_C0DE);
+        b.iter(|| {
+            let mut q = TimedQueue::new(64);
+            let mut cursor = 0u64;
+            for i in 0..2_000u64 {
+                if i % 512 == 0 {
+                    q.compact_before(cursor);
+                }
+                cursor += rng.next_below(10);
+                black_box(q.push(cursor, cursor + rng.next_below(600)));
+            }
+            q.event_count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_push, bench_queries, bench_compaction);
+criterion_main!(benches);

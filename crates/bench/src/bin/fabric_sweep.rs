@@ -20,14 +20,16 @@
 //!
 //! Usage: `fabric_sweep [--paper|--small] [--out <path>]`
 
-use sva_bench::par::par_map;
+use std::time::Instant;
+
+use sva_bench::par::{par_map, worker_count};
 use sva_bench::{parse_args, with_banner, RunSize};
 use sva_common::Cycles;
 use sva_common::{ArbitrationPolicy, QueueDepths, ReplacementPolicy, TlbOrg};
 use sva_kernels::KernelKind;
 use sva_soc::config::SocVariant;
 use sva_soc::experiments::fabric::{
-    self, FabricKnobs, FabricSweepResult, TlbHierarchyConfig, TlbKnobs, TlbLevelConfig,
+    self, FabricKnobs, FabricSweepResult, SweepMeta, TlbHierarchyConfig, TlbKnobs, TlbLevelConfig,
 };
 
 fn out_path() -> String {
@@ -176,20 +178,31 @@ fn main() {
         }
     }
 
-    let points = par_map(
+    let workers = worker_count(grid.len());
+    let sweep_start = Instant::now();
+    let timed_points = par_map(
         grid,
         |(n, variant, latency, channels, policy, depths, knobs, tlb)| {
-            fabric::run_point(
+            let point_start = Instant::now();
+            let point = fabric::run_point(
                 kernel, paper_size, n, variant, latency, channels, &policy, depths, knobs, tlb,
             )
             .unwrap_or_else(|e| {
                 panic!(
                     "fabric point {n}x {variant:?} @{latency} ch{channels} {policy:?} {depths} {knobs:?} {tlb:?} failed: {e:?}"
                 )
-            })
+            });
+            (point, point_start.elapsed().as_millis() as u64)
         },
     );
+    let total_wallclock_ms = sweep_start.elapsed().as_millis() as u64;
+    let (points, points_wallclock_ms): (Vec<_>, Vec<_>) = timed_points.into_iter().unzip();
     let result = FabricSweepResult { points };
+    let meta = SweepMeta {
+        workers,
+        total_wallclock_ms,
+        points_wallclock_ms,
+    };
 
     with_banner(
         "Fabric scaling: clusters x variant x latency x channels x policy x TLB",
@@ -197,6 +210,10 @@ fn main() {
     );
 
     let path = out_path();
-    std::fs::write(&path, result.to_json()).expect("write BENCH_fabric.json");
-    println!("wrote {} points to {path}", result.points.len());
+    std::fs::write(&path, result.to_json_with_meta(&meta)).expect("write BENCH_fabric.json");
+    println!(
+        "wrote {} points to {path} ({} workers, {total_wallclock_ms} ms)",
+        result.points.len(),
+        meta.workers
+    );
 }

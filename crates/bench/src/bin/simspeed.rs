@@ -1,0 +1,456 @@
+//! The simulator-speed perf gate: simulated-cycles-per-wallclock-second on
+//! a fixed set of stress points, written to `BENCH_simspeed.json` so speed
+//! regressions are visible PR-over-PR.
+//!
+//! Stress points:
+//!
+//! * `timed_queue_deep` — a deep bounded queue (depth 64) driven by an
+//!   out-of-order, slightly overloaded arrival process: the event-indexed
+//!   [`TimedQueue`] against the retained linear-scan
+//!   [`NaiveTimedQueue`] reference on the *same* batch (results are
+//!   asserted identical). Records both engines' throughput and the
+//!   speedup; the full run gates on the indexed engine being at least
+//!   [`GATE_SPEEDUP`]× faster.
+//! * `timed_queue_deep_compacted` — the same engine under watermark
+//!   compaction on a monotone arrival process, recording the peak boundary
+//!   count (the memory bound compaction buys).
+//! * `fabric_4x4_demand` — a whole-platform point: 4 clusters × 4 memory
+//!   channels with the two-level TLB hierarchy and demand paging.
+//! * `fabric_deep_queues` — the split-transaction fabric with shallow
+//!   (4/4) credit queues plus timed host traffic and the batched walker:
+//!   the configuration that hammers `TimedQueue` hardest end-to-end.
+//!
+//! A measured thread-scaling curve for the `par_map`-driven sweeps rides
+//! along: the same point grid mapped at 1, 2, 4, … workers via
+//! `par_map_with`, recording points-per-second and the speedup over one
+//! worker.
+//!
+//! Usage: `simspeed [--smoke] [--out <path>] [--validate <path>]`
+//!
+//! `--smoke` shrinks every stress point for CI (the speed *gate* is not
+//! enforced — smoke numbers are schema fodder, not measurements);
+//! `--validate <path>` checks an existing `BENCH_simspeed.json` for the
+//! documented schema and exits. The writer self-validates its own output.
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use sva_bench::par::par_map_with;
+use sva_common::rng::DeterministicRng;
+use sva_common::{ArbitrationPolicy, NaiveTimedQueue, QueueDepths, TimedQueue};
+use sva_kernels::KernelKind;
+use sva_soc::config::SocVariant;
+use sva_soc::experiments::fabric::{self, FabricKnobs, TlbHierarchyConfig, TlbKnobs};
+
+/// Minimum indexed-over-naive throughput multiple the full run gates on.
+const GATE_SPEEDUP: f64 = 5.0;
+
+/// One measured stress point.
+struct SpeedPoint {
+    name: &'static str,
+    simulated_cycles: u64,
+    wallclock_ms: f64,
+    sim_cycles_per_sec: f64,
+    /// The linear-scan reference on the same work (queue points only).
+    naive: Option<NaiveBaseline>,
+    /// Peak boundary-event count (compacted queue point only).
+    events_peak: Option<usize>,
+}
+
+struct NaiveBaseline {
+    wallclock_ms: f64,
+    sim_cycles_per_sec: f64,
+    speedup: f64,
+}
+
+/// One point of the thread-scaling curve.
+struct ScalePoint {
+    workers: usize,
+    points: usize,
+    wallclock_ms: f64,
+    points_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+fn cycles_per_sec(simulated: u64, wallclock_ms: f64) -> f64 {
+    simulated as f64 / (wallclock_ms.max(1e-6) / 1e3)
+}
+
+/// The deep-queue arrival batch: 4 interleaved shards (out-of-order pushes)
+/// whose offered load slightly exceeds the depth, so the queue hovers full
+/// and every push exercises the admission walk.
+fn deep_queue_batch(pushes: usize) -> Vec<(u64, u64)> {
+    let mut rng = DeterministicRng::new(0x5135_BEEF);
+    let shards = 4usize;
+    let mut cursors = vec![0u64; shards];
+    let mut batch = Vec::with_capacity(pushes);
+    for i in 0..pushes {
+        let shard = i % shards;
+        cursors[shard] += rng.next_below(10);
+        batch.push((cursors[shard], cursors[shard] + rng.next_below(600)));
+    }
+    batch
+}
+
+/// Runs one engine over the batch; returns (horizon cycles, wallclock ms,
+/// digest of results for the identity check).
+fn drive<Q>(batch: &[(u64, u64)], mut push: Q) -> (u64, f64, u64)
+where
+    Q: FnMut(u64, u64) -> (u64, usize),
+{
+    let start = Instant::now();
+    let mut horizon = 0u64;
+    let mut digest = 0u64;
+    for &(enter, exit) in batch {
+        let (admitted, occ) = push(enter, exit);
+        horizon = horizon.max(exit.max(admitted + 1));
+        digest = digest
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(admitted ^ (occ as u64) << 48);
+    }
+    (horizon, start.elapsed().as_secs_f64() * 1e3, digest)
+}
+
+fn timed_queue_deep(pushes: usize) -> SpeedPoint {
+    let batch = deep_queue_batch(pushes);
+    let mut indexed = TimedQueue::new(64);
+    let (horizon, indexed_ms, indexed_digest) = drive(&batch, |e, x| indexed.push(e, x));
+    let mut naive = NaiveTimedQueue::new(64);
+    let (_, naive_ms, naive_digest) = drive(&batch, |e, x| naive.push(e, x));
+    assert_eq!(
+        indexed_digest, naive_digest,
+        "indexed and naive engines diverged on the stress batch"
+    );
+    assert_eq!(indexed.stall_cycles(), naive.stall_cycles());
+    SpeedPoint {
+        name: "timed_queue_deep",
+        simulated_cycles: horizon,
+        wallclock_ms: indexed_ms,
+        sim_cycles_per_sec: cycles_per_sec(horizon, indexed_ms),
+        naive: Some(NaiveBaseline {
+            wallclock_ms: naive_ms,
+            sim_cycles_per_sec: cycles_per_sec(horizon, naive_ms),
+            speedup: naive_ms / indexed_ms.max(1e-6),
+        }),
+        events_peak: None,
+    }
+}
+
+fn timed_queue_deep_compacted(pushes: usize) -> SpeedPoint {
+    // Monotone arrivals: each batch's earliest arrival is a valid watermark
+    // for everything before it.
+    let mut rng = DeterministicRng::new(0x5135_C0DE);
+    let mut queue = TimedQueue::new(64);
+    let mut cursor = 0u64;
+    let mut horizon = 0u64;
+    let mut events_peak = 0usize;
+    let start = Instant::now();
+    for i in 0..pushes {
+        if i % 512 == 0 {
+            queue.compact_before(cursor);
+            events_peak = events_peak.max(queue.event_count());
+        }
+        cursor += rng.next_below(10);
+        let exit = cursor + rng.next_below(600);
+        let (admitted, _) = queue.push(cursor, exit);
+        horizon = horizon.max(exit.max(admitted + 1));
+    }
+    let wallclock_ms = start.elapsed().as_secs_f64() * 1e3;
+    events_peak = events_peak.max(queue.event_count());
+    SpeedPoint {
+        name: "timed_queue_deep_compacted",
+        simulated_cycles: horizon,
+        wallclock_ms,
+        sim_cycles_per_sec: cycles_per_sec(horizon, wallclock_ms),
+        naive: None,
+        events_peak: Some(events_peak),
+    }
+}
+
+fn fabric_point(
+    name: &'static str,
+    clusters: usize,
+    channels: usize,
+    depths: QueueDepths,
+    knobs: FabricKnobs,
+    tlb: TlbKnobs,
+) -> SpeedPoint {
+    let start = Instant::now();
+    let point = fabric::run_point(
+        KernelKind::Gemm,
+        false,
+        clusters,
+        SocVariant::IommuLlc,
+        200,
+        channels,
+        &ArbitrationPolicy::RoundRobin,
+        depths,
+        knobs,
+        tlb,
+    )
+    .expect("fabric stress point");
+    let wallclock_ms = start.elapsed().as_secs_f64() * 1e3;
+    SpeedPoint {
+        name,
+        simulated_cycles: point.total,
+        wallclock_ms,
+        sim_cycles_per_sec: cycles_per_sec(point.total, wallclock_ms),
+        naive: None,
+        events_peak: None,
+    }
+}
+
+/// Maps the same cheap point grid at each worker count, measuring the
+/// throughput curve of the `par_map` machinery itself.
+fn thread_scaling(smoke: bool) -> Vec<ScalePoint> {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    // Doubling worker counts up to the hardware width, and always through 4
+    // so oversubscription is measured even on narrow machines (the curve
+    // should go flat there, not down — a regression in the work
+    // distribution shows up as a drop).
+    let top = hw.clamp(4, 8);
+    let mut counts = vec![1usize];
+    while let Some(&last) = counts.last() {
+        if last * 2 > top {
+            break;
+        }
+        counts.push(last * 2);
+    }
+    let items_per_run = if smoke {
+        4
+    } else {
+        counts.last().copied().unwrap_or(1) * 4
+    };
+    let mut curve: Vec<ScalePoint> = Vec::new();
+    for &workers in &counts {
+        let grid: Vec<u64> = vec![200; items_per_run];
+        let start = Instant::now();
+        let points = par_map_with(grid, workers, |latency| {
+            fabric::run_point(
+                KernelKind::Gemm,
+                false,
+                1,
+                SocVariant::IommuLlc,
+                latency,
+                1,
+                &ArbitrationPolicy::RoundRobin,
+                QueueDepths::UNBOUNDED,
+                FabricKnobs::default(),
+                TlbKnobs::default(),
+            )
+            .expect("scaling point")
+            .total
+        });
+        let wallclock_ms = start.elapsed().as_secs_f64() * 1e3;
+        let points_per_sec = points.len() as f64 / (wallclock_ms.max(1e-6) / 1e3);
+        let speedup_vs_1 = curve
+            .first()
+            .map(|base: &ScalePoint| wallclock_ms_ratio(base.wallclock_ms, wallclock_ms))
+            .unwrap_or(1.0);
+        curve.push(ScalePoint {
+            workers,
+            points: points.len(),
+            wallclock_ms,
+            points_per_sec,
+            speedup_vs_1,
+        });
+    }
+    curve
+}
+
+fn wallclock_ms_ratio(base: f64, now: f64) -> f64 {
+    base / now.max(1e-6)
+}
+
+fn to_json(mode: &str, points: &[SpeedPoint], scaling: &[ScalePoint]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"simspeed\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!(
+        "  \"meta\": {{\"hardware_threads\": {}}},\n",
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"simulated_cycles\": {}, \"wallclock_ms\": {:.3}, \
+             \"sim_cycles_per_sec\": {:.0}",
+            p.name, p.simulated_cycles, p.wallclock_ms, p.sim_cycles_per_sec
+        ));
+        if let Some(naive) = &p.naive {
+            out.push_str(&format!(
+                ", \"naive_wallclock_ms\": {:.3}, \"naive_sim_cycles_per_sec\": {:.0}, \
+                 \"speedup_vs_naive\": {:.2}",
+                naive.wallclock_ms, naive.sim_cycles_per_sec, naive.speedup
+            ));
+        }
+        if let Some(events) = p.events_peak {
+            out.push_str(&format!(", \"events_peak\": {events}"));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"thread_scaling\": [\n");
+    for (i, s) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"points\": {}, \"wallclock_ms\": {:.3}, \
+             \"points_per_sec\": {:.2}, \"speedup_vs_1\": {:.2}}}{}\n",
+            s.workers,
+            s.points,
+            s.wallclock_ms,
+            s.points_per_sec,
+            s.speedup_vs_1,
+            if i + 1 == scaling.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Schema check of a `BENCH_simspeed.json` (hand-rolled; the build is
+/// offline and carries no serde_json). Verifies the experiment tag, the
+/// required top-level sections, the required stress-point names, the
+/// per-point required keys, and that the deep-queue point carries the
+/// naive-baseline comparison. Returns every violation found.
+fn validate(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut require = |needle: &str, what: &str| {
+        if !text.contains(needle) {
+            errors.push(format!("missing {what}: expected `{needle}`"));
+        }
+    };
+    require("\"experiment\": \"simspeed\"", "experiment tag");
+    require("\"mode\": \"", "mode field");
+    require("\"meta\": {", "meta section");
+    require("\"hardware_threads\": ", "meta.hardware_threads");
+    require("\"points\": [", "points section");
+    require("\"thread_scaling\": [", "thread_scaling section");
+    for name in [
+        "timed_queue_deep",
+        "timed_queue_deep_compacted",
+        "fabric_4x4_demand",
+        "fabric_deep_queues",
+    ] {
+        require(&format!("\"name\": \"{name}\""), "stress point");
+    }
+    for key in ["simulated_cycles", "wallclock_ms", "sim_cycles_per_sec"] {
+        require(&format!("\"{key}\": "), "per-point key");
+    }
+    for key in [
+        "naive_wallclock_ms",
+        "naive_sim_cycles_per_sec",
+        "speedup_vs_naive",
+    ] {
+        require(&format!("\"{key}\": "), "naive-baseline key");
+    }
+    require("\"events_peak\": ", "compaction observable");
+    for key in ["workers", "points_per_sec", "speedup_vs_1"] {
+        require(&format!("\"{key}\": "), "thread-scaling key");
+    }
+    let opens = text.matches('{').count();
+    let closes = text.matches('}').count();
+    if opens != closes {
+        errors.push(format!("unbalanced braces: {opens} open vs {closes} close"));
+    }
+    errors
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).expect("--validate <path>");
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let errors = validate(&text);
+        if errors.is_empty() {
+            println!("{path}: schema ok");
+            return;
+        }
+        for e in &errors {
+            eprintln!("{path}: {e}");
+        }
+        std::process::exit(1);
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_simspeed.json".to_string());
+
+    let pushes = if smoke { 2_000 } else { 20_000 };
+    let (clusters, channels) = if smoke { (2, 2) } else { (4, 4) };
+
+    let deep = timed_queue_deep(pushes);
+    let compacted = timed_queue_deep_compacted(pushes);
+    let demand = fabric_point(
+        "fabric_4x4_demand",
+        clusters,
+        channels,
+        QueueDepths::UNBOUNDED,
+        FabricKnobs::default(),
+        TlbKnobs {
+            hierarchy: Some(TlbHierarchyConfig::default()),
+            demand_paging: true,
+        },
+    );
+    let deep_queues = fabric_point(
+        "fabric_deep_queues",
+        clusters,
+        1,
+        QueueDepths::bounded(4, 4),
+        FabricKnobs {
+            host_traffic: true,
+            ptw_batching: true,
+        },
+        TlbKnobs::default(),
+    );
+    let scaling = thread_scaling(smoke);
+
+    let points = [deep, compacted, demand, deep_queues];
+    for p in &points {
+        let extra = match (&p.naive, p.events_peak) {
+            (Some(n), _) => format!(
+                " (naive {:.0} c/s, speedup {:.1}x)",
+                n.sim_cycles_per_sec, n.speedup
+            ),
+            (None, Some(events)) => format!(" (events peak {events})"),
+            _ => String::new(),
+        };
+        println!(
+            "{:>28}: {:>12} sim cycles in {:>9.3} ms = {:.0} cycles/s{extra}",
+            p.name, p.simulated_cycles, p.wallclock_ms, p.sim_cycles_per_sec
+        );
+    }
+    for s in &scaling {
+        println!(
+            "{:>28}: {} workers, {} points in {:.1} ms = {:.2} points/s ({:.2}x vs 1 worker)",
+            "thread_scaling", s.workers, s.points, s.wallclock_ms, s.points_per_sec, s.speedup_vs_1
+        );
+    }
+
+    let json = to_json(if smoke { "smoke" } else { "full" }, &points, &scaling);
+    let errors = validate(&json);
+    assert!(errors.is_empty(), "self-validation failed: {errors:?}");
+    std::fs::write(&out, json).expect("write BENCH_simspeed.json");
+    println!("wrote {out}");
+
+    if !smoke {
+        let speedup = points[0]
+            .naive
+            .as_ref()
+            .expect("deep-queue point carries the naive baseline")
+            .speedup;
+        assert!(
+            speedup >= GATE_SPEEDUP,
+            "perf gate: deep-queue speedup {speedup:.1}x < {GATE_SPEEDUP}x over linear scan"
+        );
+        println!("perf gate ok: {speedup:.1}x >= {GATE_SPEEDUP}x over the linear-scan baseline");
+    }
+}

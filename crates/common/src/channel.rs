@@ -13,6 +13,34 @@
 //! delay is exactly the stall a master-side handshake would observe when the
 //! channel FIFO is full.
 //!
+//! # The event-indexed engine
+//!
+//! Early revisions stored the raw interval list and answered every query with
+//! a full linear scan — O(entries) per push and O(n²) per measurement window,
+//! which became the simulator's bottleneck at serving scale. The engine is
+//! now an **event-indexed occupancy timeline**: a `BTreeMap<u64, Boundary>`
+//! of boundary events (`+1` delta at an interval's enter, `−1` at its exit)
+//! that eagerly maintains the **running prefix** of those deltas — each
+//! boundary stores the occupancy level holding on `[boundary, next
+//! boundary)`. Queries become O(log n) range walks from the query point:
+//!
+//! * [`TimedQueue::occupancy_at`] is one floor lookup;
+//! * [`TimedQueue::admission_at`] walks boundaries forward from the arrival
+//!   until the level drops below the depth (occupancy only changes at a
+//!   boundary, so the admission point is the arrival itself or a boundary);
+//! * [`TimedQueue::push`] finds its admission point with a single combined
+//!   query and splices the new interval in by incrementing the levels it
+//!   covers — O(log n + overlap), where the overlap is bounded by the
+//!   queue's depth for bounded queues rather than by history length.
+//!
+//! **Watermark compaction** ([`TimedQueue::compact_before`]) keeps memory
+//! bounded inside a measurement window: when the caller can guarantee no
+//! future arrival or query before an instant `w` (a monotone open-loop
+//! arrival process), every boundary before `w` collapses into a single
+//! base-occupancy constant. The cycle-exact naive model is retained as
+//! [`NaiveTimedQueue`] — the reference the property suite and the
+//! `simspeed` perf gate run the indexed engine against.
+//!
 //! [`CreditPort`] is the initiator-facing handle: a cheap, cloneable
 //! reference onto one shared [`TimedQueue`]. An initiator (or the fabric
 //! acting on its behalf) must **acquire** a credit for every request it
@@ -32,6 +60,8 @@
 
 use core::cell::RefCell;
 use core::fmt;
+use std::collections::BTreeMap;
+use std::ops::Bound::{Excluded, Unbounded};
 use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
@@ -99,16 +129,19 @@ impl fmt::Display for QueueDepths {
     }
 }
 
-/// One occupancy interval held by a [`TimedQueue`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-struct QueueEntry {
-    /// First cycle the entry occupies a slot.
-    enter: u64,
-    /// First cycle the slot is free again (`exit > enter`).
-    exit: u64,
+/// One boundary event of the indexed occupancy timeline.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+struct Boundary {
+    /// Net interval enters minus exits at exactly this instant (the raw
+    /// delta of the event index; kept so the maintained prefix below is
+    /// checkable — see [`TimedQueue::debug_validate`]).
+    delta: i64,
+    /// The maintained running prefix: occupancy holding on
+    /// `[this boundary, next boundary)`.
+    occ: u32,
 }
 
-/// A bounded queue modelled as an occupancy timeline.
+/// A bounded queue modelled as an event-indexed occupancy timeline.
 ///
 /// Entries may be recorded in any order of `enter` times (simulation order is
 /// not time order); occupancy at an instant is the number of recorded
@@ -116,6 +149,10 @@ struct QueueEntry {
 /// `a >= t` at which occupancy is below the configured depth. With
 /// `depth == usize::MAX` admission is always immediate and no entries are
 /// recorded, so the unbounded queue costs nothing.
+///
+/// See the module documentation for the engine: boundary deltas with an
+/// eagerly maintained running prefix in a `BTreeMap`, plus watermark
+/// compaction ([`TimedQueue::compact_before`]).
 #[derive(Clone, Debug, Default)]
 pub struct TimedQueue {
     depth: usize,
@@ -125,14 +162,25 @@ pub struct TimedQueue {
     /// overhead — unless built with [`TimedQueue::unbounded_recording`]
     /// (an observable FIFO like the AXI delayer's response queue).
     record: bool,
-    entries: Vec<QueueEntry>,
+    /// The event index: boundary instant → (delta, occupancy level on the
+    /// half-open span up to the next boundary).
+    timeline: BTreeMap<u64, Boundary>,
+    /// Occupancy holding below the earliest retained boundary: 0 until
+    /// compaction folds finished history into it.
+    base: u32,
+    /// Everything before this instant has been compacted away; the caller
+    /// guaranteed no arrival or query below it. Queries below the watermark
+    /// are clamped to it (they read the folded base constant).
+    watermark: u64,
     /// Latest exit among the recorded entries: queries at or past it cannot
     /// be covered by anything, which keeps the common "arrival beyond the
-    /// backlog" case O(1) even though entries are never pruned (arrivals
-    /// are not monotone, so pruning by time is impossible).
+    /// backlog" case O(1) (arrivals are not monotone, so unsolicited pruning
+    /// by time is impossible — compaction needs the caller's watermark).
     max_exit: u64,
+    /// Boundary events folded away by watermark compaction.
+    compacted_events: u64,
     /// Highest occupancy observed at any admission (including the admitted
-    /// entry itself). Only tracked for bounded depths.
+    /// entry itself). Tracked for every recording queue.
     peak: usize,
     /// Total admission delay accumulated across all pushes.
     stall_cycles: u64,
@@ -153,7 +201,8 @@ impl TimedQueue {
 
     /// An unbounded queue that still records every interval, so in-flight
     /// occupancy is observable ([`TimedQueue::occupancy_at`]) even though
-    /// nothing can ever stall. Pushes are O(1); occupancy queries scan.
+    /// nothing can ever stall. Pushes, occupancy queries and the peak
+    /// statistic all ride the same O(log n) index as bounded queues.
     pub fn unbounded_recording() -> Self {
         Self {
             depth: usize::MAX,
@@ -172,49 +221,113 @@ impl TimedQueue {
         self.depth == usize::MAX
     }
 
+    /// The occupancy level holding at `t` (clamped to the watermark): one
+    /// floor lookup in the event index.
+    fn level_at(&self, t: u64) -> u32 {
+        let t = t.max(self.watermark);
+        match self.timeline.range(..=t).next_back() {
+            Some((_, b)) => b.occ,
+            None => self.base,
+        }
+    }
+
     /// Number of recorded intervals covering `t`.
+    ///
+    /// Queries below the compaction watermark read the folded base constant
+    /// (the caller promised not to ask about compacted history).
     pub fn occupancy_at(&self, t: u64) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.enter <= t && t < e.exit)
-            .count()
+        if !self.record {
+            return 0;
+        }
+        self.level_at(t) as usize
+    }
+
+    /// The combined covering query: the earliest instant at or after `t` at
+    /// which a new entry can be admitted **and** the occupancy already
+    /// holding at that instant, found in one walk of the event index.
+    ///
+    /// Occupancy only changes at a boundary, so the admission point is
+    /// either `t` itself or the first later boundary whose level is below
+    /// the depth; the walk reads the level as it goes instead of re-scanning
+    /// per candidate (the folded double scan `push` used to perform).
+    pub fn admit_at(&self, t: u64) -> (u64, usize) {
+        let t = t.max(self.watermark);
+        if self.is_unbounded() || t >= self.max_exit {
+            return (t, self.occupancy_at(t));
+        }
+        let level = self.level_at(t);
+        if (level as usize) < self.depth {
+            return (t, level as usize);
+        }
+        for (&at, b) in self.timeline.range((Excluded(t), Unbounded)) {
+            if (b.occ as usize) < self.depth {
+                return (at, b.occ as usize);
+            }
+        }
+        // Unreachable: every recorded interval is closed, so the trailing
+        // boundary's level is 0 < depth.
+        debug_assert!(false, "occupancy never dropped below the depth");
+        (self.max_exit, 0)
     }
 
     /// Earliest instant at or after `t` at which a new entry can be
     /// admitted (occupancy below the depth). Pure query — nothing is
     /// recorded.
     pub fn admission_at(&self, t: u64) -> u64 {
-        if self.is_unbounded() || t >= self.max_exit {
-            return t;
+        self.admit_at(t).0
+    }
+
+    /// Ensures a boundary event exists at `k`, seeding it with the level
+    /// holding there (the running prefix stays correct across the split).
+    fn ensure_boundary(&mut self, k: u64) {
+        if !self.timeline.contains_key(&k) {
+            let level = match self.timeline.range(..k).next_back() {
+                Some((_, b)) => b.occ,
+                None => self.base,
+            };
+            self.timeline.insert(
+                k,
+                Boundary {
+                    delta: 0,
+                    occ: level,
+                },
+            );
         }
-        let mut at = t;
-        loop {
-            // Exits of the entries covering the candidate instant; if fewer
-            // than `depth` cover it, the slot is free. Otherwise the next
-            // candidate is the earliest of those exits (occupancy can only
-            // drop at an exit), re-checked because other entries — recorded
-            // in arbitrary simulation order — may cover the later instant.
-            let mut covering = 0usize;
-            let mut next_exit = u64::MAX;
-            for e in &self.entries {
-                if e.enter <= at && at < e.exit {
-                    covering += 1;
-                    next_exit = next_exit.min(e.exit);
-                }
+    }
+
+    /// Splices the interval `[enter, exit)` into the index: `+1`/`−1`
+    /// boundary deltas and a level increment across every boundary the
+    /// interval covers. Returns the occupancy at `enter` *including* the
+    /// new entry. O(log n + boundaries covered).
+    fn insert(&mut self, enter: u64, exit: u64) -> usize {
+        debug_assert!(enter < exit, "intervals occupy at least one cycle");
+        debug_assert!(enter >= self.watermark, "insert below the watermark");
+        self.ensure_boundary(enter);
+        self.ensure_boundary(exit);
+        let mut at_enter = 0u32;
+        for (&k, b) in self.timeline.range_mut(enter..exit) {
+            b.occ += 1;
+            if k == enter {
+                at_enter = b.occ;
             }
-            if covering < self.depth {
-                return at;
-            }
-            debug_assert!(next_exit > at, "exit times strictly exceed covers");
-            at = next_exit;
         }
+        self.timeline
+            .get_mut(&enter)
+            .expect("enter boundary exists")
+            .delta += 1;
+        self.timeline
+            .get_mut(&exit)
+            .expect("exit boundary exists")
+            .delta -= 1;
+        self.max_exit = self.max_exit.max(exit);
+        at_enter as usize
     }
 
     /// Admits an entry arriving at `enter` that holds its slot until `exit`
     /// (clamped to occupy at least one cycle past admission). Returns the
     /// admission time and the occupancy including the new entry.
     pub fn push(&mut self, enter: u64, exit: u64) -> (u64, usize) {
-        let admitted = self.admission_at(enter);
+        let (admitted, _) = self.admit_at(enter);
         self.stall_cycles += admitted - enter;
         self.admissions += 1;
         if !self.record {
@@ -224,23 +337,78 @@ impl TimedQueue {
             return (admitted, 0);
         }
         let exit = exit.max(admitted + 1);
-        self.entries.push(QueueEntry {
-            enter: admitted,
-            exit,
-        });
-        self.max_exit = self.max_exit.max(exit);
-        if self.is_unbounded() {
-            // Recording-only FIFO: pushes stay O(1); occupancy (and thus a
-            // peak) is computed on demand by the caller.
-            return (admitted, 0);
-        }
-        let occupancy = self.occupancy_at(admitted);
+        let occupancy = self.insert(admitted, exit);
         self.peak = self.peak.max(occupancy);
         (admitted, occupancy)
     }
 
-    /// Highest occupancy observed at any admission (0 for unbounded queues,
-    /// whose occupancy is never tracked).
+    /// Folds every boundary event before `w` into the base-occupancy
+    /// constant, bounding the index's memory inside a measurement window.
+    ///
+    /// The caller guarantees no future push **or** query concerns an
+    /// instant before `w` — the "earliest possible future arrival" of a
+    /// monotone (open-loop) arrival process. Queries below the watermark
+    /// are clamped to it and read the folded constant; statistics are
+    /// untouched. A no-op for non-recording queues and watermarks that do
+    /// not advance.
+    pub fn compact_before(&mut self, w: u64) {
+        if !self.record || w <= self.watermark {
+            return;
+        }
+        // `split_off` keeps [w, ..) and hands back the compacted prefix.
+        let retained = self.timeline.split_off(&w);
+        let folded = std::mem::replace(&mut self.timeline, retained);
+        if let Some((_, b)) = folded.iter().next_back() {
+            self.base = b.occ;
+        }
+        self.compacted_events += folded.len() as u64;
+        self.watermark = w;
+    }
+
+    /// Boundary events currently held by the index (2 per recorded entry
+    /// minus shared/compacted boundaries) — the memory-bound observable the
+    /// compaction tests and the perf gate watch.
+    pub fn event_count(&self) -> usize {
+        self.timeline.len()
+    }
+
+    /// Boundary events folded away by [`TimedQueue::compact_before`].
+    pub const fn compacted_events(&self) -> u64 {
+        self.compacted_events
+    }
+
+    /// The compaction watermark (0 until the first compaction).
+    pub const fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Checks the running-prefix invariant of the event index: every
+    /// boundary's level equals its predecessor's level (or the folded base)
+    /// plus its delta, and the trailing level is zero (every interval is
+    /// closed). The property suite runs this after randomized batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is inconsistent.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        let mut level = i64::from(self.base);
+        let mut last = 0u32;
+        for (k, b) in &self.timeline {
+            level += b.delta;
+            assert!(level >= 0, "negative occupancy at boundary {k}");
+            assert_eq!(
+                i64::from(b.occ),
+                level,
+                "running prefix diverged from the deltas at boundary {k}"
+            );
+            last = b.occ;
+        }
+        assert_eq!(last, 0, "trailing occupancy must be zero");
+    }
+
+    /// Highest occupancy observed at any admission (0 for non-recording
+    /// unbounded queues, whose occupancy is never tracked).
     pub const fn peak(&self) -> usize {
         self.peak
     }
@@ -257,6 +425,152 @@ impl TimedQueue {
 
     /// Drops every recorded interval (a new measurement window opens; the
     /// peak/stall statistics survive, like every other fabric statistic).
+    pub fn clear_entries(&mut self) {
+        self.timeline.clear();
+        self.base = 0;
+        self.watermark = 0;
+        self.max_exit = 0;
+    }
+
+    /// Clears entries *and* statistics.
+    pub fn reset(&mut self) {
+        self.clear_entries();
+        self.compacted_events = 0;
+        self.peak = 0;
+        self.stall_cycles = 0;
+        self.admissions = 0;
+    }
+}
+
+/// One occupancy interval held by a [`NaiveTimedQueue`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct QueueEntry {
+    /// First cycle the entry occupies a slot.
+    enter: u64,
+    /// First cycle the slot is free again (`exit > enter`).
+    exit: u64,
+}
+
+/// The retained linear-scan reference model of [`TimedQueue`].
+///
+/// This is the original engine — a flat interval list answering every query
+/// with a full scan. It is kept (not test-gated) as the executable
+/// specification the event-indexed engine is verified against: the property
+/// suite (`crates/common/tests/timed_queue.rs`) drives both on randomized
+/// out-of-order interval batches and demands identical admissions, stalls
+/// and peaks, and the `simspeed` perf gate records the indexed engine's
+/// throughput multiple over this baseline. Do not use it on hot paths.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveTimedQueue {
+    depth: usize,
+    record: bool,
+    entries: Vec<QueueEntry>,
+    max_exit: u64,
+    peak: usize,
+    stall_cycles: u64,
+    admissions: u64,
+}
+
+impl NaiveTimedQueue {
+    /// Creates a queue of the given depth (0 is clamped to 1;
+    /// `usize::MAX` means unbounded).
+    pub fn new(depth: usize) -> Self {
+        Self {
+            depth: depth.max(1),
+            record: depth != usize::MAX,
+            ..Self::default()
+        }
+    }
+
+    /// The recording unbounded FIFO, mirroring
+    /// [`TimedQueue::unbounded_recording`].
+    pub fn unbounded_recording() -> Self {
+        Self {
+            depth: usize::MAX,
+            record: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the queue is unbounded (depth `usize::MAX`).
+    pub const fn is_unbounded(&self) -> bool {
+        self.depth == usize::MAX
+    }
+
+    /// Number of recorded intervals covering `t` — a full scan.
+    pub fn occupancy_at(&self, t: u64) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.enter <= t && t < e.exit)
+            .count()
+    }
+
+    /// Earliest admission at or after `t` — repeated covering scans, one
+    /// per candidate exit.
+    pub fn admission_at(&self, t: u64) -> u64 {
+        if self.is_unbounded() || t >= self.max_exit {
+            return t;
+        }
+        let mut at = t;
+        loop {
+            let mut covering = 0usize;
+            let mut next_exit = u64::MAX;
+            for e in &self.entries {
+                if e.enter <= at && at < e.exit {
+                    covering += 1;
+                    next_exit = next_exit.min(e.exit);
+                }
+            }
+            if covering < self.depth {
+                return at;
+            }
+            debug_assert!(next_exit > at, "exit times strictly exceed covers");
+            at = next_exit;
+        }
+    }
+
+    /// Admits an entry arriving at `enter` held until `exit`; returns the
+    /// admission time and the occupancy including the new entry (the same
+    /// contract as [`TimedQueue::push`]).
+    pub fn push(&mut self, enter: u64, exit: u64) -> (u64, usize) {
+        let admitted = self.admission_at(enter);
+        self.stall_cycles += admitted - enter;
+        self.admissions += 1;
+        if !self.record {
+            return (admitted, 0);
+        }
+        let exit = exit.max(admitted + 1);
+        self.entries.push(QueueEntry {
+            enter: admitted,
+            exit,
+        });
+        self.max_exit = self.max_exit.max(exit);
+        let occupancy = self.occupancy_at(admitted);
+        self.peak = self.peak.max(occupancy);
+        (admitted, occupancy)
+    }
+
+    /// Highest occupancy observed at any admission.
+    pub const fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total admission delay accumulated across all pushes.
+    pub const fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Entries admitted so far.
+    pub const fn admissions(&self) -> u64 {
+        self.admissions
+    }
+
+    /// Recorded (never pruned) interval count.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops every recorded interval; statistics survive.
     pub fn clear_entries(&mut self) {
         self.entries.clear();
         self.max_exit = 0;
@@ -338,6 +652,18 @@ impl CreditPort {
         }
     }
 
+    /// Folds history before `w` into the queue's base constant (see
+    /// [`TimedQueue::compact_before`]; the caller guarantees no future
+    /// acquisition or query before `w`).
+    pub fn compact_before(&self, w: Cycles) {
+        self.queue.borrow_mut().compact_before(w.raw());
+    }
+
+    /// Boundary events currently held by the underlying index.
+    pub fn event_count(&self) -> usize {
+        self.queue.borrow().event_count()
+    }
+
     /// Drops every in-flight credit record (a new measurement window opens);
     /// statistics survive.
     pub fn clear_entries(&self) {
@@ -374,6 +700,7 @@ mod tests {
         assert_eq!(q.peak(), 0);
         assert_eq!(q.admissions(), 100);
         assert_eq!(q.admission_at(50), 50);
+        assert_eq!(q.event_count(), 0, "non-recording queues index nothing");
     }
 
     #[test]
@@ -388,6 +715,7 @@ mod tests {
         assert_eq!(occ, 2, "the freed slot is immediately re-occupied");
         assert_eq!(q.stall_cycles(), 50);
         assert_eq!(q.peak(), 2);
+        q.debug_validate();
     }
 
     #[test]
@@ -404,6 +732,7 @@ mod tests {
         // timeline, not a scheduler), exactly like a FIFO whose head drains
         // late.
         assert_eq!(q.admission_at(550), 600);
+        q.debug_validate();
     }
 
     #[test]
@@ -441,8 +770,91 @@ mod tests {
         assert_eq!(q.occupancy_at(150), 0);
         assert_eq!(q.stall_cycles(), 0, "unbounded queues never stall");
         assert_eq!(q.admission_at(20), 20);
+        assert_eq!(q.peak(), 2, "recording queues track the peak");
         q.clear_entries();
         assert_eq!(q.occupancy_at(20), 0);
+    }
+
+    #[test]
+    fn admit_at_returns_admission_and_occupancy_together() {
+        let mut q = TimedQueue::new(2);
+        q.push(0, 100);
+        q.push(0, 60);
+        // Full at 10: admitted at the earliest exit, where one entry still
+        // covers (occupancy *before* the new entry).
+        assert_eq!(q.admit_at(10), (60, 1));
+        // Free at 70: immediate admission over the surviving entry.
+        assert_eq!(q.admit_at(70), (70, 1));
+        // Beyond the backlog: free and empty.
+        assert_eq!(q.admit_at(500), (500, 0));
+    }
+
+    #[test]
+    fn compaction_folds_history_and_preserves_late_queries() {
+        let mut q = TimedQueue::new(2);
+        q.push(0, 100);
+        q.push(50, 150);
+        q.push(120, 300);
+        let events_before = q.event_count();
+        // Everything before 200 is history; [120, 300) straddles the
+        // watermark and must survive as the base/boundary split.
+        q.compact_before(200);
+        assert!(q.event_count() < events_before);
+        assert!(q.compacted_events() > 0);
+        assert_eq!(q.watermark(), 200);
+        assert_eq!(q.occupancy_at(250), 1, "the straddling entry still covers");
+        assert_eq!(q.occupancy_at(350), 0);
+        assert_eq!(q.admission_at(250), 250, "depth 2, one cover: free");
+        // Queries below the watermark clamp onto the folded constant.
+        assert_eq!(q.occupancy_at(0), q.occupancy_at(200));
+        q.debug_validate();
+        // New pushes at or past the watermark behave normally.
+        let (admitted, occ) = q.push(250, 400);
+        assert_eq!((admitted, occ), (250, 2));
+        q.debug_validate();
+    }
+
+    #[test]
+    fn compaction_is_idempotent_and_monotone() {
+        let mut q = TimedQueue::new(1);
+        q.push(0, 10);
+        q.push(20, 30);
+        q.compact_before(15);
+        let events = q.event_count();
+        q.compact_before(15);
+        q.compact_before(5); // regressing watermarks are ignored
+        assert_eq!(q.event_count(), events);
+        assert_eq!(q.watermark(), 15);
+        assert_eq!(q.occupancy_at(25), 1);
+        q.debug_validate();
+    }
+
+    #[test]
+    fn naive_reference_matches_on_the_documented_cases() {
+        // The reference model must mirror every documented TimedQueue
+        // behaviour (the property suite covers randomized batches).
+        let mut q = NaiveTimedQueue::new(2);
+        q.push(0, 100);
+        q.push(0, 60);
+        assert_eq!(q.admission_at(10), 60);
+        let (admitted, occ) = q.push(10, 200);
+        assert_eq!((admitted, occ), (60, 2));
+        assert_eq!(q.stall_cycles(), 50);
+        assert_eq!(q.peak(), 2);
+        assert_eq!(q.entry_count(), 3);
+
+        let mut u = NaiveTimedQueue::new(usize::MAX);
+        let (admitted, occ) = u.push(5, 500);
+        assert_eq!((admitted, occ), (5, 0));
+
+        let mut r = NaiveTimedQueue::unbounded_recording();
+        r.push(0, 100);
+        r.push(10, 50);
+        assert_eq!(r.occupancy_at(20), 2);
+        assert_eq!(r.peak(), 2);
+        r.reset();
+        assert_eq!(r.occupancy_at(20), 0);
+        assert_eq!(r.admissions(), 0);
     }
 
     #[test]
@@ -473,5 +885,16 @@ mod tests {
         b.acquire(Cycles::new(100), Cycles::new(500));
         assert_eq!(a.admission_at(Cycles::new(200)), Cycles::new(200));
         assert_eq!(b.admission_at(Cycles::new(200)), Cycles::new(500));
+    }
+
+    #[test]
+    fn credit_port_exposes_compaction() {
+        let a = CreditPort::new(4);
+        a.acquire(Cycles::ZERO, Cycles::new(10));
+        a.acquire(Cycles::new(20), Cycles::new(120));
+        let before = a.event_count();
+        a.compact_before(Cycles::new(50));
+        assert!(a.event_count() < before);
+        assert_eq!(a.in_use_at(Cycles::new(60)), 1);
     }
 }

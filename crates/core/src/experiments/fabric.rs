@@ -491,6 +491,42 @@ impl FabricSweepResult {
         out.push_str("  ]\n}\n");
         out
     }
+
+    /// [`FabricSweepResult::to_json`] with an execution-metadata block
+    /// spliced in (`"meta"`, between the experiment tag and the points):
+    /// worker count and wallclock timings, aligned with `points` by index.
+    /// The plain `to_json` stays meta-free so replayed/merged result files
+    /// compare structurally.
+    pub fn to_json_with_meta(&self, meta: &SweepMeta) -> String {
+        let timings: Vec<String> = meta
+            .points_wallclock_ms
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        let block = format!(
+            "\n  \"meta\": {{\"workers\": {}, \"total_wallclock_ms\": {}, \
+             \"points_wallclock_ms\": [{}]}},",
+            meta.workers,
+            meta.total_wallclock_ms,
+            timings.join(", ")
+        );
+        let marker = "\"experiment\": \"fabric_sweep\",";
+        self.to_json()
+            .replacen(marker, &format!("{marker}{block}"), 1)
+    }
+}
+
+/// Execution metadata of one sweep run: how the work was parallelised and
+/// how long it took, recorded into the bench JSON so thread-scaling and
+/// speed regressions are visible PR-over-PR.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SweepMeta {
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+    /// End-to-end wallclock of the sweep, milliseconds.
+    pub total_wallclock_ms: u64,
+    /// Per-point wallclock, milliseconds, aligned with `points` by index.
+    pub points_wallclock_ms: Vec<u64>,
 }
 
 /// Measures one (kernel, clusters, variant, latency, channels, policy,
@@ -832,6 +868,26 @@ mod tests {
         assert!(json.contains("\"req_queue_depth\": 4"));
         assert!(json.contains("\"issue_stall_cycles\""));
         assert!(json.contains("\"req_queue_peak\""));
+    }
+
+    #[test]
+    fn sweep_meta_is_spliced_into_the_json() {
+        let result = FabricSweepResult::default();
+        let meta = SweepMeta {
+            workers: 3,
+            total_wallclock_ms: 1234,
+            points_wallclock_ms: vec![400, 800],
+        };
+        let json = result.to_json_with_meta(&meta);
+        assert!(json.contains("\"experiment\": \"fabric_sweep\""));
+        assert!(json.contains(
+            "\"meta\": {\"workers\": 3, \"total_wallclock_ms\": 1234, \
+             \"points_wallclock_ms\": [400, 800]}"
+        ));
+        assert!(
+            !result.to_json().contains("\"meta\""),
+            "the plain serialisation stays meta-free"
+        );
     }
 
     #[test]

@@ -390,7 +390,7 @@ impl PageRequestHandler for FaultServicer<'_> {
             iommu.purge_walk_table();
             iommu.note_group_response();
             for issued in serviced_at {
-                iommu.note_page_request_serviced(t.saturating_sub(issued));
+                iommu.note_page_request_serviced(issued, t);
             }
         }
         Ok(t)

@@ -33,7 +33,7 @@
 
 use serde::{Deserialize, Serialize};
 use sva_common::stats::{Histogram, HitMiss, RunningStats};
-use sva_common::{Cycles, Error, Iova, PhysAddr, ReplacementPolicy, Result, TlbOrg};
+use sva_common::{Cycles, Error, Iova, PhysAddr, ReplacementPolicy, Result, TimedQueue, TlbOrg};
 use sva_mem::MemorySystem;
 use sva_vm::FrameAllocator;
 
@@ -231,6 +231,9 @@ pub struct IommuStats {
     pub page_request_p90: u64,
     /// Approximate 99th-percentile page-request service latency.
     pub page_request_p99: u64,
+    /// Peak number of simultaneously in-flight serviced page requests
+    /// (from the PRI occupancy timeline; 0 with demand paging off).
+    pub page_request_peak_in_flight: usize,
 }
 
 /// The RISC-V IOMMU.
@@ -253,6 +256,11 @@ pub struct Iommu {
     page_requests: BoundedQueue<PageRequest>,
     pri: PageRequestStats,
     pri_hist: Histogram,
+    /// Timed occupancy record of the PRI path: each serviced request
+    /// occupies `[issued, completed)` on the global clock, so in-flight
+    /// page-request pressure is observable the same way the fabric's
+    /// channel backlogs are (an event-indexed recording FIFO).
+    pri_timeline: TimedQueue,
     translations: u64,
     bypassed: u64,
     translation_cycles: u64,
@@ -279,6 +287,7 @@ impl Iommu {
             page_requests: BoundedQueue::new(config.page_request_entries.max(1)),
             pri: PageRequestStats::default(),
             pri_hist: Histogram::new(PRI_HIST_BUCKET, PRI_HIST_BUCKETS),
+            pri_timeline: TimedQueue::unbounded_recording(),
             translations: 0,
             bypassed: 0,
             translation_cycles: 0,
@@ -771,12 +780,23 @@ impl Iommu {
         self.page_requests.len()
     }
 
-    /// Records one request resolved by the host at service latency
-    /// `latency` (request issue → group-response completion).
-    pub fn note_page_request_serviced(&mut self, latency: Cycles) {
+    /// Records one request resolved by the host: issued at `issued`,
+    /// completed (group response observed by the device) at `completed`.
+    /// The service latency feeds the latency statistics and the request's
+    /// `[issued, completed)` residency is recorded on the PRI occupancy
+    /// timeline.
+    pub fn note_page_request_serviced(&mut self, issued: Cycles, completed: Cycles) {
+        let latency = completed.saturating_sub(issued);
         self.pri.serviced += 1;
         self.pri.service_time.record_cycles(latency);
         self.pri_hist.record(latency.raw());
+        self.pri_timeline.push(issued.raw(), completed.raw());
+    }
+
+    /// Number of serviced page requests that were in flight (issued but not
+    /// yet completed) at `t`.
+    pub fn page_requests_in_flight_at(&self, t: Cycles) -> usize {
+        self.pri_timeline.occupancy_at(t.raw())
     }
 
     /// Records one request the host could not resolve (no backing host
@@ -855,6 +875,7 @@ impl Iommu {
             page_request_p50: self.pri_hist.percentile(0.50),
             page_request_p90: self.pri_hist.percentile(0.90),
             page_request_p99: self.pri_hist.percentile(0.99),
+            page_request_peak_in_flight: self.pri_timeline.peak(),
         }
     }
 
@@ -895,6 +916,7 @@ impl Iommu {
         self.page_requests.reset_dropped();
         self.pri = PageRequestStats::default();
         self.pri_hist = Histogram::new(PRI_HIST_BUCKET, PRI_HIST_BUCKETS);
+        self.pri_timeline.reset();
         self.translations = 0;
         self.bypassed = 0;
         self.translation_cycles = 0;
@@ -1292,6 +1314,30 @@ mod tests {
         assert_eq!(queued, 1, "read-only page needs a write page-request");
         let req = iommu.pop_page_request().unwrap();
         assert!(req.is_write);
+    }
+
+    #[test]
+    fn serviced_page_requests_populate_the_pri_occupancy_timeline() {
+        let mut iommu = Iommu::new(IommuConfig {
+            demand_paging: true,
+            ..IommuConfig::default()
+        });
+        // Two overlapping service windows and one later, disjoint one.
+        iommu.note_page_request_serviced(Cycles::new(100), Cycles::new(500));
+        iommu.note_page_request_serviced(Cycles::new(200), Cycles::new(400));
+        iommu.note_page_request_serviced(Cycles::new(900), Cycles::new(1_000));
+        assert_eq!(iommu.page_requests_in_flight_at(Cycles::new(300)), 2);
+        assert_eq!(iommu.page_requests_in_flight_at(Cycles::new(450)), 1);
+        assert_eq!(iommu.page_requests_in_flight_at(Cycles::new(600)), 0);
+        assert_eq!(iommu.page_requests_in_flight_at(Cycles::new(950)), 1);
+        let s = iommu.stats();
+        assert_eq!(s.page_requests.serviced, 3);
+        assert_eq!(s.page_request_peak_in_flight, 2);
+        let mean = s.page_requests.service_time.mean();
+        assert!((mean - (400.0 + 200.0 + 100.0) / 3.0).abs() < 1e-9);
+        iommu.reset_stats();
+        assert_eq!(iommu.page_requests_in_flight_at(Cycles::new(300)), 0);
+        assert_eq!(iommu.stats().page_request_peak_in_flight, 0);
     }
 
     #[test]
