@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use sva_kernels::KernelKind;
 use sva_soc::config::{PlatformConfig, SocVariant};
-use sva_soc::experiments::{copy_vs_map, kernel_runtime, offload_breakdown, ptw_time};
+use sva_soc::experiments::{copy_vs_map, kernel_runtime, offload_breakdown, ptw_time, serving};
 use sva_soc::offload::OffloadRunner;
 use sva_soc::platform::Platform;
 
@@ -56,6 +56,17 @@ fn bench_device_only_per_variant(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serving_point(c: &mut Criterion) {
+    let services = serving::calibrate().expect("service calibration");
+    let config = serving::grid(false)
+        .into_iter()
+        .find(|p| p.utilization > 1.0)
+        .expect("saturated grid point");
+    c.bench_function("serving/poisson_saturated_point", |b| {
+        b.iter(|| serving::run_point(&config, &services))
+    });
+}
+
 criterion_group!(
     name = experiments;
     config = Criterion::default().sample_size(10);
@@ -64,6 +75,7 @@ criterion_group!(
         bench_fig2_breakdown,
         bench_fig3_copy_vs_map,
         bench_fig5_ptw,
-        bench_device_only_per_variant
+        bench_device_only_per_variant,
+        bench_serving_point
 );
 criterion_main!(experiments);

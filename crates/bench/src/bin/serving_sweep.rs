@@ -1,0 +1,169 @@
+//! The open-loop serving sweep: multi-tenant arrival mixes × dispatch
+//! policies × offered utilizations, written to `BENCH_serving.json` so the
+//! SLO picture (p50/p99/p999, rejects, per-tenant goodput) is tracked
+//! PR-over-PR.
+//!
+//! Service times are calibrated once per kernel with a real device-only
+//! platform run; the grid points themselves are pure discrete-event replays
+//! and are mapped across worker threads with `par_map` (the run is
+//! deterministic at any worker count — every point is a pure function of
+//! its config and the shared calibration).
+//!
+//! Usage: `serving_sweep [--smoke] [--out <path>] [--validate <path>]`
+//!
+//! `--smoke` shrinks the grid for CI (fewer policies, one utilization,
+//! quarter-length traces); `--validate <path>` checks an existing
+//! `BENCH_serving.json` against the documented schema and exits. The
+//! writer self-validates its own output before touching the file.
+
+use std::time::Instant;
+
+use sva_bench::par::{par_map, worker_count};
+use sva_soc::experiments::serving::{self, SweepMeta};
+use sva_soc::experiments::ServingSweepResult;
+
+/// Schema check of a `BENCH_serving.json` (hand-rolled; the build is
+/// offline and carries no serde_json). Verifies the experiment tag, the
+/// meta block, per-point SLO keys, per-tenant goodput keys, and coverage of
+/// every arrival mix and at least two dispatch policies. Returns every
+/// violation found.
+fn validate(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut require = |needle: &str, what: &str| {
+        if !text.contains(needle) {
+            errors.push(format!("missing {what}: expected `{needle}`"));
+        }
+    };
+    require("\"experiment\": \"serving_sweep\"", "experiment tag");
+    require("\"meta\": {", "meta section");
+    require("\"workers\": ", "meta.workers");
+    require("\"total_wallclock_ms\": ", "meta.total_wallclock_ms");
+    require("\"points_wallclock_ms\": [", "meta.points_wallclock_ms");
+    require("\"points\": [", "points section");
+    for mix in ["poisson", "bursty", "diurnal"] {
+        require(&format!("\"mix\": \"{mix}\""), "arrival mix coverage");
+    }
+    for policy in ["fcfs", "priority"] {
+        require(
+            &format!("\"policy\": \"{policy}\""),
+            "dispatch policy coverage",
+        );
+    }
+    for key in [
+        "utilization",
+        "admission_depth",
+        "offered",
+        "admitted",
+        "rejected",
+        "completed",
+        "makespan",
+        "latency_p50",
+        "latency_p99",
+        "latency_p999",
+        "queue_peak",
+        "queue_depth_samples",
+    ] {
+        require(&format!("\"{key}\": "), "per-point key");
+    }
+    for key in ["offered_per_mcycle", "goodput_per_mcycle", "service_cycles"] {
+        require(&format!("\"{key}\": "), "per-tenant key");
+    }
+    require("\"tenants\": [", "per-point tenant section");
+    let opens = text.matches('{').count();
+    let closes = text.matches('}').count();
+    if opens != closes {
+        errors.push(format!("unbalanced braces: {opens} open vs {closes} close"));
+    }
+    errors
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).expect("--validate <path>");
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let errors = validate(&text);
+        if errors.is_empty() {
+            println!("{path}: schema ok");
+            return;
+        }
+        for e in &errors {
+            eprintln!("{path}: {e}");
+        }
+        std::process::exit(1);
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+
+    let start = Instant::now();
+    let services = serving::calibrate().expect("service calibration");
+    let calibrate_ms = start.elapsed().as_secs_f64() * 1e3;
+    for (kernel, cycles) in services.entries() {
+        println!("{:>16}: {} service cycles", kernel.name(), cycles.raw());
+    }
+    println!("calibration took {calibrate_ms:.1} ms");
+
+    let configs = serving::grid(smoke);
+    let workers = worker_count(configs.len());
+    let sweep_start = Instant::now();
+    let timed: Vec<(sva_soc::serving::ServingReport, u64)> = par_map(configs, {
+        let services = &services;
+        move |config| {
+            let point_start = Instant::now();
+            let report = serving::run_point(&config, services);
+            (report, point_start.elapsed().as_millis() as u64)
+        }
+    });
+    let total_wallclock_ms = start.elapsed().as_millis() as u64;
+    let sweep_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+
+    let (points, points_wallclock_ms): (Vec<_>, Vec<u64>) = timed.into_iter().unzip();
+    for p in &points {
+        assert!(
+            p.conserved(),
+            "{}/{} u={}: conservation violated (offered {} != completed {} + rejected {})",
+            p.mix,
+            p.policy,
+            p.utilization,
+            p.offered,
+            p.completed,
+            p.rejected
+        );
+        println!(
+            "{:>8} {:>15} u={:<4} offered={:>5} rejected={:>4} p50={:>8} p99={:>8} p999={:>8} peak_q={}",
+            p.mix,
+            p.policy,
+            p.utilization,
+            p.offered,
+            p.rejected,
+            p.latency.p50,
+            p.latency.p99,
+            p.latency.p999,
+            p.queue_peak
+        );
+    }
+    println!(
+        "{} points on {} workers in {:.1} ms",
+        points.len(),
+        workers,
+        sweep_ms
+    );
+
+    let result = ServingSweepResult { points };
+    let meta = SweepMeta {
+        workers,
+        total_wallclock_ms,
+        points_wallclock_ms,
+    };
+    let json = result.to_json_with_meta(&meta);
+    let errors = validate(&json);
+    assert!(errors.is_empty(), "self-validation failed: {errors:?}");
+    std::fs::write(&out, json).expect("write BENCH_serving.json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,29 @@
+//! Deterministic-replay guarantee of the serving sweep: the JSON payload
+//! must be bit-identical regardless of how many worker threads map the
+//! grid. Every point is a pure function of its config and the shared
+//! calibration, and `par_map_with` preserves input order, so neither the
+//! thread count nor scheduling luck may leak into the result (the
+//! `SVA_BENCH_THREADS` knob must be a pure performance dial).
+
+use sva_bench::par::par_map_with;
+use sva_soc::experiments::serving;
+use sva_soc::experiments::ServingSweepResult;
+
+fn sweep_json(workers: usize) -> String {
+    let services = serving::calibrate().expect("service calibration");
+    let points = par_map_with(serving::grid(true), workers, |config| {
+        serving::run_point(&config, &services)
+    });
+    ServingSweepResult { points }.to_json()
+}
+
+#[test]
+fn serving_sweep_replays_identically_across_worker_counts() {
+    let serial = sweep_json(1);
+    let parallel = sweep_json(4);
+    assert_eq!(
+        serial, parallel,
+        "serving sweep JSON differs between 1 and 4 workers"
+    );
+    assert!(serial.contains("\"experiment\": \"serving_sweep\""));
+}

@@ -124,7 +124,14 @@ pub struct DmaStats {
     /// are errors then).
     pub page_faults: u64,
     /// Cycles bursts stalled waiting for page-request group responses
-    /// (fault detection → resume), including overflow backoff.
+    /// (fault detection → resume), including overflow backoff. The stall is
+    /// charged **serially onto the batch completion time**, not into the
+    /// burst issue schedule: bursts keep their fault-free placement on the
+    /// contended fabric timelines, so a demand-paged run is always the
+    /// matching pre-mapped run plus its fault-service time. (Re-timing
+    /// issue instead de-correlates the DMA streams — staggered bursts can
+    /// dodge each other's contention and report a *lower* contended wall
+    /// clock than the pre-mapped run, which made the comparison lie.)
     pub fault_stall_cycles: u64,
     /// Total cycles the engine was busy (issue to last completion), summed
     /// over transfer batches.
@@ -190,9 +197,11 @@ impl DmaEngine {
     /// penalty when the group overflowed the bounded page-request queue),
     /// and **retries** the translation — up to the IOMMU's
     /// `max_fault_retries` bound, after which the fault is terminal. The
-    /// full round trip is charged into the engine's issue pipeline
-    /// ([`DmaStats::fault_stall_cycles`]), so cold-start demand paging is
-    /// visible in the device wall clock.
+    /// full round trip is charged **serially** onto the batch completion
+    /// ([`DmaStats::fault_stall_cycles`]): the bursts keep the fault-free
+    /// issue schedule on the fabric, and the accumulated fault-service time
+    /// is added to the returned completion, so a cold-start demand-paged
+    /// batch always finishes no earlier than its pre-mapped twin.
     ///
     /// # Errors
     ///
@@ -211,6 +220,11 @@ impl DmaEngine {
         let mut issue_free = start;
         let mut data_bus_free = start;
         let mut completion = start;
+        // Fault-service time accumulated across the batch. Charged serially
+        // onto the completion below instead of pushing `issue_t` back, so
+        // the bursts keep their fault-free fabric placement (see
+        // [`DmaStats::fault_stall_cycles`]).
+        let mut fault_stall = Cycles::ZERO;
         let mut outstanding: VecDeque<Cycles> = VecDeque::new();
         let mut buf = vec![0u8; self.config.max_burst_bytes as usize];
 
@@ -286,12 +300,13 @@ impl DmaEngine {
                                 // off before retrying.
                                 resume += iommu.config().page_request_backoff;
                             }
-                            // Guarantee forward progress on the retry even
-                            // if the host answered instantaneously.
+                            // Charge at least one cycle even if the host
+                            // answered instantaneously.
                             resume = resume.max(issue_t + Cycles::new(1));
                             self.stats.page_faults += 1;
-                            self.stats.fault_stall_cycles += (resume - issue_t).raw();
-                            issue_t = resume;
+                            let stall = resume - issue_t;
+                            self.stats.fault_stall_cycles += stall.raw();
+                            fault_stall += stall;
                         }
                         Err(other) => return Err(other),
                     }
@@ -355,6 +370,7 @@ impl DmaEngine {
                 done += burst.len;
             }
         }
+        completion += fault_stall;
         self.stats.busy_cycles += (completion.saturating_sub(start)).raw();
         Ok(completion)
     }
@@ -822,6 +838,62 @@ mod tests {
         }
         let clone_run = transfer(&mem_clone, 5);
         assert_eq!(clone_run, fresh, "clones must not share credit queues");
+
+        // Dropped-record carryover: a window that overflowed the fault
+        // queue AND the PRI queue must not leak its drop counters or its
+        // PRI occupancy into the next window's accounting. (The memory
+        // half is `open_measurement_window` above; the IOMMU half is
+        // `Iommu::reset_stats`, invoked per measurement window by the
+        // offload runner.)
+        let mut frames = FrameAllocator::linux_pool();
+        let mut space_mem = MemorySystem::default();
+        let space = AddressSpace::new(&mut space_mem, &mut frames).unwrap();
+        let mut iommu = Iommu::new(IommuConfig {
+            demand_paging: true,
+            fault_queue_entries: 2,
+            page_request_entries: 2,
+            ..IommuConfig::default()
+        });
+        iommu
+            .attach_device(&mut space_mem, &mut frames, 1, space.pscid(), space.root())
+            .unwrap();
+        // Overflow the fault queue with terminal faults (what the bounded
+        // PRI retry loop records when it gives up on an address).
+        for i in 0..5u64 {
+            let bad = Iova::new(0x7F00_0000 + i * sva_common::PAGE_SIZE);
+            iommu.record_terminal_fault(1, bad, false);
+        }
+        // Overflow the 2-entry PRI queue with a 4-page group and leave its
+        // serviced entries on the occupancy timeline.
+        let (enqueued, dropped) = iommu.enqueue_page_requests(
+            &space_mem,
+            1,
+            Iova::new(0x7F10_0000),
+            4 * sva_common::PAGE_SIZE,
+            false,
+            Cycles::new(10),
+        );
+        assert_eq!((enqueued, dropped), (2, 2), "2-entry queue drops the rest");
+        while iommu.pop_page_request().is_some() {}
+        iommu.note_page_request_serviced(Cycles::new(10), Cycles::new(500));
+        let dirty = iommu.stats();
+        assert!(dirty.fault_records_dropped > 0);
+        assert!(dirty.page_requests.dropped > 0);
+        assert!(dirty.page_request_peak_in_flight > 0);
+
+        // Next window: every drop counter and the PRI occupancy restart
+        // from zero, exactly like a fresh IOMMU's.
+        space_mem.open_measurement_window();
+        iommu.reset_stats();
+        let next = iommu.stats();
+        assert_eq!(next.fault_records_dropped, 0, "fault drops carried over");
+        assert_eq!(next.page_requests.dropped, 0, "PRI drops carried over");
+        assert_eq!(next.page_requests.requests, 0);
+        assert_eq!(next.page_requests.service_time.count(), 0);
+        assert_eq!(
+            next.page_request_peak_in_flight, 0,
+            "PRI occupancy timeline carried over"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! — that difference is Table II.
 
 use serde::{Deserialize, Serialize};
-use sva_common::{Cycles, GlobalClock, Result};
+use sva_common::{Cycles, Error, GlobalClock, Result};
 use sva_iommu::{Iommu, PageRequestHandler};
 use sva_mem::MemorySystem;
 
@@ -195,8 +195,16 @@ impl ClusterExecutor {
         // Prefetch the first tile. `dma_free` tracks the completion time of
         // the most recently issued DMA batch; the engine processes batches in
         // issue order. Each tile is planned (address-generation pre-pass on
-        // shared functional memory) before its descriptors are first read.
-        kernel.plan_tile(0, &TileCtx::new(mem, iommu, device_id))?;
+        // shared functional memory) before its descriptors are first read;
+        // under cold-start demand paging the pre-pass pages its reads in
+        // through the ATS/PRI handler and the wait lands on the critical
+        // path like any other stall.
+        let stall =
+            Self::plan_tile_with_pri(kernel, 0, mem, iommu, device_id, &mut pri, self.clock.now())?;
+        if stall > Cycles::ZERO {
+            stats.dma_wait += stall;
+            self.clock.advance(stall);
+        }
         let first_io = kernel.tile_io(0);
         let mut dma_free = self.dma.execute_with_pri(
             mem,
@@ -218,7 +226,19 @@ impl ClusterExecutor {
 
             // Kick off the next tile's inputs so they overlap with compute.
             if self.config.double_buffer && tile + 1 < n {
-                kernel.plan_tile(tile + 1, &TileCtx::new(mem, iommu, device_id))?;
+                let stall = Self::plan_tile_with_pri(
+                    kernel,
+                    tile + 1,
+                    mem,
+                    iommu,
+                    device_id,
+                    &mut pri,
+                    self.clock.now(),
+                )?;
+                if stall > Cycles::ZERO {
+                    stats.dma_wait += stall;
+                    self.clock.advance(stall);
+                }
                 let next_io = kernel.tile_io(tile + 1);
                 dma_free = self.dma.execute_with_pri(
                     mem,
@@ -256,7 +276,19 @@ impl ClusterExecutor {
                     self.clock.advance_to(dma_free);
                 }
                 if tile + 1 < n {
-                    kernel.plan_tile(tile + 1, &TileCtx::new(mem, iommu, device_id))?;
+                    let stall = Self::plan_tile_with_pri(
+                        kernel,
+                        tile + 1,
+                        mem,
+                        iommu,
+                        device_id,
+                        &mut pri,
+                        self.clock.now(),
+                    )?;
+                    if stall > Cycles::ZERO {
+                        stats.dma_wait += stall;
+                        self.clock.advance(stall);
+                    }
                     let next_io = kernel.tile_io(tile + 1);
                     dma_free = self.dma.execute_with_pri(
                         mem,
@@ -280,6 +312,72 @@ impl ClusterExecutor {
         stats.total = self.clock.now();
         stats.dma = *self.dma.stats();
         Ok(stats)
+    }
+
+    /// Runs the kernel's address-generation pre-pass for `tile`, recovering
+    /// from cold-start demand-paging faults exactly like a faulting DMA
+    /// burst: an unmapped plan-pass read enqueues a page request, waits for
+    /// the host's group response (plus overflow backoff), and retries the
+    /// plan — bounded by the IOMMU's `max_fault_retries` per attempt chain,
+    /// after which the fault is terminal and recorded on the fault queue.
+    /// Returns the cycles the pre-pass stalled waiting for page-ins (zero
+    /// when nothing faulted). Without a handler, or with demand paging off,
+    /// a fault propagates unchanged.
+    ///
+    /// This is what makes data-dependent kernels (the sort kernel's
+    /// merge-path pre-pass) work under cold-start demand paging: the plan
+    /// reads run *before* the first DMA touch, so without the fault-in loop
+    /// they would hit unmapped pages and abort the offload.
+    #[allow(clippy::too_many_arguments)] // mirrors the DMA fault loop's inputs
+    fn plan_tile_with_pri(
+        kernel: &mut dyn DeviceKernel,
+        tile: usize,
+        mem: &mut MemorySystem,
+        iommu: &mut Iommu,
+        device_id: u32,
+        pri: &mut Option<&mut (dyn PageRequestHandler + '_)>,
+        now: Cycles,
+    ) -> Result<Cycles> {
+        let mut stall = Cycles::ZERO;
+        // The retry budget is per faulting address: one plan pass may
+        // legitimately fault on many *distinct* pages in sequence (each
+        // page-in lets the pre-pass read further), so the counter resets
+        // whenever the faulting address makes progress.
+        let mut attempts = 0u32;
+        let mut last_fault = None;
+        loop {
+            match kernel.plan_tile(tile, &TileCtx::new(mem, iommu, device_id)) {
+                Ok(()) => return Ok(stall),
+                Err(fault @ Error::IoPageFault { iova, is_write }) => {
+                    let recoverable = iommu.demand_paging() && pri.is_some();
+                    if last_fault != Some(iova) {
+                        attempts = 0;
+                        last_fault = Some(iova);
+                    }
+                    attempts += 1;
+                    if !recoverable || attempts > iommu.config().max_fault_retries {
+                        if iommu.demand_paging() {
+                            iommu.record_terminal_fault(device_id, iova, is_write);
+                        }
+                        return Err(fault);
+                    }
+                    let handler = pri.as_deref_mut().expect("recoverable implies handler");
+                    let t = now + stall;
+                    // One page per request: the pre-pass reads single
+                    // elements (there is no "rest of the transfer" to
+                    // prefetch, unlike the DMA fault path).
+                    let (_, dropped) =
+                        iommu.enqueue_page_requests(mem, device_id, iova, 1, is_write, t);
+                    let mut resume = handler.service(mem, iommu, t)?;
+                    if dropped > 0 {
+                        resume += iommu.config().page_request_backoff;
+                    }
+                    resume = resume.max(t + Cycles::new(1));
+                    stall += resume - t;
+                }
+                Err(other) => return Err(other),
+            }
+        }
     }
 }
 
@@ -500,5 +598,185 @@ mod tests {
         let stats = exec.run(&mut mem, &mut iommu, &mut Empty).unwrap();
         assert_eq!(stats.total, Cycles::ZERO);
         assert_eq!(stats.tiles, 0);
+    }
+
+    /// A kernel whose transfer ranges are data-dependent: `plan_tile` reads
+    /// a per-tile offset table from external memory *before* that tile's
+    /// first DMA touch — the sort kernel's merge-path shape, historically
+    /// documented as incompatible with cold-start demand paging because the
+    /// untimed plan read hit an unmapped page.
+    struct PlanPeekKernel {
+        tiles: usize,
+        tile_bytes: u64,
+        table: Iova,
+        src: Iova,
+        dst: Iova,
+        planned: Vec<u64>,
+    }
+
+    impl DeviceKernel for PlanPeekKernel {
+        fn name(&self) -> &str {
+            "plan-peek"
+        }
+
+        fn num_tiles(&self) -> usize {
+            self.tiles
+        }
+
+        fn plan_tile(&mut self, tile: usize, ctx: &TileCtx<'_>) -> Result<()> {
+            // One descriptor per tile, a page apart, so under cold-start
+            // demand paging every plan read touches an unmapped page first.
+            let chunk = ctx.read_f32(self.table + tile as u64 * sva_common::PAGE_SIZE)? as u64;
+            if self.planned.len() == tile {
+                self.planned.push(chunk * self.tile_bytes);
+            }
+            Ok(())
+        }
+
+        fn tile_io(&self, tile: usize) -> TileIo {
+            let off = self.planned[tile];
+            let buf = (tile % 2) as u64 * self.tile_bytes;
+            TileIo {
+                inputs: vec![DmaRequest::input(self.src + off, buf, self.tile_bytes)],
+                outputs: vec![DmaRequest::output(self.dst + off, buf, self.tile_bytes)],
+            }
+        }
+
+        fn compute_tile(&mut self, tile: usize, tcdm: &mut Tcdm) -> Result<Cycles> {
+            let buf = (tile % 2) as u64 * self.tile_bytes;
+            for i in 0..self.tile_bytes / 4 {
+                let v = tcdm.read_f32(buf + i * 4);
+                tcdm.write_f32(buf + i * 4, v * 2.0);
+            }
+            Ok(Cycles::new(100))
+        }
+    }
+
+    /// Builds a cold-start demand-paging scene for [`PlanPeekKernel`]: a
+    /// reversed per-tile offset table plus source data, none of it
+    /// device-mapped.
+    fn plan_peek_scene(
+        tiles: usize,
+        tile_bytes: u64,
+    ) -> (
+        MemorySystem,
+        sva_vm::FrameAllocator,
+        sva_vm::AddressSpace,
+        sva_host::IommuDriver,
+        Iommu,
+        PlanPeekKernel,
+    ) {
+        use sva_common::PAGE_SIZE;
+        use sva_iommu::IommuConfig;
+        use sva_vm::{AddressSpace, FrameAllocator};
+
+        let mut mem = MemorySystem::default();
+        let mut frames = FrameAllocator::linux_pool();
+        let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+
+        let table_va = space
+            .alloc_buffer(&mut mem, &mut frames, tiles as u64 * PAGE_SIZE)
+            .unwrap();
+        for t in 0..tiles {
+            // Reversed chunk order: the partitions genuinely depend on the
+            // table contents.
+            let chunk = (tiles - 1 - t) as f32;
+            space
+                .write_virt(
+                    &mut mem,
+                    table_va + t as u64 * PAGE_SIZE,
+                    &chunk.to_le_bytes(),
+                )
+                .unwrap();
+        }
+        let len = tiles as u64 * tile_bytes;
+        let src_va = space.alloc_buffer(&mut mem, &mut frames, len).unwrap();
+        let data: Vec<u8> = (0..len / 4)
+            .flat_map(|i| (i as f32).to_le_bytes())
+            .collect();
+        space.write_virt(&mut mem, src_va, &data).unwrap();
+        let dst_va = space.alloc_buffer(&mut mem, &mut frames, len).unwrap();
+
+        let mut iommu = Iommu::new(IommuConfig {
+            demand_paging: true,
+            tlb_hierarchy: Some(sva_iommu::TlbHierarchyConfig::default()),
+            ..IommuConfig::default()
+        });
+        let mut cpu = sva_host::HostCpu::default();
+        let mut driver = sva_host::IommuDriver::default();
+        driver
+            .attach(&mut cpu, &mut mem, &mut iommu, &mut frames, space.pscid())
+            .unwrap();
+
+        let kernel = PlanPeekKernel {
+            tiles,
+            tile_bytes,
+            table: Iova::from_virt(table_va),
+            src: Iova::from_virt(src_va),
+            dst: Iova::from_virt(dst_va),
+            planned: Vec::new(),
+        };
+        (mem, frames, space, driver, iommu, kernel)
+    }
+
+    /// Regression: a data-dependent plan pass pages its reads in through
+    /// the ATS/PRI handler under cold-start demand paging and the run
+    /// completes with correct, partition-faithful results.
+    #[test]
+    fn plan_pass_pages_its_reads_in_under_demand_paging() {
+        use sva_host::FaultServicer;
+
+        let tiles = 4usize;
+        let tile_bytes = sva_common::PAGE_SIZE;
+        let (mut mem, mut frames, space, mut driver, mut iommu, mut kernel) =
+            plan_peek_scene(tiles, tile_bytes);
+
+        let mut exec = ClusterExecutor::default();
+        let mut servicer = FaultServicer::new(&mut driver, &space, &mut frames);
+        let stats = exec
+            .run_with_pri(&mut mem, &mut iommu, &mut kernel, Some(&mut servicer))
+            .unwrap();
+
+        assert_eq!(
+            kernel.planned,
+            (0..tiles)
+                .map(|t| (tiles - 1 - t) as u64 * tile_bytes)
+                .collect::<Vec<_>>(),
+            "partitions must follow the (cold) table contents"
+        );
+        // Every chunk doubled in place: the reversed partition order left
+        // the data layout identity, so dst[i] == 2 * src[i].
+        let len = tiles as u64 * tile_bytes;
+        let mut out = vec![0u8; len as usize];
+        space
+            .read_virt(&mem, sva_common::VirtAddr::from_iova(kernel.dst), &mut out)
+            .unwrap();
+        for (i, chunk) in out.chunks_exact(4).enumerate() {
+            let v = f32::from_le_bytes(chunk.try_into().unwrap());
+            assert_eq!(v, 2.0 * i as f32, "element {i}");
+        }
+        // The plan-pass faults were serviced (table pages) on top of the
+        // DMA faults (src/dst pages), and the stalls landed on the clock.
+        let serviced = iommu.stats().page_requests.serviced;
+        assert!(
+            serviced >= 3 * tiles as u64,
+            "table + src + dst pages all fault in, got {serviced}"
+        );
+        assert!(stats.dma_wait > Cycles::ZERO);
+    }
+
+    /// Without a PRI handler the cold plan read stays a terminal fault —
+    /// a descriptive error plus a fault record, never a wrong partition.
+    #[test]
+    fn plan_pass_fault_is_terminal_without_handler() {
+        let (mut mem, _frames, _space, _driver, mut iommu, mut kernel) =
+            plan_peek_scene(4, sva_common::PAGE_SIZE);
+
+        let mut exec = ClusterExecutor::default();
+        let err = exec.run(&mut mem, &mut iommu, &mut kernel);
+        assert!(matches!(err, Err(Error::IoPageFault { .. })));
+        let fault = iommu.pop_fault().expect("terminal fault recorded");
+        assert_eq!(fault.iova, kernel.table, "tile 0's plan read faulted");
+        assert!(kernel.planned.is_empty(), "no partition was fabricated");
     }
 }

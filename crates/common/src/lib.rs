@@ -11,7 +11,8 @@
 //! * byte-size helpers ([`size`]),
 //! * lightweight statistics primitives used by every timing model
 //!   ([`stats`]),
-//! * a deterministic, seedable random-number wrapper ([`rng`]),
+//! * a deterministic, seedable random-number wrapper ([`rng`]) and the
+//!   open-loop arrival processes built on it ([`arrival`]),
 //! * the common error type ([`error`]).
 //!
 //! # Example
@@ -32,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addr;
+pub mod arrival;
 pub mod channel;
 pub mod clock;
 pub mod cycles;
@@ -45,6 +47,7 @@ pub mod tlb;
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::addr::{Iova, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+    pub use crate::arrival::ArrivalMix;
     pub use crate::channel::{CreditPort, QueueDepths, TimedQueue};
     pub use crate::clock::{GlobalClock, TimeSource};
     pub use crate::cycles::{ClockDomain, Cycles};
@@ -58,6 +61,7 @@ pub mod prelude {
 }
 
 pub use addr::{Iova, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
+pub use arrival::ArrivalMix;
 pub use channel::{CreditPort, NaiveTimedQueue, QueueDepths, TimedQueue};
 pub use clock::{GlobalClock, TimeSource};
 pub use cycles::{ClockDomain, Cycles};

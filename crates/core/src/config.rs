@@ -323,10 +323,11 @@ impl PlatformConfig {
     /// (`page_requests`, percentiles) and the DMA engines'
     /// `fault_stall_cycles`.
     ///
-    /// Note: workloads whose tile planning peeks device-visible memory
-    /// before the first DMA touch (the sort kernel's merge-path pre-pass)
-    /// are incompatible with cold-start demand paging — the probe sees an
-    /// unmapped page — and must pre-map as usual.
+    /// Workloads whose tile planning peeks device-visible memory before
+    /// the first DMA touch (the sort kernel's merge-path pre-pass) work
+    /// too: the executor's plan pass pages its reads in through the same
+    /// ATS/PRI stall-and-retry loop, so a cold probe faults, waits for the
+    /// host to map the page, and re-reads instead of failing.
     pub fn with_demand_paging(mut self) -> Self {
         self.iommu.demand_paging = true;
         self

@@ -15,6 +15,7 @@
 //! | [`ptw_time`] | Figure 5 — average page-table-walk time with/without LLC and host interference |
 //! | [`ablation`] | Design-choice ablations called out in DESIGN.md (IOTLB size, DMA bypass, outstanding bursts, flush-before-map) |
 //! | [`fabric`] | Beyond the paper — N-cluster fabric scaling with per-initiator contention statistics |
+//! | [`serving`] | Beyond the paper — open-loop multi-tenant serving with SLO percentiles |
 
 pub mod ablation;
 pub mod copy_vs_map;
@@ -22,6 +23,7 @@ pub mod fabric;
 pub mod kernel_runtime;
 pub mod offload_breakdown;
 pub mod ptw_time;
+pub mod serving;
 pub mod table1;
 
 pub use copy_vs_map::{CopyVsMapPoint, CopyVsMapResult};
@@ -29,3 +31,4 @@ pub use fabric::{FabricPoint, FabricSweepResult};
 pub use kernel_runtime::{KernelRuntimePoint, KernelRuntimeResult};
 pub use offload_breakdown::{OffloadBreakdownResult, OffloadCase};
 pub use ptw_time::{PtwPoint, PtwResultSet};
+pub use serving::ServingSweepResult;

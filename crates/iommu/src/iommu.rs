@@ -478,11 +478,23 @@ impl Iommu {
     /// `now` plus the lookup latencies, so its per-level reads are
     /// timestamped and contend on the memory fabric.
     ///
+    /// Under demand paging a request that is going to fault is **squashed
+    /// before it perturbs anything**: an untimed probe detects the missing
+    /// (or permission-lacking) mapping and the fault returns without timed
+    /// walk reads, TLB state movement or statistics. A faulting attempt's
+    /// partial walk would otherwise warm the LLC with page-table lines and
+    /// reserve fabric slots, making the post-fault retry *cheaper* than the
+    /// identical translation in a pre-mapped run — the fault-stagger
+    /// anomaly where cold-start paging could report a lower contended wall
+    /// clock than its pre-mapped twin. The fault's real cost is carried by
+    /// the PRI stall-and-retry loop, which dwarfs the squashed walk.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::IoPageFault`] or [`Error::UnknownDevice`] on
     /// translation failure; a corresponding record is pushed to the fault
-    /// queue.
+    /// queue (except for demand-paging page faults, which are reported
+    /// through the page-request path instead).
     pub fn translate_at(
         &mut self,
         mem: &mut MemorySystem,
@@ -491,6 +503,16 @@ impl Iommu {
         is_write: bool,
         now: Cycles,
     ) -> Result<(PhysAddr, Cycles)> {
+        if matches!(self.config.mode, IommuMode::Translating)
+            && self.config.demand_paging
+            && self
+                .ddt
+                .as_ref()
+                .is_some_and(|ddt| ddt.peek(mem, device_id).is_ok())
+            && !self.probe_access(mem, device_id, iova, is_write)
+        {
+            return Err(Error::IoPageFault { iova, is_write });
+        }
         self.translations += 1;
         match self.config.mode {
             IommuMode::Disabled => {
