@@ -1,15 +1,21 @@
 //! Criterion micro-benchmarks of the event-indexed occupancy-timeline
 //! engine: indexed vs linear-scan pushes on a deep bounded queue, the
-//! admission query on a standing backlog, and watermark compaction.
+//! admission query on a standing backlog, watermark compaction, and the
+//! fabric `admit` grant path (end-indexed placement vs the retained
+//! linear-scan `NaiveFabric`).
 //!
 //! The `simspeed` binary is the perf *gate* (absolute
 //! simulated-cycles-per-second, written to `BENCH_simspeed.json`); these
-//! benches are the engine-local view for iterating on `channel.rs` itself.
+//! benches are the engine-local view for iterating on `channel.rs` and
+//! `fabric.rs` themselves.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use sva_common::rng::DeterministicRng;
-use sva_common::{NaiveTimedQueue, TimedQueue};
+use sva_common::{
+    Cycles, InitiatorId, MemPortReq, NaiveTimedQueue, PhysAddr, PortTiming, TimedQueue,
+};
+use sva_mem::{Fabric, NaiveFabric};
 
 /// The deep-queue batch the `simspeed` stress point uses, at bench size.
 fn batch(pushes: usize) -> Vec<(u64, u64)> {
@@ -93,5 +99,72 @@ fn bench_compaction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_push, bench_queries, bench_compaction);
+/// The long-window grant batch the `fabric_long_window` simspeed point
+/// uses, at bench size: one early long "poison pill" burst, then short
+/// monotone grants — the shape that punishes backward history scans.
+fn grant_batch(grants: usize) -> Vec<(MemPortReq, PortTiming)> {
+    let mut rng = DeterministicRng::new(0xFAB_0BA7);
+    let pill = 50_000u64;
+    let mut batch = Vec::with_capacity(grants + 1);
+    batch.push((
+        MemPortReq::read(InitiatorId::dma(0), PhysAddr::new(0x8000_0000), pill * 8)
+            .as_burst()
+            .at(Cycles::ZERO),
+        PortTiming {
+            latency: Cycles::new(100),
+            occupancy: Cycles::new(pill),
+        },
+    ));
+    let mut cursor = pill;
+    for i in 0..grants {
+        cursor += 20 + rng.next_below(40);
+        let occ = 4 + rng.next_below(12);
+        batch.push((
+            MemPortReq::read(
+                InitiatorId::dma(1 + (i as u32 % 3)),
+                PhysAddr::new(0x8000_0000),
+                occ * 8,
+            )
+            .as_burst()
+            .at(Cycles::new(cursor)),
+            PortTiming {
+                latency: Cycles::new(100),
+                occupancy: Cycles::new(occ),
+            },
+        ));
+    }
+    batch
+}
+
+fn bench_fabric_admit(c: &mut Criterion) {
+    let work = grant_batch(2_000);
+    let mut group = c.benchmark_group("fabric/admit_2k_long_window");
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            let mut fabric = Fabric::default();
+            for (req, timing) in &work {
+                black_box(fabric.admit(req, *timing));
+            }
+            fabric.grants()
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut fabric = NaiveFabric::default();
+            for (req, timing) in &work {
+                black_box(fabric.admit(req, *timing));
+            }
+            fabric.grants()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_push,
+    bench_queries,
+    bench_compaction,
+    bench_fabric_admit
+);
 criterion_main!(benches);

@@ -19,11 +19,25 @@
 //! * `fabric_deep_queues` — the split-transaction fabric with shallow
 //!   (4/4) credit queues plus timed host traffic and the batched walker:
 //!   the configuration that hammers `TimedQueue` hardest end-to-end.
+//! * `fabric_long_window` — one long measurement window, many grants, no
+//!   resets: an early long "poison pill" burst stretches the naive
+//!   engine's backward scan window to its occupancy, then a monotone
+//!   stream of short grants follows. The end-indexed `Fabric` (with
+//!   periodic watermark compaction, peak live-set recorded) against the
+//!   retained `NaiveFabric` on the same batch, outcomes asserted
+//!   identical; the full run gates on [`GATE_SPEEDUP`].
+//! * `fabric_weighted_hot` — the same poison-pill window under the
+//!   `Weighted` policy with six initiators, keeping the deficit predicate
+//!   (and its per-slot weight lookups) hot on every conflict probe.
+//!   Naive baseline recorded, no gate.
 //!
 //! A measured thread-scaling curve for the `par_map`-driven sweeps rides
 //! along: the same point grid mapped at 1, 2, 4, … workers via
 //! `par_map_with`, recording points-per-second and the speedup over one
-//! worker.
+//! worker. Each scaling point is tagged `"oversubscribed": true` when it
+//! ran more workers than the machine has hardware threads — on narrow
+//! hosts the tail of the curve measures scheduler fairness, not scaling,
+//! and must not be read as a regression.
 //!
 //! Usage: `simspeed [--smoke] [--out <path>] [--validate <path>]`
 //!
@@ -37,8 +51,12 @@ use std::time::Instant;
 
 use sva_bench::par::par_map_with;
 use sva_common::rng::DeterministicRng;
-use sva_common::{ArbitrationPolicy, NaiveTimedQueue, QueueDepths, TimedQueue};
+use sva_common::{
+    ArbitrationPolicy, Cycles, InitiatorId, MemPortReq, NaiveTimedQueue, PhysAddr, PortTiming,
+    QueueDepths, TimedQueue,
+};
 use sva_kernels::KernelKind;
+use sva_mem::{Fabric, FabricConfig, GrantOutcome, NaiveFabric};
 use sva_soc::config::SocVariant;
 use sva_soc::experiments::fabric::{self, FabricKnobs, TlbHierarchyConfig, TlbKnobs};
 
@@ -70,6 +88,10 @@ struct ScalePoint {
     wallclock_ms: f64,
     points_per_sec: f64,
     speedup_vs_1: f64,
+    /// More workers than the machine has hardware threads: the point
+    /// measures scheduler fairness, not scaling, and must not be read as a
+    /// parallel-speedup regression.
+    oversubscribed: bool,
 }
 
 fn cycles_per_sec(simulated: u64, wallclock_ms: f64) -> f64 {
@@ -167,6 +189,144 @@ fn timed_queue_deep_compacted(pushes: usize) -> SpeedPoint {
     }
 }
 
+/// The long-window fabric batch: one early "poison pill" burst of
+/// `pill_occ` cycles from device 0, then `grants` short monotone grants
+/// from `devices` rotating initiators starting after the pill drains. The
+/// pill stretches the naive engine's backward start-window scan to
+/// `pill_occ` cycles of mostly-finished history on every later grant; the
+/// end-indexed probe only ever sees the live tail.
+fn fabric_window_batch(
+    seed: u64,
+    grants: usize,
+    devices: u32,
+    pill_occ: u64,
+    rounds: bool,
+) -> Vec<(MemPortReq, PortTiming)> {
+    let mut rng = DeterministicRng::new(seed);
+    let mut batch = Vec::with_capacity(grants + 1);
+    batch.push((
+        MemPortReq::read(
+            InitiatorId::dma(0),
+            PhysAddr::new(0x8000_0000),
+            pill_occ * 8,
+        )
+        .as_burst()
+        .at(Cycles::ZERO),
+        PortTiming {
+            latency: Cycles::new(100),
+            occupancy: Cycles::new(pill_occ),
+        },
+    ));
+    let mut cursor = pill_occ;
+    for i in 0..grants {
+        let dev = (i as u32) % devices;
+        let occ = if rounds {
+            // Round mode: every initiator arrives at the same instant with
+            // identical occupancy, so each grant probes live conflicts and
+            // keeps the arbitration predicate hot.
+            if dev == 0 {
+                cursor += 620 + rng.next_below(80);
+            }
+            100
+        } else {
+            // Stream mode: underloaded monotone traffic — almost every
+            // reservation is finished history by the time the next grant
+            // places.
+            cursor += 20 + rng.next_below(40);
+            4 + rng.next_below(12)
+        };
+        batch.push((
+            MemPortReq::read(
+                InitiatorId::dma(1 + dev),
+                PhysAddr::new(0x8000_0000),
+                occ * 8,
+            )
+            .as_burst()
+            .at(Cycles::new(cursor)),
+            PortTiming {
+                latency: Cycles::new(100),
+                occupancy: Cycles::new(occ),
+            },
+        ));
+    }
+    batch
+}
+
+/// Runs one placement engine over a grant batch; returns (horizon cycles,
+/// wallclock ms, digest of the grant outcomes for the identity check).
+fn drive_grants(
+    batch: &[(MemPortReq, PortTiming)],
+    mut admit: impl FnMut(usize, &MemPortReq, PortTiming) -> GrantOutcome,
+) -> (u64, f64, u64) {
+    let start = Instant::now();
+    let mut horizon = 0u64;
+    let mut digest = 0u64;
+    for (i, (req, timing)) in batch.iter().enumerate() {
+        let out = admit(i, req, *timing);
+        horizon = horizon.max(req.arrival.raw() + out.total_delay().raw() + timing.occupancy.raw());
+        digest = digest
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(out.queue.raw() ^ out.issue_stall.raw() << 32);
+    }
+    (horizon, start.elapsed().as_secs_f64() * 1e3, digest)
+}
+
+/// Both placement engines over the same batch, outcomes asserted
+/// bit-identical. The indexed engine additionally runs its steady-state
+/// compaction discipline every 1024 grants (arrivals are monotone, so the
+/// current arrival is a valid no-earlier-arrival watermark), recording the
+/// peak live reservation count.
+fn fabric_engine_point(
+    name: &'static str,
+    config: FabricConfig,
+    batch: &[(MemPortReq, PortTiming)],
+) -> SpeedPoint {
+    let mut indexed = Fabric::new(config.clone());
+    let mut events_peak = 0usize;
+    let (horizon, indexed_ms, indexed_digest) = drive_grants(batch, |i, req, timing| {
+        let out = indexed.admit(req, timing);
+        if i % 1024 == 1023 {
+            indexed.compact_before(req.arrival);
+        }
+        events_peak = events_peak.max(indexed.event_count());
+        out
+    });
+    let mut naive = NaiveFabric::new(config);
+    let (_, naive_ms, naive_digest) =
+        drive_grants(batch, |_, req, timing| naive.admit(req, timing));
+    assert_eq!(
+        indexed_digest, naive_digest,
+        "{name}: indexed and naive placement engines diverged"
+    );
+    assert_eq!(indexed.total(), naive.total(), "{name}: totals diverged");
+    SpeedPoint {
+        name,
+        simulated_cycles: horizon,
+        wallclock_ms: indexed_ms,
+        sim_cycles_per_sec: cycles_per_sec(horizon, indexed_ms),
+        naive: Some(NaiveBaseline {
+            wallclock_ms: naive_ms,
+            sim_cycles_per_sec: cycles_per_sec(horizon, naive_ms),
+            speedup: naive_ms / indexed_ms.max(1e-6),
+        }),
+        events_peak: Some(events_peak),
+    }
+}
+
+fn fabric_long_window(grants: usize) -> SpeedPoint {
+    let batch = fabric_window_batch(0xFAB_0BA7, grants, 3, 50_000, false);
+    fabric_engine_point("fabric_long_window", FabricConfig::default(), &batch)
+}
+
+fn fabric_weighted_hot(grants: usize) -> SpeedPoint {
+    let batch = fabric_window_batch(0xFAB_3077, grants, 6, 50_000, true);
+    let config = FabricConfig {
+        policy: ArbitrationPolicy::Weighted(vec![8, 4, 2, 1, 1, 1]),
+        ..FabricConfig::default()
+    };
+    fabric_engine_point("fabric_weighted_hot", config, &batch)
+}
+
 fn fabric_point(
     name: &'static str,
     clusters: usize,
@@ -255,6 +415,7 @@ fn thread_scaling(smoke: bool) -> Vec<ScalePoint> {
             wallclock_ms,
             points_per_sec,
             speedup_vs_1,
+            oversubscribed: workers > hw,
         });
     }
     curve
@@ -299,12 +460,14 @@ fn to_json(mode: &str, points: &[SpeedPoint], scaling: &[ScalePoint]) -> String 
     for (i, s) in scaling.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workers\": {}, \"points\": {}, \"wallclock_ms\": {:.3}, \
-             \"points_per_sec\": {:.2}, \"speedup_vs_1\": {:.2}}}{}\n",
+             \"points_per_sec\": {:.2}, \"speedup_vs_1\": {:.2}, \
+             \"oversubscribed\": {}}}{}\n",
             s.workers,
             s.points,
             s.wallclock_ms,
             s.points_per_sec,
             s.speedup_vs_1,
+            s.oversubscribed,
             if i + 1 == scaling.len() { "" } else { "," }
         ));
     }
@@ -312,11 +475,24 @@ fn to_json(mode: &str, points: &[SpeedPoint], scaling: &[ScalePoint]) -> String 
     out
 }
 
+/// Extracts the unsigned integer following `"key": ` in `text`, if any.
+fn field_u64(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = text.find(&pat)? + pat.len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
 /// Schema check of a `BENCH_simspeed.json` (hand-rolled; the build is
 /// offline and carries no serde_json). Verifies the experiment tag, the
 /// required top-level sections, the required stress-point names, the
-/// per-point required keys, and that the deep-queue point carries the
-/// naive-baseline comparison. Returns every violation found.
+/// per-point required keys, that the engine-comparison points carry the
+/// naive baseline, and that every thread-scaling point's
+/// `oversubscribed` flag agrees with `workers > hardware_threads`.
+/// Returns every violation found.
 fn validate(text: &str) -> Vec<String> {
     let mut errors = Vec::new();
     let mut require = |needle: &str, what: &str| {
@@ -335,6 +511,8 @@ fn validate(text: &str) -> Vec<String> {
         "timed_queue_deep_compacted",
         "fabric_4x4_demand",
         "fabric_deep_queues",
+        "fabric_long_window",
+        "fabric_weighted_hot",
     ] {
         require(&format!("\"name\": \"{name}\""), "stress point");
     }
@@ -349,8 +527,31 @@ fn validate(text: &str) -> Vec<String> {
         require(&format!("\"{key}\": "), "naive-baseline key");
     }
     require("\"events_peak\": ", "compaction observable");
-    for key in ["workers", "points_per_sec", "speedup_vs_1"] {
+    for key in [
+        "workers",
+        "points_per_sec",
+        "speedup_vs_1",
+        "oversubscribed",
+    ] {
         require(&format!("\"{key}\": "), "thread-scaling key");
+    }
+    // Oversubscription honesty: every scaling line's flag must agree with
+    // workers vs the recorded hardware width.
+    let hw = field_u64(text, "hardware_threads");
+    for line in text.lines() {
+        let Some(workers) = field_u64(line, "workers") else {
+            continue;
+        };
+        let Some(hw) = hw else {
+            continue;
+        };
+        let expected = format!("\"oversubscribed\": {}", workers > hw);
+        if !line.contains(&expected) {
+            errors.push(format!(
+                "thread_scaling workers={workers}: expected `{expected}` \
+                 (hardware_threads={hw})"
+            ));
+        }
     }
     let opens = text.matches('{').count();
     let closes = text.matches('}').count();
@@ -411,9 +612,18 @@ fn main() {
         },
         TlbKnobs::default(),
     );
+    let long_window = fabric_long_window(pushes);
+    let weighted_hot = fabric_weighted_hot(pushes);
     let scaling = thread_scaling(smoke);
 
-    let points = [deep, compacted, demand, deep_queues];
+    let points = [
+        deep,
+        compacted,
+        demand,
+        deep_queues,
+        long_window,
+        weighted_hot,
+    ];
     for p in &points {
         let extra = match (&p.naive, p.events_peak) {
             (Some(n), _) => format!(
@@ -442,15 +652,21 @@ fn main() {
     println!("wrote {out}");
 
     if !smoke {
-        let speedup = points[0]
-            .naive
-            .as_ref()
-            .expect("deep-queue point carries the naive baseline")
-            .speedup;
-        assert!(
-            speedup >= GATE_SPEEDUP,
-            "perf gate: deep-queue speedup {speedup:.1}x < {GATE_SPEEDUP}x over linear scan"
-        );
-        println!("perf gate ok: {speedup:.1}x >= {GATE_SPEEDUP}x over the linear-scan baseline");
+        for gated in ["timed_queue_deep", "fabric_long_window"] {
+            let speedup = points
+                .iter()
+                .find(|p| p.name == gated)
+                .and_then(|p| p.naive.as_ref())
+                .expect("gated point carries the naive baseline")
+                .speedup;
+            assert!(
+                speedup >= GATE_SPEEDUP,
+                "perf gate: {gated} speedup {speedup:.1}x < {GATE_SPEEDUP}x over linear scan"
+            );
+            println!(
+                "perf gate ok: {gated} {speedup:.1}x >= {GATE_SPEEDUP}x over the \
+                 linear-scan baseline"
+            );
+        }
     }
 }

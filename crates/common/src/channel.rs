@@ -41,6 +41,12 @@
 //! [`NaiveTimedQueue`] — the reference the property suite and the
 //! `simspeed` perf gate run the indexed engine against.
 //!
+//! [`ReservationIndex`] is the sibling engine for the fabric's
+//! **bus-reservation timelines**: overlapping, payload-carrying intervals
+//! that the placement loop probes for conflicts. It keys reservations by
+//! their *end* so finished history is invisible to the probe, and carries
+//! the same watermark-compaction discipline (see its type docs).
+//!
 //! [`CreditPort`] is the initiator-facing handle: a cheap, cloneable
 //! reference onto one shared [`TimedQueue`]. An initiator (or the fabric
 //! acting on its behalf) must **acquire** a credit for every request it
@@ -585,6 +591,182 @@ impl NaiveTimedQueue {
     }
 }
 
+/// An end-indexed interval timeline for bus-reservation conflict probes.
+///
+/// The memory fabric places every grant as an interval `[start, start +
+/// occupancy)` on its channel's virtual timeline; a candidate placement
+/// `[placed, placed + span)` conflicts with an existing reservation
+/// `[start, end)` exactly when `start < placed + span && end > placed`
+/// (plus an arbitration-policy predicate over the reservation's owner and
+/// priority, which the caller supplies). Reservations overlap freely —
+/// priority winners and weighted bypasses land on top of the traffic they
+/// outrank — and carry per-entry payloads, so the boundary-delta engine of
+/// [`TimedQueue`] does not fit; instead the index keys every reservation by
+/// its **end**: `(end, insertion seq) → (start, owner, priority)`.
+///
+/// Keying by end makes finished history invisible to the hot query: a
+/// reservation with `end <= placed` can never conflict with a placement at
+/// or after `placed`, and the ordered probe never visits it. Only ends in
+/// `(placed, placed + span + max_len)` are walked — an entry whose end lies
+/// at or beyond that bound starts at or after `placed + span` (no single
+/// reservation is longer than `max_len`) and cannot overlap either. The
+/// probe therefore costs O(log n + live backlog) instead of the
+/// O(window density) start-keyed scan it replaces, where the former scan's
+/// window covered `max_len` cycles of mostly-finished history.
+///
+/// **Watermark compaction** ([`ReservationIndex::compact_before`]) mirrors
+/// the [`TimedQueue::compact_before`] contract: when the caller guarantees
+/// no future placement probe or insertion concerns an instant before `w`,
+/// every reservation ending at or before `w` is dropped outright — unlike
+/// the occupancy timeline there is no base constant to fold into, because a
+/// wholly-past reservation can never conflict again. Entries straddling the
+/// watermark (`start < w < end`) survive untouched.
+#[derive(Clone, Debug, Default)]
+pub struct ReservationIndex {
+    /// The end-keyed interval map: `(end, seq)` → `(start, owner, prio)`.
+    /// The insertion sequence disambiguates equal ends and starts at 1.
+    by_end: BTreeMap<(u64, u64), (u64, usize, u8)>,
+    /// Longest single reservation seen since the last clear, bounding how
+    /// far beyond a placement window a conflicting end can lie.
+    max_len: u64,
+    /// Monotonic insertion counter.
+    seq: u64,
+    /// Everything ending at or before this instant has been compacted away;
+    /// the caller guaranteed no placement or insertion below it.
+    watermark: u64,
+    /// Reservations dropped by watermark compaction.
+    compacted_events: u64,
+}
+
+impl ReservationIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the reservation `[start, end)` owned by `owner` at request
+    /// priority `prio`. Intervals occupy at least one cycle.
+    pub fn insert(&mut self, start: u64, end: u64, owner: usize, prio: u8) {
+        debug_assert!(end > start, "reservations occupy at least one cycle");
+        debug_assert!(start >= self.watermark, "insert below the watermark");
+        self.seq += 1;
+        self.by_end.insert((end, self.seq), (start, owner, prio));
+        self.max_len = self.max_len.max(end - start);
+    }
+
+    /// The latest end among reservations that overlap the candidate
+    /// placement `[placed, placed + span)` **and** satisfy the caller's
+    /// arbitration predicate `queues_behind(owner, prio)`; `None` when the
+    /// placement is conflict-free.
+    ///
+    /// Jumping a blocked placement to this end is a sound joint step: every
+    /// conflicting reservation overlaps *all* candidate instants in
+    /// `[placed, its end)` (its start is below `placed + span`, hence below
+    /// every later candidate's window too), so no conflict-free instant
+    /// exists before the latest conflicting end. Iterating placement from
+    /// this jump reaches the same fixpoint — the earliest conflict-free
+    /// instant — as the one-conflict-at-a-time retry it replaces, which is
+    /// what keeps the indexed engine cycle-identical to the naive scan.
+    pub fn max_conflicting_end(
+        &self,
+        placed: u64,
+        span: u64,
+        mut queues_behind: impl FnMut(usize, u8) -> bool,
+    ) -> Option<u64> {
+        let window_end = placed
+            .checked_add(span)
+            .and_then(|x| x.checked_add(self.max_len));
+        let upper = match window_end {
+            Some(hi) => Excluded((hi, 0)),
+            None => Unbounded,
+        };
+        let mut latest = None;
+        for (&(end, _), &(start, owner, prio)) in
+            self.by_end.range((Excluded((placed, u64::MAX)), upper))
+        {
+            if start < placed.saturating_add(span) && queues_behind(owner, prio) {
+                // The range iterates ends in ascending order, so the last
+                // match is the latest conflicting end.
+                latest = Some(end);
+            }
+        }
+        latest
+    }
+
+    /// Drops every reservation ending at or before `w`.
+    ///
+    /// The caller guarantees no future insertion or placement probe
+    /// concerns an instant before `w` — the "earliest possible future
+    /// arrival" of the window (all placements start at or after their
+    /// arrival, so a reservation wholly before `w` can never conflict
+    /// again). Statistics are untouched; regressing watermarks are ignored.
+    pub fn compact_before(&mut self, w: u64) {
+        if w <= self.watermark {
+            return;
+        }
+        // `split_off` keeps ends strictly greater than `w` (sequence
+        // numbers start at 1, so `(w + 1, 0)` sorts before every real key
+        // with that end) and hands back the compacted prefix.
+        let retained = self.by_end.split_off(&(w + 1, 0));
+        let folded = std::mem::replace(&mut self.by_end, retained);
+        self.compacted_events += folded.len() as u64;
+        self.watermark = w;
+    }
+
+    /// Reservations currently held by the index — the memory-bound
+    /// observable the compaction tests and the perf gate watch.
+    pub fn event_count(&self) -> usize {
+        self.by_end.len()
+    }
+
+    /// Reservations dropped by [`ReservationIndex::compact_before`].
+    pub const fn compacted_events(&self) -> u64 {
+        self.compacted_events
+    }
+
+    /// The compaction watermark (0 until the first compaction).
+    pub const fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Longest single reservation seen since the last clear.
+    pub const fn max_reservation_len(&self) -> u64 {
+        self.max_len
+    }
+
+    /// Checks the index invariants: every retained reservation occupies at
+    /// least one cycle, is no longer than the tracked maximum, and ends
+    /// past the watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is inconsistent.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        for (&(end, seq), &(start, _, _)) in &self.by_end {
+            assert!(end > start, "empty reservation at seq {seq}");
+            assert!(end - start <= self.max_len, "max_len undercounts {seq}");
+            assert!(end > self.watermark, "compacted entry survived: {seq}");
+        }
+    }
+
+    /// Drops every reservation and resets the watermark/max-length state (a
+    /// new measurement window opens; the compaction statistic survives,
+    /// like every other fabric statistic).
+    pub fn clear(&mut self) {
+        self.by_end.clear();
+        self.max_len = 0;
+        self.seq = 0;
+        self.watermark = 0;
+    }
+
+    /// Clears reservations *and* statistics.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.compacted_events = 0;
+    }
+}
+
 /// A cloneable credit handle onto a shared [`TimedQueue`].
 ///
 /// Clones share the queue: credits acquired through one handle are visible
@@ -885,6 +1067,95 @@ mod tests {
         b.acquire(Cycles::new(100), Cycles::new(500));
         assert_eq!(a.admission_at(Cycles::new(200)), Cycles::new(200));
         assert_eq!(b.admission_at(Cycles::new(200)), Cycles::new(500));
+    }
+
+    #[test]
+    fn reservation_index_probes_only_live_conflicts() {
+        let mut idx = ReservationIndex::new();
+        idx.insert(0, 100, 0, 0); // long-finished by the probe below
+        idx.insert(150, 400, 1, 0); // live: covers the candidate window
+        idx.insert(500, 520, 2, 0); // future but within start < placed+span? no
+        assert_eq!(idx.max_reservation_len(), 250);
+        // Candidate [200, 232): only the live interval conflicts.
+        assert_eq!(idx.max_conflicting_end(200, 32, |_, _| true), Some(400));
+        // The same probe with the predicate rejecting owner 1 is free.
+        assert_eq!(idx.max_conflicting_end(200, 32, |o, _| o != 1), None);
+        // A probe past every end is free without iterating history.
+        assert_eq!(idx.max_conflicting_end(600, 32, |_, _| true), None);
+        // Abutting intervals do not overlap: [500, 520) vs [480, 500).
+        assert_eq!(idx.max_conflicting_end(480, 20, |o, _| o == 2), None);
+        idx.debug_validate();
+    }
+
+    #[test]
+    fn reservation_index_returns_the_latest_conflicting_end() {
+        let mut idx = ReservationIndex::new();
+        // Overlapping reservations (a priority winner on top of the traffic
+        // it outranked): the probe must report the latest end, because no
+        // conflict-free instant exists before it.
+        idx.insert(100, 300, 0, 0);
+        idx.insert(120, 500, 1, 1);
+        idx.insert(130, 180, 2, 0);
+        assert_eq!(idx.max_conflicting_end(150, 8, |_, _| true), Some(500));
+        // Filtering to the short middle entry jumps only past it.
+        assert_eq!(idx.max_conflicting_end(150, 8, |o, _| o == 2), Some(180));
+    }
+
+    #[test]
+    fn reservation_index_compaction_drops_only_finished_history() {
+        let mut idx = ReservationIndex::new();
+        idx.insert(0, 100, 0, 0);
+        idx.insert(50, 150, 1, 0);
+        idx.insert(120, 300, 2, 0); // straddles the watermark below
+        idx.compact_before(150);
+        assert_eq!(idx.event_count(), 1, "straddling entries survive");
+        assert_eq!(idx.compacted_events(), 2);
+        assert_eq!(idx.watermark(), 150);
+        // The surviving straddler still conflicts with placements past w.
+        assert_eq!(idx.max_conflicting_end(200, 16, |_, _| true), Some(300));
+        // Idempotent and monotone: regressing watermarks are ignored.
+        idx.compact_before(150);
+        idx.compact_before(10);
+        assert_eq!(idx.event_count(), 1);
+        assert_eq!(idx.watermark(), 150);
+        idx.debug_validate();
+        // A window boundary resets the watermark but keeps the statistic.
+        idx.clear();
+        assert_eq!(idx.watermark(), 0);
+        assert_eq!(idx.event_count(), 0);
+        assert_eq!(idx.compacted_events(), 2);
+        idx.reset();
+        assert_eq!(idx.compacted_events(), 0);
+    }
+
+    #[test]
+    fn reservation_index_compaction_is_exact_for_probes_past_the_watermark() {
+        // Exactness, not approximation: a compacted index must answer every
+        // probe at or past the watermark identically to an uncompacted twin.
+        let mut plain = ReservationIndex::new();
+        let mut compacted = ReservationIndex::new();
+        let spans: [(u64, u64); 6] = [
+            (0, 40),
+            (30, 90),
+            (95, 100),
+            (110, 260),
+            (255, 270),
+            (290, 315),
+        ];
+        for (i, &(s, e)) in spans.iter().enumerate() {
+            plain.insert(s, e, i, (i % 3) as u8);
+            compacted.insert(s, e, i, (i % 3) as u8);
+        }
+        compacted.compact_before(105);
+        for placed in 105..350 {
+            for span in [1u64, 8, 64] {
+                assert_eq!(
+                    plain.max_conflicting_end(placed, span, |_, p| p > 0),
+                    compacted.max_conflicting_end(placed, span, |_, p| p > 0),
+                    "diverged at placed={placed} span={span}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -331,6 +331,12 @@ impl OffloadRunner {
             let rest = stream.remaining();
             stream.inject(&mut platform.mem, &platform.clock, rest)?;
         }
+        // The device window is over: every shard (and the stream drain) has
+        // been simulated, so all later accesses are stamped from the
+        // monotone global clock — "now" is a valid no-earlier-arrival
+        // watermark and finished reservations can be folded out of the
+        // placement index before any post-window traffic runs.
+        platform.mem.compact_fabric_before(platform.clock.now());
         Ok((KernelRunStats::merge_parallel(&shards), shards))
     }
 

@@ -115,13 +115,32 @@
 //! latency, which turns fabric contention into a sweepable dimension. With a
 //! single initiator nothing ever queues, so charging is also
 //! timing-neutral at `N = 1`.
-
-use std::collections::BTreeMap;
+//!
+//! # Indexed placement engine
+//!
+//! Placement is served by [`sva_common::ReservationIndex`]: each channel's
+//! reservation timeline is keyed by interval **end**, so one logarithmic
+//! range probe returns the latest conflicting reservation end — finished
+//! history is invisible to the probe instead of being re-scanned on every
+//! retry — and the arbiter's slot/weight/membership lookups on the grant
+//! path are O(1) caches. The engine is cycle-identical to the retained
+//! reference implementation ([`crate::NaiveFabric`], the original
+//! scan-with-retry algorithm); the `fabric_identity` property suite pins
+//! that identity on randomized workloads across every arbitration policy.
+//!
+//! Long open-loop windows additionally stay O(live reservations) rather
+//! than O(grants): a caller that guarantees no future grant arrives before
+//! a watermark may fold finished history with [`Fabric::compact_before`]
+//! (the platform drives this when a device measurement window closes —
+//! every later access is stamped from the monotone global clock). The
+//! fold is observable through [`Fabric::event_count`] /
+//! [`Fabric::compacted_events`] / [`Fabric::watermark`], mirroring
+//! [`sva_common::TimedQueue`].
 
 use serde::{Deserialize, Serialize};
 use sva_common::{
     ArbitrationPolicy, CreditPort, Cycles, InitiatorClass, InitiatorId, InitiatorStats, MemPortReq,
-    PortTiming,
+    PortTiming, ReservationIndex,
 };
 
 use crate::channels::{ChannelStats, DramChannelConfig};
@@ -218,16 +237,12 @@ pub struct InitiatorSnapshot {
 /// The data-bus timeline, channel queues and accounting of one DRAM channel.
 #[derive(Debug)]
 struct ChannelTimeline {
-    /// Bus reservations of timed grants, keyed by `(start, insertion seq)`
-    /// with `(end, owner slot, request priority)` values. Grows with the
-    /// number of timed accesses in a measurement window; cleared by
-    /// [`Fabric::reset`] (experiments reset between measurement phases).
-    reservations: BTreeMap<(u64, u64), (u64, usize, u8)>,
-    /// Longest single reservation seen, bounding how far below a placement
-    /// point a conflicting interval can start.
-    max_reservation_len: u64,
-    /// Monotonic insertion counter disambiguating equal-start reservations.
-    reservation_seq: u64,
+    /// Bus reservations of timed grants: an end-indexed
+    /// [`ReservationIndex`], probed logarithmically for the latest
+    /// conflicting end. Grows with the number of *live* reservations only —
+    /// history is folded by [`Fabric::compact_before`] and dropped at
+    /// window boundaries ([`Fabric::clear_timelines`]).
+    reservations: ReservationIndex,
     /// The channel's request queue: a grant occupies a slot from admission
     /// until the bus starts serving it. Initiators acquire a credit here
     /// before their request enters the channel.
@@ -242,9 +257,7 @@ struct ChannelTimeline {
 impl ChannelTimeline {
     fn new(req_depth: usize, rsp_depth: usize) -> Self {
         Self {
-            reservations: BTreeMap::new(),
-            max_reservation_len: 0,
-            reservation_seq: 0,
+            reservations: ReservationIndex::new(),
             req: CreditPort::new(req_depth),
             rsp: CreditPort::new(rsp_depth),
             stats: ChannelStats::default(),
@@ -259,11 +272,47 @@ impl Clone for ChannelTimeline {
     fn clone(&self) -> Self {
         Self {
             reservations: self.reservations.clone(),
-            max_reservation_len: self.max_reservation_len,
-            reservation_seq: self.reservation_seq,
             req: self.req.deep_clone(),
             rsp: self.rsp.deep_clone(),
             stats: self.stats,
+        }
+    }
+}
+
+/// Direct-map initiator registry: O(1) slot resolution on the grant path,
+/// replacing the linear registry scan. Scalar classes get one cell each;
+/// DMA slots are indexed by IOMMU device ID (platform device IDs are small
+/// and dense — one per accelerator cluster).
+#[derive(Clone, Debug, Default)]
+struct SlotMap {
+    host: Option<usize>,
+    host_stream: Option<usize>,
+    ptw: Option<usize>,
+    dma: Vec<Option<usize>>,
+}
+
+impl SlotMap {
+    fn get(&self, id: InitiatorId) -> Option<usize> {
+        match id {
+            InitiatorId::Host => self.host,
+            InitiatorId::HostStream => self.host_stream,
+            InitiatorId::Ptw => self.ptw,
+            InitiatorId::Dma { device } => self.dma.get(device as usize).copied().flatten(),
+        }
+    }
+
+    fn set(&mut self, id: InitiatorId, slot: usize) {
+        match id {
+            InitiatorId::Host => self.host = Some(slot),
+            InitiatorId::HostStream => self.host_stream = Some(slot),
+            InitiatorId::Ptw => self.ptw = Some(slot),
+            InitiatorId::Dma { device } => {
+                let device = device as usize;
+                if self.dma.len() <= device {
+                    self.dma.resize(device + 1, None);
+                }
+                self.dma[device] = Some(slot);
+            }
         }
     }
 }
@@ -275,9 +324,8 @@ pub struct Fabric {
     /// Registration order; the order in which streams were first simulated,
     /// which is also the order first-fit placement implicitly favours.
     initiators: Vec<(InitiatorId, InitiatorStats)>,
-    /// Diagnostic cursor recording which slot a rotating arbiter would
-    /// favour next; not consulted by interval placement.
-    rr_cursor: usize,
+    /// O(1) identity → slot map for the grant path.
+    slots: SlotMap,
     /// One data-bus timeline per DRAM channel.
     channels: Vec<ChannelTimeline>,
     /// Accumulated timed bus occupancy per slot (the service counter of the
@@ -286,6 +334,17 @@ pub struct Fabric {
     /// Slots in the order they first placed a timed reservation; the index
     /// into this list is the weight index of the `Weighted` policy.
     timed_order: Vec<usize>,
+    /// Cached per-slot policy weight, valid only while the matching
+    /// [`Fabric::in_timed_order`] flag is set (written when the slot joins
+    /// `timed_order`, whose membership never changes within a window).
+    timed_weight: Vec<u32>,
+    /// Per-slot `timed_order` membership flag — the O(1) replacement for
+    /// `timed_order.contains` on every occupying grant.
+    in_timed_order: Vec<bool>,
+    /// The weight every non-member slot currently resolves to:
+    /// `policy.weight(timed_order.len())`, refreshed whenever `timed_order`
+    /// grows (a moving fallback — late joiners weigh as the *next* index).
+    fallback_weight: u32,
     /// Initiator holding the most recent grant.
     last_owner: Option<InitiatorId>,
     grants: u64,
@@ -305,13 +364,17 @@ impl Fabric {
         let channels = (0..n)
             .map(|_| ChannelTimeline::new(config.req_queue_depth, config.rsp_queue_depth))
             .collect();
+        let fallback_weight = config.policy.weight(0);
         Self {
             config,
             initiators: Vec::new(),
-            rr_cursor: 0,
+            slots: SlotMap::default(),
             channels,
             served: Vec::new(),
             timed_order: Vec::new(),
+            timed_weight: Vec::new(),
+            in_timed_order: Vec::new(),
+            fallback_weight,
             last_owner: None,
             grants: 0,
             grant_switches: 0,
@@ -323,27 +386,31 @@ impl Fabric {
         &self.config
     }
 
-    /// Registers `id` if needed and returns its slot index.
+    /// Registers `id` if needed and returns its slot index (O(1) via the
+    /// direct map).
     fn slot(&mut self, id: InitiatorId) -> usize {
-        if let Some(i) = self.initiators.iter().position(|(x, _)| *x == id) {
-            i
-        } else {
-            self.initiators.push((id, InitiatorStats::default()));
-            self.served.push(0);
-            self.initiators.len() - 1
+        if let Some(slot) = self.slots.get(id) {
+            return slot;
         }
+        let slot = self.initiators.len();
+        self.initiators.push((id, InitiatorStats::default()));
+        self.served.push(0);
+        self.timed_weight.push(0);
+        self.in_timed_order.push(false);
+        self.slots.set(id, slot);
+        slot
     }
 
     /// The weight of `slot` under the weighted policy: its position in the
-    /// timed-reservation order (the current grant registers the slot if it
-    /// has not reserved before).
+    /// timed-reservation order, served from the per-slot cache (members are
+    /// stamped when they join `timed_order`; everyone else resolves to the
+    /// moving fallback at the list's current length).
     fn weight_of(&self, slot: usize) -> u32 {
-        let idx = self
-            .timed_order
-            .iter()
-            .position(|&s| s == slot)
-            .unwrap_or(self.timed_order.len());
-        self.config.policy.weight(idx)
+        if self.in_timed_order[slot] {
+            self.timed_weight[slot]
+        } else {
+            self.fallback_weight
+        }
     }
 
     /// Whether a grant by `slot` with occupancy `occ` must queue behind a
@@ -462,23 +529,19 @@ impl Fabric {
             req.priority > 0 && matches!(self.config.policy, ArbitrationPolicy::RoundRobin);
         loop {
             if !wins_outright {
-                // A conflicting interval satisfies start < placed + occ
-                // and end > placed; since no reservation is longer than
-                // max_reservation_len, its start also exceeds
-                // placed - max_reservation_len. Range-scan that window.
-                let lo = placed.saturating_sub(self.channels[channel].max_reservation_len);
-                let hi = placed + occupancy.max(1);
-                // Upper bound (hi, 0) excludes reservations starting at
-                // exactly `hi` (they abut ours without overlapping;
-                // sequence numbers start at 1).
-                let conflict = self.channels[channel]
-                    .reservations
-                    .range((lo, 0)..(hi, 0))
-                    .find(|(_, &(end, owner, owner_prio))| {
-                        end > placed
-                            && self.queues_behind(slot, req.priority, occupancy, owner, owner_prio)
-                    })
-                    .map(|(_, &(end, _, _))| end);
+                // One logarithmic probe returns the latest conflicting
+                // reservation end. Every conflicting interval blocks all
+                // placements up to its own end, so jumping straight there
+                // is the joint fixpoint step of the retry loop — the
+                // placement is bit-identical to retrying one conflict at a
+                // time (the policy predicate does not depend on `placed`).
+                let conflict = self.channels[channel].reservations.max_conflicting_end(
+                    placed,
+                    occupancy.max(1),
+                    |owner, owner_prio| {
+                        self.queues_behind(slot, req.priority, occupancy, owner, owner_prio)
+                    },
+                );
                 if let Some(end) = conflict {
                     placed = end;
                     continue;
@@ -532,18 +595,21 @@ impl Fabric {
             // host/PTW occupancy under the global-clock engine must not
             // consume a cluster's configured weight — those classes always
             // weigh the default 1 (absent slots fall back to it).
-            if matches!(req.initiator, InitiatorId::Dma { .. }) && !self.timed_order.contains(&slot)
-            {
+            if matches!(req.initiator, InitiatorId::Dma { .. }) && !self.in_timed_order[slot] {
+                // Stamp the joiner's weight at its first-reservation index,
+                // then move the non-member fallback to the next index.
+                self.timed_weight[slot] = self.config.policy.weight(self.timed_order.len());
+                self.in_timed_order[slot] = true;
                 self.timed_order.push(slot);
+                self.fallback_weight = self.config.policy.weight(self.timed_order.len());
             }
             self.served[slot] += occupancy;
-            let timeline = &mut self.channels[channel];
-            timeline.reservation_seq += 1;
-            timeline.reservations.insert(
-                (placed, timeline.reservation_seq),
-                (placed + occupancy, slot, req.priority),
+            self.channels[channel].reservations.insert(
+                placed,
+                placed + occupancy,
+                slot,
+                req.priority,
             );
-            timeline.max_reservation_len = timeline.max_reservation_len.max(occupancy);
         }
 
         if self.last_owner != Some(req.initiator) {
@@ -553,7 +619,6 @@ impl Fabric {
             self.last_owner = Some(req.initiator);
         }
         self.grants += 1;
-        self.rr_cursor = (slot + 1) % self.initiators.len();
         GrantOutcome {
             queue,
             issue_stall: Cycles::new(issue_stall),
@@ -635,12 +700,6 @@ impl Fabric {
         self.grant_switches
     }
 
-    /// Diagnostic cursor: the slot a rotating arbiter would favour next (not
-    /// consulted by interval placement).
-    pub const fn rr_cursor(&self) -> usize {
-        self.rr_cursor
-    }
-
     /// Clears all statistics and every channel timeline; registered
     /// initiators are forgotten so a fresh measurement window starts clean.
     pub fn reset(&mut self) {
@@ -648,15 +707,78 @@ impl Fabric {
         *self = Self::new(config);
     }
 
+    /// Folds every reservation ending at or before `watermark` out of the
+    /// placement index on every channel, together with the channel queues'
+    /// finished entries ([`CreditPort::compact_before`]).
+    ///
+    /// # Contract
+    ///
+    /// The caller guarantees that **no future grant arrives before the
+    /// watermark** — the same promise
+    /// [`sva_common::TimedQueue::compact_before`] demands. Under it the
+    /// fold is exact: every later probe answers as if nothing had been
+    /// folded, because a reservation ending at or before the watermark can
+    /// never conflict with a placement at or past it. The platform holds
+    /// the promise when a device measurement window closes (all later
+    /// traffic is stamped from the monotone global clock); mid-window
+    /// compaction is **not** generally safe — late-registering cluster
+    /// shards restart their local cursors at zero.
+    ///
+    /// Watermarks are monotone; an older watermark is a no-op. The fold is
+    /// observable through [`Fabric::event_count`] /
+    /// [`Fabric::compacted_events`] / [`Fabric::watermark`].
+    pub fn compact_before(&mut self, watermark: Cycles) {
+        for ch in &mut self.channels {
+            ch.reservations.compact_before(watermark.raw());
+            ch.req.compact_before(watermark);
+            ch.rsp.compact_before(watermark);
+        }
+    }
+
+    /// Live (uncompacted) bus reservations across every channel index — the
+    /// working-set size the placement probe walks in the worst case.
+    pub fn event_count(&self) -> usize {
+        self.channels
+            .iter()
+            .map(|ch| ch.reservations.event_count())
+            .sum()
+    }
+
+    /// Reservations folded by [`Fabric::compact_before`] across every
+    /// channel since the last [`Fabric::reset`]; together with
+    /// [`Fabric::event_count`] this accounts for every timed reservation of
+    /// the run.
+    pub fn compacted_events(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|ch| ch.reservations.compacted_events())
+            .sum()
+    }
+
+    /// The lowest channel compaction watermark: probes at or past it are
+    /// exact on every channel. Zero until the first compaction (and again
+    /// after each window boundary).
+    pub fn watermark(&self) -> Cycles {
+        Cycles::new(
+            self.channels
+                .iter()
+                .map(|ch| ch.reservations.watermark())
+                .min()
+                .unwrap_or(0),
+        )
+    }
+
     /// Drops every channel's reservations while keeping all accumulated
     /// statistics: a new measurement window opens (every initiator's local
     /// cursor returns to zero on the global clock), so reservations stamped
-    /// in the previous window must not collide with the new one.
+    /// in the previous window must not collide with the new one. The
+    /// compaction watermark resets with the timeline — cycle 0 of the new
+    /// window is insertable and probes below the old watermark are exact
+    /// again — while the `compacted_events` total survives as a run-level
+    /// statistic (mirroring [`sva_common::TimedQueue::clear_entries`]).
     pub fn clear_timelines(&mut self) {
         for ch in &mut self.channels {
             ch.reservations.clear();
-            ch.max_reservation_len = 0;
-            ch.reservation_seq = 0;
             // Credits held in the previous window must not leak into the
             // new one: local cursors restart at zero, and stale queue
             // entries stamped late in the old window would otherwise stall
@@ -668,6 +790,10 @@ impl Fabric {
             *served = 0;
         }
         self.timed_order.clear();
+        for member in &mut self.in_timed_order {
+            *member = false;
+        }
+        self.fallback_weight = self.config.policy.weight(0);
     }
 }
 
@@ -894,16 +1020,95 @@ mod tests {
         assert_eq!(q2, Cycles::ZERO, "far beyond every reservation");
     }
 
+    /// Compaction folds only finished reservations and is exact for every
+    /// grant at or past the watermark: a compacted fabric and an
+    /// uncompacted twin place identically while the live set stays bounded.
     #[test]
-    fn rr_cursor_rotates_past_the_granted_slot() {
+    fn compaction_is_exact_for_grants_past_the_watermark() {
+        let mut compacted = Fabric::default();
+        let mut reference = Fabric::default();
+        let mut t = 0u64;
+        for i in 0..64u64 {
+            t += 5 + (i * 7) % 40;
+            let occ = 8 + (i * 13) % 120;
+            let req = burst_req(1 + (i % 3) as u32 * 2, 2048).at(Cycles::new(t));
+            let a = compacted.admit(&req, timing(100, occ));
+            let b = reference.admit(&req, timing(100, occ));
+            assert_eq!(a, b, "grant {i} diverged under compaction");
+            if i % 8 == 7 {
+                // Arrivals are monotone in this stream, so "now" is a valid
+                // no-earlier-arrival watermark.
+                compacted.compact_before(Cycles::new(t));
+            }
+        }
+        assert!(compacted.watermark() > Cycles::ZERO);
+        assert!(compacted.compacted_events() > 0);
+        assert!(
+            compacted.event_count() < reference.event_count(),
+            "the live set must shrink: {} vs {}",
+            compacted.event_count(),
+            reference.event_count()
+        );
+        assert_eq!(
+            compacted.compacted_events() + compacted.event_count() as u64,
+            reference.event_count() as u64,
+            "folded + live accounts for every reservation"
+        );
+        assert_eq!(compacted.total(), reference.total());
+        assert_eq!(compacted.channel_stats(), reference.channel_stats());
+    }
+
+    /// Window boundary: `clear_timelines` resets the compaction watermark
+    /// and the live index alongside reservations and credits — cycle 0 of
+    /// the new window is insertable again — while the `compacted_events`
+    /// run total survives like every other accumulated statistic.
+    #[test]
+    fn clear_timelines_resets_compaction_state() {
         let mut fabric = Fabric::default();
-        fabric.grant(&burst_req(1, 64).at(Cycles::ZERO), timing(10, 8));
-        assert_eq!(fabric.rr_cursor(), 0, "one slot: cursor wraps to itself");
-        fabric.grant(&burst_req(2, 64).at(Cycles::new(1000)), timing(10, 8));
-        // Slot 1 granted last, cursor favours slot 0 next.
-        assert_eq!(fabric.rr_cursor(), 0);
-        fabric.grant(&burst_req(1, 64).at(Cycles::new(2000)), timing(10, 8));
-        assert_eq!(fabric.rr_cursor(), 1);
+        for i in 0..16u64 {
+            fabric.grant(
+                &burst_req(1, 2048).at(Cycles::new(i * 300)),
+                timing(100, 256),
+            );
+        }
+        fabric.compact_before(Cycles::new(4000));
+        assert_eq!(fabric.watermark(), Cycles::new(4000));
+        let folded = fabric.compacted_events();
+        assert!(folded > 0);
+        fabric.clear_timelines();
+        assert_eq!(fabric.watermark(), Cycles::ZERO, "watermark resets");
+        assert_eq!(fabric.event_count(), 0, "live index drops");
+        assert_eq!(fabric.compacted_events(), folded, "run total survives");
+        // The new window's cycle 0 — far below the old watermark — is a
+        // legal reservation point again.
+        let q = fabric.grant(&burst_req(3, 2048).at(Cycles::ZERO), timing(100, 256));
+        assert_eq!(q, Cycles::ZERO);
+        assert_eq!(fabric.event_count(), 1);
+    }
+
+    /// Compaction never changes `served`-occupancy arbitration outcomes for
+    /// the Weighted policy: the deficit counters live outside the index, so
+    /// a compacted fabric keeps the exact same service split as its
+    /// uncompacted twin.
+    #[test]
+    fn weighted_arbitration_outcomes_survive_compaction() {
+        let run = |compact: bool| -> Vec<GrantOutcome> {
+            let mut fabric = Fabric::new(FabricConfig {
+                policy: ArbitrationPolicy::Weighted(vec![8, 1]),
+                ..FabricConfig::default()
+            });
+            let mut outcomes = Vec::new();
+            for i in 0..48u64 {
+                let t = Cycles::new(i * 40);
+                outcomes.push(fabric.admit(&burst_req(1, 2048).at(t), timing(200, 256)));
+                outcomes.push(fabric.admit(&burst_req(3, 2048).at(t), timing(200, 256)));
+                if compact && i % 6 == 5 {
+                    fabric.compact_before(t);
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   interleave mapping;
 //! * [`fabric`] — the arbitration and per-initiator accounting layer of the
 //!   unified memory fabric (per-channel interval timelines, round-robin /
-//!   weighted / fixed-priority arbitration, contention measurement);
+//!   weighted / fixed-priority arbitration, contention measurement), placed
+//!   by an end-indexed reservation engine with watermark compaction;
+//! * [`naive_fabric`] — the retained linear-scan reference engine the
+//!   indexed fabric is property-tested against (cycle-identity);
 //! * [`system`] — [`MemorySystem`], the composition of all of the above
 //!   behind the unified [`MemorySystem::access`](system::MemorySystem::access)
 //!   fabric port used by the host, every cluster's DMA engine and the IOMMU
@@ -55,6 +58,7 @@ pub mod dram;
 pub mod fabric;
 pub mod interference;
 pub mod llc;
+pub mod naive_fabric;
 pub mod spm;
 pub mod system;
 
@@ -65,5 +69,6 @@ pub use dram::{Dram, DramConfig};
 pub use fabric::{Fabric, FabricConfig, GrantOutcome, InitiatorSnapshot};
 pub use interference::Interference;
 pub use llc::{Llc, LlcConfig};
+pub use naive_fabric::NaiveFabric;
 pub use spm::Scratchpad;
 pub use system::{BurstTiming, MemData, MemReq, MemRsp, MemSysConfig, MemSysStats, MemorySystem};

@@ -281,6 +281,23 @@ impl MemorySystem {
         self.clock.restart();
     }
 
+    /// Folds fabric reservations (and channel-queue entries) that finish at
+    /// or before `watermark` out of the placement index, keeping long
+    /// steady-state windows O(live reservations).
+    ///
+    /// # Contract
+    ///
+    /// The caller guarantees no future access arrives before the watermark
+    /// (see [`Fabric::compact_before`]). On the platform that holds when a
+    /// device measurement window closes — every later access is stamped
+    /// from the monotone global clock — and between open-loop serving
+    /// batches driven off one monotone arrival process. It does **not**
+    /// hold mid-window while cluster shards with restarting local cursors
+    /// are still being simulated.
+    pub fn compact_fabric_before(&mut self, watermark: Cycles) {
+        self.fabric.compact_before(watermark);
+    }
+
     /// The configuration this system was built with.
     pub const fn config(&self) -> &MemSysConfig {
         &self.config
@@ -1026,6 +1043,34 @@ mod tests {
             noisy as f64 > quiet as f64 * 1.1,
             "interference should add queueing delay: quiet={quiet} noisy={noisy}"
         );
+    }
+
+    /// Window boundary: `open_measurement_window` must reset the fabric's
+    /// compaction watermark and live index alongside reservations and
+    /// credits — the new window's cycle 0 is reservable again — while the
+    /// folded-reservation run total survives like every other statistic.
+    #[test]
+    fn open_measurement_window_resets_fabric_compaction_state() {
+        let mut m = sys(200, true);
+        let bypass = PhysAddr::new(DRAM_BASE + LLC_BYPASS_OFFSET + 0x10_0000);
+        let mut buf = [0u8; 2048];
+        for _ in 0..4 {
+            m.dma_read_burst(bypass, &mut buf).unwrap();
+            m.clock().advance(Cycles::new(2000));
+        }
+        m.compact_fabric_before(m.clock().now());
+        assert!(m.fabric().compacted_events() > 0, "history was folded");
+        assert!(m.fabric().watermark() > Cycles::ZERO);
+        let folded = m.fabric().compacted_events();
+        m.open_measurement_window();
+        assert_eq!(m.fabric().watermark(), Cycles::ZERO, "watermark resets");
+        assert_eq!(m.fabric().event_count(), 0, "live index drops");
+        assert_eq!(m.fabric().compacted_events(), folded, "run total survives");
+        // Cycle 0 of the new window — far below the old watermark — takes a
+        // fresh reservation without queueing.
+        m.dma_read_burst(bypass, &mut buf).unwrap();
+        assert_eq!(m.fabric().event_count(), 1);
+        assert_eq!(m.fabric().total().queue_cycles, 0);
     }
 
     #[test]
