@@ -1,8 +1,10 @@
 //! Criterion micro-benchmarks of the event-indexed occupancy-timeline
 //! engine: indexed vs linear-scan pushes on a deep bounded queue, the
-//! admission query on a standing backlog, watermark compaction, and the
+//! admission query on a standing backlog, watermark compaction, the
 //! fabric `admit` grant path (end-indexed placement vs the retained
-//! linear-scan `NaiveFabric`).
+//! linear-scan `NaiveFabric`), and the page-table walker's hot fetch path
+//! (indexed walk-table probe vs the retained full-table scan, on a walker
+//! carrying thousands of accumulated walk records).
 //!
 //! The `simspeed` binary is the perf *gate* (absolute
 //! simulated-cycles-per-second, written to `BENCH_simspeed.json`); these
@@ -13,9 +15,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use sva_common::rng::DeterministicRng;
 use sva_common::{
-    Cycles, InitiatorId, MemPortReq, NaiveTimedQueue, PhysAddr, PortTiming, TimedQueue,
+    Cycles, InitiatorId, Iova, MemPortReq, NaiveTimedQueue, PhysAddr, PortTiming, TimedQueue,
+    PAGE_SIZE,
 };
-use sva_mem::{Fabric, NaiveFabric};
+use sva_iommu::PageTableWalker;
+use sva_mem::{Fabric, MemSysConfig, MemorySystem, NaiveFabric};
+use sva_vm::{AddressSpace, FrameAllocator};
 
 /// The deep-queue batch the `simspeed` stress point uses, at bench size.
 fn batch(pushes: usize) -> Vec<(u64, u64)> {
@@ -160,11 +165,87 @@ fn bench_fabric_admit(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hot translation fetch: both walkers are preloaded with a ~5000-walk
+/// sharded storm (the `ptw_walk_storm` simspeed shape), whose records the
+/// naive table scans on every later probe, then one fresh walk plants live
+/// windows on every level of the hot page. The measured walk coalesces on
+/// all three levels — a pure probe, no new records, no memory reads — so
+/// each iteration is identical and the two engines differ only in how they
+/// find the in-flight windows.
+fn bench_ptw_fetch_hot(c: &mut Criterion) {
+    const PAGES: u64 = 48;
+    let storm: Vec<(u64, u64)> = {
+        let mut rng = DeterministicRng::new(0x977A_5708);
+        let mut cursors = [0u64; 4];
+        (0..5_000)
+            .map(|i| {
+                let shard = i % 4;
+                cursors[shard] += rng.next_below(50);
+                (rng.next_below(PAGES), cursors[shard])
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("ptw/fetch_hot");
+    for (name, mut walker) in [
+        ("indexed", PageTableWalker::with_batching(8)),
+        ("naive", PageTableWalker::with_naive_batching(8)),
+    ] {
+        let mut mem = MemorySystem::new(MemSysConfig {
+            dram_latency: Cycles::new(400),
+            ..MemSysConfig::default()
+        });
+        let mut frames = FrameAllocator::linux_pool();
+        let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+        let base = Iova::from_virt(
+            space
+                .alloc_buffer(&mut mem, &mut frames, PAGES * PAGE_SIZE)
+                .unwrap(),
+        );
+        let mut horizon = 0u64;
+        for &(page, t) in &storm {
+            let res = walker
+                .walk_at(
+                    &mut mem,
+                    space.root(),
+                    base + page * PAGE_SIZE,
+                    false,
+                    Cycles::new(t),
+                )
+                .unwrap();
+            horizon = horizon.max(t + res.cycles.raw());
+        }
+        // Plant live windows past the storm's horizon, then probe inside
+        // them: every bench iteration coalesces on all levels.
+        walker
+            .walk_at(
+                &mut mem,
+                space.root(),
+                base,
+                false,
+                Cycles::new(horizon + 1),
+            )
+            .unwrap();
+        let probe_t = Cycles::new(horizon + 2);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    walker
+                        .walk_at(&mut mem, space.root(), base, false, probe_t)
+                        .unwrap()
+                        .cycles,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_push,
     bench_queries,
     bench_compaction,
-    bench_fabric_admit
+    bench_fabric_admit,
+    bench_ptw_fetch_hot
 );
 criterion_main!(benches);

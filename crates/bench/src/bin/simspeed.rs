@@ -30,6 +30,21 @@
 //!   `Weighted` policy with six initiators, keeping the deficit predicate
 //!   (and its per-slot weight lookups) hot on every conflict probe.
 //!   Naive baseline recorded, no gate.
+//! * `ptw_walk_storm` — the translation path: a long sharded walk storm
+//!   through the batched page-table walker, the indexed walk table (with
+//!   its steady-state watermark-compaction discipline, peak live-record
+//!   count recorded) against the retained
+//!   [`sva_iommu::NaiveWalkTable`]-backed walker whose per-fetch probe and
+//!   MSHR count scan the whole accumulated table. Per-walk outcomes and
+//!   final walker statistics are asserted identical; the full run gates on
+//!   [`GATE_SPEEDUP`].
+//! * `pri_group_storm` — the demand-paging page-request path: repeated
+//!   overlapping page-request groups against a deep bounded queue with
+//!   periodic host pops, the `(device, page)` dedup index against the
+//!   retained full-queue-scan probe (`enqueue_page_requests_scan`).
+//!   Per-group `(enqueued, dropped)` outcomes and the popped request
+//!   stream are digest-checked identical; the full run gates on
+//!   [`GATE_SPEEDUP`].
 //!
 //! A measured thread-scaling curve for the `par_map`-driven sweeps rides
 //! along: the same point grid mapped at 1, 2, 4, … workers via
@@ -52,13 +67,15 @@ use std::time::Instant;
 use sva_bench::par::par_map_with;
 use sva_common::rng::DeterministicRng;
 use sva_common::{
-    ArbitrationPolicy, Cycles, InitiatorId, MemPortReq, NaiveTimedQueue, PhysAddr, PortTiming,
-    QueueDepths, TimedQueue,
+    ArbitrationPolicy, Cycles, InitiatorId, Iova, MemPortReq, NaiveTimedQueue, PhysAddr,
+    PortTiming, QueueDepths, TimedQueue, PAGE_SIZE,
 };
+use sva_iommu::{Iommu, IommuConfig, PageTableWalker};
 use sva_kernels::KernelKind;
-use sva_mem::{Fabric, FabricConfig, GrantOutcome, NaiveFabric};
+use sva_mem::{Fabric, FabricConfig, GrantOutcome, MemSysConfig, MemorySystem, NaiveFabric};
 use sva_soc::config::SocVariant;
 use sva_soc::experiments::fabric::{self, FabricKnobs, TlbHierarchyConfig, TlbKnobs};
+use sva_vm::{AddressSpace, FrameAllocator, PageTable};
 
 /// Minimum indexed-over-naive throughput multiple the full run gates on.
 const GATE_SPEEDUP: f64 = 5.0;
@@ -69,9 +86,11 @@ struct SpeedPoint {
     simulated_cycles: u64,
     wallclock_ms: f64,
     sim_cycles_per_sec: f64,
-    /// The linear-scan reference on the same work (queue points only).
+    /// The linear-scan reference on the same work (engine-twin points).
     naive: Option<NaiveBaseline>,
-    /// Peak boundary-event count (compacted queue point only).
+    /// Peak live indexed-state count: boundary events (queue points), live
+    /// reservations (fabric points), live walk records or pending page
+    /// requests (translation points).
     events_peak: Option<usize>,
 }
 
@@ -327,6 +346,205 @@ fn fabric_weighted_hot(grants: usize) -> SpeedPoint {
     fabric_engine_point("fabric_weighted_hot", config, &batch)
 }
 
+/// Pages in the walk storm's mapped working set: wide enough that the
+/// naive table accumulates thousands of per-level records to scan.
+const PTW_STORM_PAGES: u64 = 48;
+
+/// Builds the walk-storm batch: four conceptually concurrent shards with
+/// independently advancing monotone cursors, interleaved exactly like the
+/// platform's sharded offload, over a working set dense enough that walks
+/// coalesce onto in-flight PTE reads. Returns `(page, arrival)` pairs.
+fn ptw_storm_batch(walks: usize) -> Vec<(u64, u64)> {
+    let mut rng = DeterministicRng::new(0x977A_5708);
+    let shards = 4usize;
+    let mut cursors = vec![0u64; shards];
+    let mut batch = Vec::with_capacity(walks);
+    for i in 0..walks {
+        let shard = i % shards;
+        cursors[shard] += rng.next_below(50);
+        batch.push((rng.next_below(PTW_STORM_PAGES), cursors[shard]));
+    }
+    batch
+}
+
+/// A deterministic memory system + address space twin for the walk storm.
+fn ptw_environment() -> (MemorySystem, AddressSpace, Iova) {
+    let mut mem = MemorySystem::new(MemSysConfig {
+        dram_latency: Cycles::new(400),
+        ..MemSysConfig::default()
+    });
+    let mut frames = FrameAllocator::linux_pool();
+    let mut space = AddressSpace::new(&mut mem, &mut frames).expect("storm address space");
+    let va = space
+        .alloc_buffer(&mut mem, &mut frames, PTW_STORM_PAGES * PAGE_SIZE)
+        .expect("storm working set");
+    (mem, space, Iova::from_virt(va))
+}
+
+/// Drives one walker over the storm batch in its own environment twin.
+/// With `compact`, the indexed walker folds dead windows every 512 walks
+/// at the no-earlier-arrival watermark (the minimum of the four shard
+/// cursors — the last four arrivals are exactly the shards' frontiers).
+/// Returns (horizon, wallclock ms, outcome digest, peak live records).
+fn drive_ptw(
+    walker: &mut PageTableWalker,
+    batch: &[(u64, u64)],
+    compact: bool,
+) -> (u64, f64, u64, usize) {
+    let (mut mem, space, base) = ptw_environment();
+    let start = Instant::now();
+    let mut horizon = 0u64;
+    let mut digest = 0u64;
+    let mut events_peak = 0usize;
+    for (i, &(page, t)) in batch.iter().enumerate() {
+        let res = walker
+            .walk_at(
+                &mut mem,
+                space.root(),
+                base + page * PAGE_SIZE,
+                false,
+                Cycles::new(t),
+            )
+            .expect("storm pages are mapped");
+        horizon = horizon.max(t + res.cycles.raw());
+        digest = digest.wrapping_mul(0x100_0000_01b3).wrapping_add(
+            res.cycles.raw() ^ u64::from(res.reads) << 40 ^ u64::from(res.coalesced) << 52,
+        );
+        if compact {
+            if i % 512 == 511 {
+                let watermark = batch[i - 3..=i].iter().map(|&(_, t)| t).min().unwrap();
+                walker.compact_walk_table_before(Cycles::new(watermark));
+            }
+            events_peak = events_peak.max(walker.walk_table_events());
+        }
+    }
+    (
+        horizon,
+        start.elapsed().as_secs_f64() * 1e3,
+        digest,
+        events_peak,
+    )
+}
+
+fn ptw_walk_storm(walks: usize) -> SpeedPoint {
+    let batch = ptw_storm_batch(walks);
+    let mut indexed = PageTableWalker::with_batching(8);
+    let (horizon, indexed_ms, indexed_digest, events_peak) = drive_ptw(&mut indexed, &batch, true);
+    let mut naive = PageTableWalker::with_naive_batching(8);
+    let (_, naive_ms, naive_digest, _) = drive_ptw(&mut naive, &batch, false);
+    assert_eq!(
+        indexed_digest, naive_digest,
+        "ptw_walk_storm: indexed and naive walk tables diverged"
+    );
+    assert_eq!(indexed.pte_reads(), naive.pte_reads());
+    assert_eq!(indexed.coalesced_reads(), naive.coalesced_reads());
+    assert_eq!(indexed.walk_time(), naive.walk_time());
+    SpeedPoint {
+        name: "ptw_walk_storm",
+        simulated_cycles: horizon,
+        wallclock_ms: indexed_ms,
+        sim_cycles_per_sec: cycles_per_sec(horizon, indexed_ms),
+        naive: Some(NaiveBaseline {
+            wallclock_ms: naive_ms,
+            sim_cycles_per_sec: cycles_per_sec(horizon, naive_ms),
+            speedup: naive_ms / indexed_ms.max(1e-6),
+        }),
+        events_peak: Some(events_peak),
+    }
+}
+
+/// IOVA pages in the page-request storm's working set per device: with two
+/// devices this matches the full-mode queue depth, so the queue saturates
+/// on dedup suppression (the expensive probe) rather than pure overflow.
+const PRI_STORM_PAGES: u64 = 4096;
+
+/// Drives one IOMMU through the group storm: overlapping 16-page request
+/// groups from two devices against an empty IO table (every page is a
+/// candidate), four host pops every eight groups. Returns (horizon,
+/// wallclock ms, digest over group outcomes and the popped stream).
+fn drive_pri(iommu: &mut Iommu, mem: &MemorySystem, groups: usize, scan: bool) -> (u64, f64, u64) {
+    let mut rng = DeterministicRng::new(0x9B1_5708);
+    let base = Iova::new(0x4000_0000);
+    let start = Instant::now();
+    let mut now = 0u64;
+    let mut digest = 0u64;
+    for g in 0..groups {
+        now += 7;
+        let dev = 1 + rng.next_below(2) as u32;
+        let first = base + rng.next_below(PRI_STORM_PAGES) * PAGE_SIZE;
+        let len = 16 * PAGE_SIZE;
+        let (enqueued, dropped) = if scan {
+            iommu.enqueue_page_requests_scan(mem, dev, first, len, false, Cycles::new(now))
+        } else {
+            iommu.enqueue_page_requests(mem, dev, first, len, false, Cycles::new(now))
+        };
+        digest = digest
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(enqueued ^ dropped << 32);
+        if g % 8 == 7 {
+            for _ in 0..4 {
+                if let Some(r) = iommu.pop_page_request() {
+                    digest = digest
+                        .wrapping_mul(0x100_0000_01b3)
+                        .wrapping_add(r.iova.raw() ^ u64::from(r.device_id) << 48);
+                }
+            }
+        }
+    }
+    digest = digest
+        .wrapping_mul(0x100_0000_01b3)
+        .wrapping_add(iommu.pending_page_requests() as u64);
+    (now, start.elapsed().as_secs_f64() * 1e3, digest)
+}
+
+/// A fresh IOMMU twin for the page-request storm: two devices attached to
+/// one empty IO page table, a `entries`-deep page-request queue.
+fn pri_environment(entries: usize) -> (MemorySystem, Iommu) {
+    let mut mem = MemorySystem::default();
+    let mut frames = FrameAllocator::linux_pool();
+    let io_root = PageTable::create(&mut frames)
+        .expect("storm IO table")
+        .root();
+    let mut iommu = Iommu::new(IommuConfig {
+        demand_paging: true,
+        page_request_entries: entries,
+        ..IommuConfig::default()
+    });
+    for dev in [1u32, 2] {
+        iommu
+            .attach_device(&mut mem, &mut frames, dev, 0, io_root)
+            .expect("storm device");
+    }
+    (mem, iommu)
+}
+
+fn pri_group_storm(groups: usize, entries: usize) -> SpeedPoint {
+    let (mem_a, mut indexed) = pri_environment(entries);
+    let (horizon, indexed_ms, indexed_digest) = drive_pri(&mut indexed, &mem_a, groups, false);
+    let (mem_b, mut scan) = pri_environment(entries);
+    let (_, scan_ms, scan_digest) = drive_pri(&mut scan, &mem_b, groups, true);
+    assert_eq!(
+        indexed_digest, scan_digest,
+        "pri_group_storm: dedup index and queue scan diverged"
+    );
+    assert_eq!(
+        indexed.stats().page_request_pending_peak,
+        scan.stats().page_request_pending_peak
+    );
+    SpeedPoint {
+        name: "pri_group_storm",
+        simulated_cycles: horizon,
+        wallclock_ms: indexed_ms,
+        sim_cycles_per_sec: cycles_per_sec(horizon, indexed_ms),
+        naive: Some(NaiveBaseline {
+            wallclock_ms: scan_ms,
+            sim_cycles_per_sec: cycles_per_sec(horizon, scan_ms),
+            speedup: scan_ms / indexed_ms.max(1e-6),
+        }),
+        events_peak: Some(indexed.stats().page_request_pending_peak),
+    }
+}
+
 fn fabric_point(
     name: &'static str,
     clusters: usize,
@@ -513,6 +731,8 @@ fn validate(text: &str) -> Vec<String> {
         "fabric_deep_queues",
         "fabric_long_window",
         "fabric_weighted_hot",
+        "ptw_walk_storm",
+        "pri_group_storm",
     ] {
         require(&format!("\"name\": \"{name}\""), "stress point");
     }
@@ -614,6 +834,12 @@ fn main() {
     );
     let long_window = fabric_long_window(pushes);
     let weighted_hot = fabric_weighted_hot(pushes);
+    let walk_storm = ptw_walk_storm(if smoke { 500 } else { 5_000 });
+    let group_storm = if smoke {
+        pri_group_storm(120, 512)
+    } else {
+        pri_group_storm(2_000, 8_192)
+    };
     let scaling = thread_scaling(smoke);
 
     let points = [
@@ -623,6 +849,8 @@ fn main() {
         deep_queues,
         long_window,
         weighted_hot,
+        walk_storm,
+        group_storm,
     ];
     for p in &points {
         let extra = match (&p.naive, p.events_peak) {
@@ -652,7 +880,12 @@ fn main() {
     println!("wrote {out}");
 
     if !smoke {
-        for gated in ["timed_queue_deep", "fabric_long_window"] {
+        for gated in [
+            "timed_queue_deep",
+            "fabric_long_window",
+            "ptw_walk_storm",
+            "pri_group_storm",
+        ] {
             let speedup = points
                 .iter()
                 .find(|p| p.name == gated)

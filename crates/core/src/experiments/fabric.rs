@@ -200,6 +200,15 @@ pub struct FabricPoint {
     pub ptw_reads: u64,
     /// Walk levels served by MSHR coalescing (nonzero only with batching).
     pub ptw_coalesced_reads: u64,
+    /// Peak live window-record count of the walker's MSHR walk table
+    /// (0 with batching off).
+    pub ptw_walk_table_events_peak: u64,
+    /// Walk-table records folded by watermark compaction at device-window
+    /// boundaries (0 with batching off).
+    pub ptw_walk_table_compacted: u64,
+    /// Peak size of the PRI `(device, page)` dedup index — the most page
+    /// requests pending at once (0 with demand paging off).
+    pub pri_pending_peak: u64,
     /// Whether the device results matched the host reference.
     pub verified: bool,
     /// Grants whose initiator differed from the previous grant's.
@@ -451,6 +460,8 @@ impl FabricSweepResult {
                  \"page_req_latency_p50\": {}, \"page_req_latency_p90\": {}, \
                  \"page_req_latency_p99\": {}, \
                  \"ptw_walks\": {}, \"ptw_reads\": {}, \"ptw_coalesced_reads\": {}, \
+                 \"ptw_walk_table_events_peak\": {}, \"ptw_walk_table_compacted\": {}, \
+                 \"pri_pending_peak\": {}, \
                  \"verified\": {}, \"grant_switches\": {}, \
                  \"initiators\": [{}], \"per_channel\": [{}]}}{}\n",
                 p.kernel,
@@ -481,6 +492,9 @@ impl FabricSweepResult {
                 p.ptw_walks,
                 p.ptw_reads,
                 p.ptw_coalesced_reads,
+                p.ptw_walk_table_events_peak,
+                p.ptw_walk_table_compacted,
+                p.pri_pending_peak,
                 p.verified,
                 p.grant_switches,
                 initiators.join(", "),
@@ -659,6 +673,9 @@ pub fn run_point(
         ptw_walks: report.iommu.ptw_walks,
         ptw_reads: report.iommu.ptw_reads,
         ptw_coalesced_reads: report.iommu.ptw_coalesced_reads,
+        ptw_walk_table_events_peak: report.iommu.ptw_walk_table_events_peak as u64,
+        ptw_walk_table_compacted: report.iommu.ptw_walk_table_compacted,
+        pri_pending_peak: report.iommu.page_request_pending_peak as u64,
         verified: report.verified,
         grant_switches: platform.mem.fabric().grant_switches(),
         initiators,

@@ -337,6 +337,15 @@ impl OffloadRunner {
         // watermark and finished reservations can be folded out of the
         // placement index before any post-window traffic runs.
         platform.mem.compact_fabric_before(platform.clock.now());
+        // The translation path compacts under the same watermark: walk-table
+        // windows that completed before it can no longer serve a coalescing
+        // probe or count as in-flight, for the same monotone-clock reason.
+        match override_iommu {
+            Some(i) => i.compact_translation_before(platform.clock.now()),
+            None => platform
+                .iommu
+                .compact_translation_before(platform.clock.now()),
+        }
         Ok((KernelRunStats::merge_parallel(&shards), shards))
     }
 

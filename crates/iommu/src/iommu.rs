@@ -31,6 +31,8 @@
 //! timing model; use [`Iommu::translate_at`] for anything a device would
 //! actually issue.
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
 use sva_common::stats::{Histogram, HitMiss, RunningStats};
 use sva_common::{Cycles, Error, Iova, PhysAddr, ReplacementPolicy, Result, TimedQueue, TlbOrg};
@@ -234,6 +236,15 @@ pub struct IommuStats {
     /// Peak number of simultaneously in-flight serviced page requests
     /// (from the PRI occupancy timeline; 0 with demand paging off).
     pub page_request_peak_in_flight: usize,
+    /// Peak size of the PRI `(device, page)` dedup index — the most page
+    /// requests pending at once (0 with demand paging off).
+    pub page_request_pending_peak: usize,
+    /// Peak live window-record count of the walker's MSHR walk table
+    /// (always zero with batching off).
+    pub ptw_walk_table_events_peak: usize,
+    /// Walk-table window records folded away by watermark compaction at
+    /// device-window boundaries.
+    pub ptw_walk_table_compacted: u64,
 }
 
 /// The RISC-V IOMMU.
@@ -254,6 +265,14 @@ pub struct Iommu {
     faults: BoundedQueue<FaultRecord>,
     /// The ATS/PRI page-request queue (unused with demand paging off).
     page_requests: BoundedQueue<PageRequest>,
+    /// Dedup index over the queue: the `(device_id, page base)` of every
+    /// pending request, maintained in lockstep with the queue on the
+    /// push/pop paths (an overflow-dropped request is *not* pending). The
+    /// per-page "already pending?" probe of a page-request group is one
+    /// set lookup instead of a queue scan.
+    pending_pages: BTreeSet<(u32, u64)>,
+    /// Peak size of the dedup index over the measurement window.
+    pending_pages_peak: usize,
     pri: PageRequestStats,
     pri_hist: Histogram,
     /// Timed occupancy record of the PRI path: each serviced request
@@ -285,6 +304,8 @@ impl Iommu {
             commands: BoundedQueue::new(64),
             faults: BoundedQueue::new(config.fault_queue_entries),
             page_requests: BoundedQueue::new(config.page_request_entries.max(1)),
+            pending_pages: BTreeSet::new(),
+            pending_pages_peak: 0,
             pri: PageRequestStats::default(),
             pri_hist: Histogram::new(PRI_HIST_BUCKET, PRI_HIST_BUCKETS),
             pri_timeline: TimedQueue::unbounded_recording(),
@@ -759,6 +780,40 @@ impl Iommu {
         is_write: bool,
         now: Cycles,
     ) -> (u64, u64) {
+        self.enqueue_group(mem, device_id, start, len, is_write, now, false)
+    }
+
+    /// The pre-index page-request group path, retained verbatim as the
+    /// executable reference: the per-page "already pending?" probe scans
+    /// the whole queue instead of consulting the dedup index. The dedup
+    /// index is still maintained (it is queue state, not a statistic), so
+    /// a walker driven through this path stays observationally identical —
+    /// the `pri_group_storm` perf gate and the desync property suite
+    /// twin-run both paths.
+    #[doc(hidden)]
+    pub fn enqueue_page_requests_scan(
+        &mut self,
+        mem: &MemorySystem,
+        device_id: u32,
+        start: Iova,
+        len: u64,
+        is_write: bool,
+        now: Cycles,
+    ) -> (u64, u64) {
+        self.enqueue_group(mem, device_id, start, len, is_write, now, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_group(
+        &mut self,
+        mem: &MemorySystem,
+        device_id: u32,
+        start: Iova,
+        len: u64,
+        is_write: bool,
+        now: Cycles,
+        scan: bool,
+    ) -> (u64, u64) {
         let mut enqueued = 0u64;
         let mut dropped = 0u64;
         let first = start.page_base();
@@ -766,10 +821,16 @@ impl Iommu {
         let mut page = first;
         while page < end {
             let unmapped = !self.probe_access(mem, device_id, page, is_write);
-            let pending = self
-                .page_requests
-                .iter()
-                .any(|r| r.device_id == device_id && r.iova.page_base() == page.page_base());
+            // Every pushed request's IOVA is a page base, and every push is
+            // guarded by this probe — so pending `(device, page)` pairs are
+            // unique in the queue and the dedup index mirrors it exactly.
+            let pending = if scan {
+                self.page_requests
+                    .iter()
+                    .any(|r| r.device_id == device_id && r.iova.page_base() == page.page_base())
+            } else {
+                self.pending_pages.contains(&(device_id, page.raw()))
+            };
             if unmapped && !pending {
                 if self.page_requests.push(PageRequest {
                     device_id,
@@ -777,12 +838,16 @@ impl Iommu {
                     is_write,
                     issued_at: now,
                 }) {
+                    self.pending_pages.insert((device_id, page.raw()));
+                    self.pending_pages_peak = self.pending_pages_peak.max(self.pending_pages.len());
                     enqueued += 1;
                     self.pri.requests += 1;
                 } else {
                     // The queue is full; keep scanning so every request of
                     // the group that fails to enqueue is counted — the
-                    // drop statistics promise a per-request count.
+                    // drop statistics promise a per-request count. An
+                    // overflow-dropped request never enters the dedup
+                    // index: it is not pending and must be re-requestable.
                     dropped += 1;
                     self.pri.dropped += 1;
                 }
@@ -794,7 +859,12 @@ impl Iommu {
 
     /// Removes and returns the oldest pending page request (host side).
     pub fn pop_page_request(&mut self) -> Option<PageRequest> {
-        self.page_requests.pop()
+        let req = self.page_requests.pop();
+        if let Some(r) = &req {
+            self.pending_pages
+                .remove(&(r.device_id, r.iova.page_base().raw()));
+        }
+        req
     }
 
     /// Number of pending page requests.
@@ -838,6 +908,51 @@ impl Iommu {
     /// update must not let stale in-flight PTE values serve later walks).
     pub fn purge_walk_table(&mut self) {
         self.ptw.invalidate_walk_table();
+    }
+
+    /// Folds translation-path history that can no longer influence the
+    /// simulation: every walk-table window completing at or before
+    /// watermark `w`. Contract: no later walk is stamped before `w` (the
+    /// same no-earlier-arrival watermark
+    /// `MemorySystem::compact_fabric_before` uses); the offload driver
+    /// applies both together at sharded device-window boundaries.
+    pub fn compact_translation_before(&mut self, w: Cycles) {
+        self.ptw.compact_walk_table_before(w);
+    }
+
+    /// Checks that the PRI dedup index mirrors the page-request queue
+    /// exactly: same size, and every pending request's `(device, page)` is
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index and the queue have desynchronised.
+    #[doc(hidden)]
+    pub fn debug_validate_page_requests(&self) {
+        assert_eq!(
+            self.pending_pages.len(),
+            self.page_requests.len(),
+            "PRI dedup index size diverged from the queue"
+        );
+        for r in self.page_requests.iter() {
+            assert!(
+                self.pending_pages
+                    .contains(&(r.device_id, r.iova.page_base().raw())),
+                "pending request {:?} missing from the dedup index",
+                r
+            );
+        }
+        assert!(self.pending_pages_peak >= self.pending_pages.len());
+    }
+
+    /// Test hook: plants a stale `(device, page)` entry in the PRI dedup
+    /// index with no backing queue entry — the desync the property suite
+    /// must catch (a stale entry silently suppresses a legitimate
+    /// re-request after the page was popped and unmapped again).
+    #[doc(hidden)]
+    pub fn debug_inject_stale_pending_page(&mut self, device_id: u32, page: Iova) {
+        self.pending_pages
+            .insert((device_id, page.page_base().raw()));
     }
 
     /// Records a **terminal** IO page fault in the fault queue.
@@ -898,6 +1013,9 @@ impl Iommu {
             page_request_p90: self.pri_hist.percentile(0.90),
             page_request_p99: self.pri_hist.percentile(0.99),
             page_request_peak_in_flight: self.pri_timeline.peak(),
+            page_request_pending_peak: self.pending_pages_peak,
+            ptw_walk_table_events_peak: self.ptw.walk_table_events_peak(),
+            ptw_walk_table_compacted: self.ptw.walk_table_compacted_events(),
         }
     }
 
@@ -936,6 +1054,10 @@ impl Iommu {
         self.ptw.reset_stats();
         self.faults.reset_dropped();
         self.page_requests.reset_dropped();
+        // The dedup index is queue state, not a statistic: requests still
+        // pending across the window boundary stay pending (and deduped).
+        // Only the peak restarts, at the carried-over size.
+        self.pending_pages_peak = self.pending_pages.len();
         self.pri = PageRequestStats::default();
         self.pri_hist = Histogram::new(PRI_HIST_BUCKET, PRI_HIST_BUCKETS);
         self.pri_timeline.reset();

@@ -40,12 +40,52 @@
 //! sequentially and may revisit any instant of it. The table is purged by
 //! every invalidation command and statistics reset.
 //!
+//! # The indexed walk table
+//!
+//! Retaining completed records all window makes the table grow with the
+//! walk count, and the original store was a flat `Vec` scanned twice per
+//! PTE fetch (the coalescing probe and the in-flight concurrency count) —
+//! O(walks²) per measurement window on translation storms. [`WalkTable`]
+//! rebuilds the store as an index:
+//!
+//! * **Coalescing probe** — a per-PTE-address `BTreeMap` of
+//!   `[issued, complete)` windows keyed by issue time: "is a read of this
+//!   PTE outstanding at `now`?" is one floor lookup (walked backward past
+//!   dead windows, see below) plus an O(1) `max_complete` short-circuit
+//!   for probes past every recorded completion.
+//! * **Concurrency bound** — a boundary-delta in-flight counter (the
+//!   [`sva_common::TimedQueue`] occupancy engine): every held read pushes
+//!   its `[issued, complete)` residency, and the MSHR capacity check is
+//!   `occupancy_at(now)`, O(log n) instead of a full-table filter.
+//!
+//! The index reproduces the flat table's *first-inserted-match* semantics
+//! exactly. Two windows of the same address can only overlap when the
+//! later-inserted one has the strictly smaller issue time (a walk only
+//! issues its own read at an instant no held window covers), so among the
+//! windows covering an instant the first-inserted is precisely the one
+//! with the greatest issue time — the one the backward floor-walk meets
+//! first. The pre-index algorithm is retained verbatim as
+//! [`NaiveWalkTable`], the executable reference the cycle-identity
+//! property suite (`crates/iommu/tests/ptw_identity.rs`) and the
+//! `ptw_walk_storm` perf gate drive against.
+//!
+//! Like the fabric's reservation index, the live set is bounded by
+//! **watermark compaction**: [`PageTableWalker::compact_walk_table_before`]
+//! folds every window completing at or before a no-earlier-arrival
+//! watermark (the caller guarantees no later walk is stamped before it) and
+//! is applied automatically alongside `MemorySystem::compact_fabric_before`
+//! at sharded device-window boundaries, with the established
+//! `event_count`/`compacted_events`/`watermark`/`debug_validate`
+//! observables.
+//!
 //! With batching disabled the walker is exactly the serial walker of the
 //! paper's prototype, read for read and cycle for cycle.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 use sva_common::stats::RunningStats;
-use sva_common::{Cycles, Error, InitiatorId, Iova, PhysAddr, Result, VirtAddr};
+use sva_common::{Cycles, Error, InitiatorId, Iova, PhysAddr, Result, TimedQueue, VirtAddr};
 use sva_mem::{MemReq, MemorySystem};
 use sva_vm::page_table::{pte_address, PT_LEVELS};
 use sva_vm::Pte;
@@ -83,6 +123,347 @@ struct WalkEntry {
     complete: u64,
 }
 
+/// One recorded `[issued, complete)` window in the indexed store (the issue
+/// time is the map key).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct WalkWindow {
+    /// The value the read returns.
+    value: u64,
+    /// Global-clock cycle at which the read completes.
+    complete: u64,
+}
+
+/// The window set of one PTE address.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct AddrWindows {
+    /// Windows keyed by issue time. Keys are unique: a second read of the
+    /// same address at the same instant would have coalesced onto the held
+    /// window covering that instant instead of being held itself.
+    by_issue: BTreeMap<u64, WalkWindow>,
+    /// Greatest completion time over the windows — a probe at or past it
+    /// cannot be served and short-circuits without touching the map.
+    max_complete: u64,
+}
+
+/// The indexed MSHR walk-table store: per-address issue-time-keyed window
+/// maps for the coalescing probe plus a boundary-delta occupancy timeline
+/// for the in-flight concurrency bound. Cycle-identical to
+/// [`NaiveWalkTable`] (the property suite in
+/// `crates/iommu/tests/ptw_identity.rs` pins it).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WalkTable {
+    addrs: BTreeMap<u64, AddrWindows>,
+    /// `[issued, complete)` residency of every held read: the MSHR
+    /// concurrency bound is one `occupancy_at` floor lookup.
+    in_flight: TimedQueue,
+    /// Live window records (the `event_count` observable).
+    records: usize,
+    /// Peak live record count over the window.
+    events_peak: usize,
+    /// Records folded away by watermark compaction.
+    compacted: u64,
+    /// The compaction watermark (0 until the first compaction).
+    watermark: u64,
+}
+
+impl Default for WalkTable {
+    fn default() -> Self {
+        Self {
+            addrs: BTreeMap::new(),
+            in_flight: TimedQueue::unbounded_recording(),
+            records: 0,
+            events_peak: 0,
+            compacted: 0,
+            watermark: 0,
+        }
+    }
+}
+
+impl WalkTable {
+    /// The register whose read is outstanding at `now` for `pte_addr`, if
+    /// any: `(value, complete)`. `skew` widens every window's completion
+    /// edge (test-only, see [`PageTableWalker::debug_probe_skew`]; zero in
+    /// production).
+    ///
+    /// Backward floor-walk from the greatest issue time at or before `now`.
+    /// The first *covering* window met is the naive table's first-inserted
+    /// covering entry (overlapping same-address windows are inserted in
+    /// strictly decreasing issue-time order — see the module docs). Dead
+    /// windows with a later issue time than a covering one are possible
+    /// (a short re-read nested inside a long out-of-order window) and are
+    /// simply stepped over.
+    fn probe(&self, pte_addr: u64, now: u64, skew: u64) -> Option<(u64, u64)> {
+        let aw = self.addrs.get(&pte_addr)?;
+        if now >= aw.max_complete + skew {
+            return None;
+        }
+        aw.by_issue
+            .range(..=now)
+            .rev()
+            .find(|(_, w)| w.complete + skew > now)
+            .map(|(_, w)| (w.value, w.complete))
+    }
+
+    /// Number of held reads in flight at `now` (issued at or before it,
+    /// completing after it).
+    fn in_flight_at(&self, now: u64) -> usize {
+        self.in_flight.occupancy_at(now)
+    }
+
+    /// Holds a read in a register. The caller guarantees `complete > issued`
+    /// (a zero-latency read can never serve a coalescing walk nor count as
+    /// in flight, so it is never held) and that no held window of
+    /// `pte_addr` covers `issued` (the probe ran first), which makes the
+    /// issue-time key unique.
+    fn hold(&mut self, pte_addr: u64, value: u64, issued: u64, complete: u64) {
+        debug_assert!(complete > issued);
+        let aw = self.addrs.entry(pte_addr).or_default();
+        aw.max_complete = aw.max_complete.max(complete);
+        let prev = aw.by_issue.insert(issued, WalkWindow { value, complete });
+        debug_assert!(prev.is_none(), "held window would have served the probe");
+        self.in_flight.push(issued, complete);
+        self.records += 1;
+        self.events_peak = self.events_peak.max(self.records);
+    }
+
+    /// Folds every window completing at or before watermark `w` out of the
+    /// index. The caller guarantees no later walk is stamped before `w`
+    /// (the no-earlier-arrival contract the fabric's compaction uses), so a
+    /// folded window could never again serve a probe or count as in flight.
+    fn compact_before(&mut self, w: u64) {
+        if w <= self.watermark {
+            return;
+        }
+        self.watermark = w;
+        let mut folded = 0usize;
+        self.addrs.retain(|_, aw| {
+            if aw.max_complete <= w {
+                folded += aw.by_issue.len();
+                return false;
+            }
+            let before = aw.by_issue.len();
+            aw.by_issue.retain(|_, win| win.complete > w);
+            folded += before - aw.by_issue.len();
+            true
+        });
+        self.records -= folded;
+        self.compacted += folded as u64;
+        self.in_flight.compact_before(w);
+    }
+
+    /// Live window records held by the index.
+    fn event_count(&self) -> usize {
+        self.records
+    }
+
+    /// Peak live record count over the window.
+    const fn events_peak(&self) -> usize {
+        self.events_peak
+    }
+
+    /// Records folded away by [`WalkTable::compact_before`].
+    const fn compacted_events(&self) -> u64 {
+        self.compacted
+    }
+
+    /// The compaction watermark (0 until the first compaction).
+    const fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Drops every register (invalidation); statistics survive.
+    fn clear(&mut self) {
+        self.addrs.clear();
+        self.records = 0;
+        self.watermark = 0;
+        self.in_flight.clear_entries();
+    }
+
+    /// Clears registers *and* the lifecycle statistics.
+    fn reset(&mut self) {
+        self.clear();
+        self.events_peak = 0;
+        self.compacted = 0;
+        self.in_flight.reset();
+    }
+
+    /// Checks the index invariants: the record count matches the maps, every
+    /// window is non-empty and at or under its address's `max_complete`,
+    /// and the in-flight timeline's prefix is consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is inconsistent.
+    fn debug_validate(&self) {
+        let mut records = 0usize;
+        for (addr, aw) in &self.addrs {
+            assert!(!aw.by_issue.is_empty(), "empty window set for {addr:#x}");
+            let mut max_complete = 0u64;
+            for (&issued, w) in &aw.by_issue {
+                assert!(w.complete > issued, "empty window at {addr:#x}@{issued}");
+                max_complete = max_complete.max(w.complete);
+            }
+            assert_eq!(
+                aw.max_complete, max_complete,
+                "stale max_complete for {addr:#x}"
+            );
+            records += aw.by_issue.len();
+        }
+        assert_eq!(self.records, records, "record count diverged from the maps");
+        self.in_flight.debug_validate();
+    }
+}
+
+/// The pre-index walk table, retained **verbatim** as the executable
+/// specification of the MSHR semantics: a flat insertion-ordered `Vec`
+/// whose coalescing probe is a first-match scan and whose concurrency
+/// bound is a full-table filter. [`WalkTable`] must stay cycle-identical
+/// to it; the property suite and the `ptw_walk_storm` perf gate twin-run
+/// both engines on the same workloads.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NaiveWalkTable {
+    table: Vec<WalkEntry>,
+    events_peak: usize,
+}
+
+impl NaiveWalkTable {
+    fn probe(&self, pte_addr: u64, now: u64, skew: u64) -> Option<(u64, u64)> {
+        self.table
+            .iter()
+            .find(|e| e.pte_addr == pte_addr && e.issued <= now && e.complete + skew > now)
+            .map(|e| (e.value, e.complete))
+    }
+
+    fn in_flight_at(&self, now: u64) -> usize {
+        self.table
+            .iter()
+            .filter(|e| e.issued <= now && e.complete > now)
+            .count()
+    }
+
+    fn hold(&mut self, pte_addr: u64, value: u64, issued: u64, complete: u64) {
+        self.table.push(WalkEntry {
+            pte_addr,
+            value,
+            issued,
+            complete,
+        });
+        self.events_peak = self.events_peak.max(self.table.len());
+    }
+
+    fn event_count(&self) -> usize {
+        self.table.len()
+    }
+
+    const fn events_peak(&self) -> usize {
+        self.events_peak
+    }
+
+    fn clear(&mut self) {
+        self.table.clear();
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+        self.events_peak = 0;
+    }
+}
+
+/// The walk-table engine behind a batched walker: the indexed store or the
+/// retained linear-scan reference.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum WalkTableImpl {
+    Indexed(WalkTable),
+    Naive(NaiveWalkTable),
+}
+
+impl Default for WalkTableImpl {
+    fn default() -> Self {
+        Self::Indexed(WalkTable::default())
+    }
+}
+
+impl WalkTableImpl {
+    fn probe(&self, pte_addr: u64, now: u64, skew: u64) -> Option<(u64, u64)> {
+        match self {
+            Self::Indexed(t) => t.probe(pte_addr, now, skew),
+            Self::Naive(t) => t.probe(pte_addr, now, skew),
+        }
+    }
+
+    fn in_flight_at(&self, now: u64) -> usize {
+        match self {
+            Self::Indexed(t) => t.in_flight_at(now),
+            Self::Naive(t) => t.in_flight_at(now),
+        }
+    }
+
+    fn hold(&mut self, pte_addr: u64, value: u64, issued: u64, complete: u64) {
+        match self {
+            Self::Indexed(t) => t.hold(pte_addr, value, issued, complete),
+            Self::Naive(t) => t.hold(pte_addr, value, issued, complete),
+        }
+    }
+
+    fn compact_before(&mut self, w: u64) {
+        match self {
+            Self::Indexed(t) => t.compact_before(w),
+            // The reference keeps the full window history by design — its
+            // probe semantics *are* the spec the compaction contract must
+            // not disturb.
+            Self::Naive(_) => {}
+        }
+    }
+
+    fn event_count(&self) -> usize {
+        match self {
+            Self::Indexed(t) => t.event_count(),
+            Self::Naive(t) => t.event_count(),
+        }
+    }
+
+    fn events_peak(&self) -> usize {
+        match self {
+            Self::Indexed(t) => t.events_peak(),
+            Self::Naive(t) => t.events_peak(),
+        }
+    }
+
+    fn compacted_events(&self) -> u64 {
+        match self {
+            Self::Indexed(t) => t.compacted_events(),
+            Self::Naive(_) => 0,
+        }
+    }
+
+    fn watermark(&self) -> u64 {
+        match self {
+            Self::Indexed(t) => t.watermark(),
+            Self::Naive(_) => 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Self::Indexed(t) => t.clear(),
+            Self::Naive(t) => t.clear(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Self::Indexed(t) => t.reset(),
+            Self::Naive(t) => t.reset(),
+        }
+    }
+
+    fn debug_validate(&self) {
+        if let Self::Indexed(t) = self {
+            t.debug_validate();
+        }
+    }
+}
+
 /// The hardware page-table walker.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct PageTableWalker {
@@ -97,8 +478,11 @@ pub struct PageTableWalker {
     batching: bool,
     /// Capacity of the walk table (ignored with batching off).
     mshr_entries: usize,
+    /// Test-only probe skew (see [`PageTableWalker::debug_probe_skew`]);
+    /// always zero in production walkers.
+    probe_skew: u64,
     /// The in-flight PTE reads.
-    table: Vec<WalkEntry>,
+    table: WalkTableImpl,
 }
 
 impl PageTableWalker {
@@ -117,6 +501,19 @@ impl PageTableWalker {
         }
     }
 
+    /// Creates a batched walker on the retained [`NaiveWalkTable`]
+    /// reference engine — the executable spec the cycle-identity suite and
+    /// the `ptw_walk_storm` perf gate twin-run against. Not for production
+    /// use: the flat store scans its whole window history on every fetch.
+    pub fn with_naive_batching(mshr_entries: usize) -> Self {
+        Self {
+            batching: true,
+            mshr_entries: mshr_entries.max(1),
+            table: WalkTableImpl::Naive(NaiveWalkTable::default()),
+            ..Self::default()
+        }
+    }
+
     /// Whether the MSHR-style walk table is active.
     pub const fn batching(&self) -> bool {
         self.batching
@@ -124,6 +521,8 @@ impl PageTableWalker {
 
     /// One timestamped PTE fetch: either coalesce onto an in-flight read of
     /// the same PTE or issue a timed read on the PTW port at `now`.
+    /// `in_flight_limit` is the walk's resolved MSHR concurrency bound
+    /// (capacity clamped by port credits, computed once per walk).
     /// Returns the raw PTE value, the completion time, and whether the
     /// level coalesced.
     fn fetch_pte(
@@ -131,6 +530,7 @@ impl PageTableWalker {
         mem: &mut MemorySystem,
         pte_addr: PhysAddr,
         now: Cycles,
+        in_flight_limit: usize,
     ) -> Result<(u64, Cycles, bool)> {
         if self.batching {
             // A register serves this walk only while its read is genuinely
@@ -139,13 +539,13 @@ impl PageTableWalker {
             // dead *for this walk* but may still serve a conceptually
             // concurrent walk whose time falls inside it (shards are
             // simulated sequentially, so arrival times interleave
-            // arbitrarily) — they are only reclaimed by the capacity bound
-            // below or by an invalidation.
-            if let Some(entry) = self.table.iter().find(|e| {
-                e.pte_addr == pte_addr.raw() && e.issued <= now.raw() && e.complete > now.raw()
-            }) {
+            // arbitrarily) — they are only reclaimed by watermark
+            // compaction or an invalidation.
+            if let Some((value, complete)) =
+                self.table.probe(pte_addr.raw(), now.raw(), self.probe_skew)
+            {
                 self.coalesced_reads += 1;
-                return Ok((entry.value, Cycles::new(entry.complete), true));
+                return Ok((value, Cycles::new(complete), true));
             }
         }
         let mut buf = [0u8; 8];
@@ -155,46 +555,44 @@ impl PageTableWalker {
         self.pte_reads += 1;
         if self.batching {
             // The MSHR capacity is a *concurrency* bound: a new read is only
-            // held in a register if fewer than `mshr_entries` reads are in
-            // flight at its issue instant — an unheld read simply cannot be
-            // coalesced on (the serial fallback). The bound is additionally
-            // clamped by the walker's *port credits*: under a
-            // split-transaction fabric with a finite request queue
-            // (`FabricConfig::req_queue_depth`), the walker cannot keep more
-            // reads in flight than its port has request-queue slots, however
-            // large its walk table is. The clamp mirrors the fabric's own
-            // participation rule — PTW grants only take request-queue
-            // credits under the global-clock engine (`timed_host_ptw`), so
-            // without it the walker does not throttle itself for slots its
-            // traffic never occupies. Records of completed reads are
-            // retained for the rest of the measurement window, because
-            // shards are simulated sequentially: a later-simulated,
+            // held in a register if fewer than `in_flight_limit` reads are
+            // in flight at its issue instant — an unheld read simply cannot
+            // be coalesced on (the serial fallback). Records of completed
+            // reads are retained for the rest of the measurement window,
+            // because shards are simulated sequentially: a later-simulated,
             // conceptually concurrent walk may revisit any instant of the
             // window and must find the registers that were live then. The
             // table is purged per window (statistics reset) and on every
-            // invalidation.
-            let fabric = &mem.config().fabric;
-            let port_credits = if fabric.timed_host_ptw {
-                fabric.req_queue_depth.max(1)
-            } else {
-                usize::MAX
-            };
-            let in_flight_limit = self.mshr_entries.min(port_credits);
-            let in_flight_now = self
-                .table
-                .iter()
-                .filter(|e| e.issued <= now.raw() && e.complete > now.raw())
-                .count();
-            if in_flight_now < in_flight_limit {
-                self.table.push(WalkEntry {
-                    pte_addr: pte_addr.raw(),
-                    value,
-                    issued: now.raw(),
-                    complete: complete.raw(),
-                });
+            // invalidation. A zero-latency read is never held: its empty
+            // window can neither serve a coalescing walk nor count as in
+            // flight.
+            let in_flight_now = self.table.in_flight_at(now.raw());
+            if in_flight_now < in_flight_limit && complete > now {
+                self.table
+                    .hold(pte_addr.raw(), value, now.raw(), complete.raw());
             }
         }
         Ok((value, complete, false))
+    }
+
+    /// The walk's in-flight concurrency bound: the MSHR capacity,
+    /// additionally clamped by the walker's *port credits*. Under a
+    /// split-transaction fabric with a finite request queue
+    /// (`FabricConfig::req_queue_depth`), the walker cannot keep more reads
+    /// in flight than its port has request-queue slots, however large its
+    /// walk table is. The clamp mirrors the fabric's own participation
+    /// rule — PTW grants only take request-queue credits under the
+    /// global-clock engine (`timed_host_ptw`), so without it the walker
+    /// does not throttle itself for slots its traffic never occupies.
+    /// Resolved once per walk, not once per PTE read.
+    fn in_flight_limit(&self, mem: &MemorySystem) -> usize {
+        let fabric = &mem.config().fabric;
+        let port_credits = if fabric.timed_host_ptw {
+            fabric.req_queue_depth.max(1)
+        } else {
+            usize::MAX
+        };
+        self.mshr_entries.min(port_credits)
     }
 
     /// Walks the Sv39 table rooted at `root` for `iova`, issuing PTE reads
@@ -239,10 +637,15 @@ impl PageTableWalker {
         let mut t = now;
         let mut reads = 0u32;
         let mut coalesced = 0u32;
+        let in_flight_limit = if self.batching {
+            self.in_flight_limit(mem)
+        } else {
+            0
+        };
 
         for level in 0..PT_LEVELS {
             let pte_addr = pte_address(table, va, level);
-            let (raw, complete, hit_mshr) = self.fetch_pte(mem, pte_addr, t)?;
+            let (raw, complete, hit_mshr) = self.fetch_pte(mem, pte_addr, t, in_flight_limit)?;
             t = complete;
             if hit_mshr {
                 coalesced += 1;
@@ -305,6 +708,58 @@ impl PageTableWalker {
         self.coalesced_reads
     }
 
+    /// Live window records held by the walk table.
+    pub fn walk_table_events(&self) -> usize {
+        self.table.event_count()
+    }
+
+    /// Peak live record count over the measurement window.
+    pub fn walk_table_events_peak(&self) -> usize {
+        self.table.events_peak()
+    }
+
+    /// Window records folded away by watermark compaction.
+    pub fn walk_table_compacted_events(&self) -> u64 {
+        self.table.compacted_events()
+    }
+
+    /// The walk table's compaction watermark (0 until the first
+    /// compaction).
+    pub fn walk_table_watermark(&self) -> u64 {
+        self.table.watermark()
+    }
+
+    /// Folds every walk-table window completing at or before watermark `w`.
+    /// Contract: no later walk will be stamped before `w` (the same
+    /// no-earlier-arrival watermark `Fabric::compact_before` uses); applied
+    /// at sharded device-window boundaries. A no-op on the naive reference
+    /// engine, whose full retained history *is* the spec.
+    pub fn compact_walk_table_before(&mut self, w: Cycles) {
+        self.table.compact_before(w.raw());
+    }
+
+    /// Test hook: widens every held window's completion edge by `skew`
+    /// cycles at probe time, turning the walk table's half-open
+    /// `[issued, complete)` windows end-inclusive (a window with
+    /// `complete == now` wrongly serves the walk) — the injected
+    /// completion-window off-by-one the cycle-identity suite must prove it
+    /// catches.
+    #[doc(hidden)]
+    pub fn debug_probe_skew(&mut self, skew: u64) {
+        self.probe_skew = skew;
+    }
+
+    /// Checks the indexed walk table's internal invariants (no-op on the
+    /// naive reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is inconsistent.
+    #[doc(hidden)]
+    pub fn debug_validate_walk_table(&self) {
+        self.table.debug_validate();
+    }
+
     /// Purges the walk table (an IOTLB/DDT invalidation command reached the
     /// IOMMU, or the page tables changed under the walker).
     pub fn invalidate_walk_table(&mut self) {
@@ -318,7 +773,7 @@ impl PageTableWalker {
         self.faults = 0;
         self.pte_reads = 0;
         self.coalesced_reads = 0;
-        self.table.clear();
+        self.table.reset();
     }
 }
 
@@ -462,6 +917,7 @@ mod tests {
         }
         assert_eq!(ptw.pte_reads(), 3, "K walks, one walk's worth of reads");
         assert_eq!(ptw.coalesced_reads(), (K - 1) * 3);
+        ptw.debug_validate_walk_table();
     }
 
     /// Walks of different pages in the same region share the upper levels of
@@ -581,6 +1037,7 @@ mod tests {
                 "reads + coalesced levels conserve across {entries} MSHR entries"
             );
             assert_eq!(ptw.faults(), 0);
+            ptw.debug_validate_walk_table();
         }
     }
 
@@ -666,5 +1123,48 @@ mod tests {
             .unwrap();
         assert_eq!(res.reads, 3, "post-invalidation walk re-reads every level");
         assert_eq!(res.coalesced, 0);
+    }
+
+    /// The lifecycle observables behave like the fabric's: holds raise the
+    /// live count and the peak, compaction folds dead windows (monotonically
+    /// advancing the watermark) without disturbing live ones, invalidation
+    /// clears the live set but keeps the window statistics, and a stats
+    /// reset clears both.
+    #[test]
+    fn walk_table_lifecycle_observables() {
+        let (mut mem, space, iova) = mapped_space_pages(false, 600, 4);
+        let mut ptw = PageTableWalker::with_batching(DEFAULT_MSHR_ENTRIES);
+        for i in 0..4u64 {
+            ptw.walk_at(
+                &mut mem,
+                space.root(),
+                iova + (i % 4) * PAGE_SIZE,
+                false,
+                Cycles::new(i * 2000),
+            )
+            .unwrap();
+        }
+        let live = ptw.walk_table_events();
+        assert!(live > 0);
+        assert_eq!(ptw.walk_table_events_peak(), live, "append-only until now");
+        assert_eq!(ptw.walk_table_compacted_events(), 0);
+        ptw.debug_validate_walk_table();
+        // Everything from the first three walks is long dead at 6000.
+        ptw.compact_walk_table_before(Cycles::new(6000));
+        assert_eq!(ptw.walk_table_watermark(), 6000);
+        assert!(ptw.walk_table_compacted_events() > 0);
+        assert!(ptw.walk_table_events() < live);
+        assert_eq!(ptw.walk_table_events_peak(), live, "peak survives folding");
+        ptw.debug_validate_walk_table();
+        // A stale watermark never rewinds.
+        ptw.compact_walk_table_before(Cycles::new(10));
+        assert_eq!(ptw.walk_table_watermark(), 6000);
+        ptw.invalidate_walk_table();
+        assert_eq!(ptw.walk_table_events(), 0);
+        assert!(ptw.walk_table_compacted_events() > 0, "fold total survives");
+        ptw.reset_stats();
+        assert_eq!(ptw.walk_table_events_peak(), 0);
+        assert_eq!(ptw.walk_table_compacted_events(), 0);
+        assert_eq!(ptw.walk_table_watermark(), 0);
     }
 }

@@ -1,0 +1,214 @@
+//! Lockstep property suite for the PRI `(device, page)` dedup index.
+//!
+//! `Iommu::enqueue_page_requests` replaced its per-page queue scan with a
+//! dedup set maintained in lockstep with the bounded page-request queue.
+//! The suite drives a twin pair — one IOMMU on the indexed path, one on
+//! the retained scan reference (`enqueue_page_requests_scan`) — through a
+//! `DeterministicRng` mix of page-request groups (overlapping ranges, two
+//! devices, mapped-page skips, queue overflow), host pops and
+//! measurement-window resets (`reset_stats`, which covers the queue's
+//! `reset_dropped` path while pending entries survive), asserting after
+//! every operation that
+//!
+//! * both paths agree on every `(enqueued, dropped)` outcome and every
+//!   popped request — the dedup index is observationally invisible — and
+//! * the index mirrors the queue exactly (`debug_validate_page_requests`).
+//!
+//! Two teeth tests prove the harness catches an injected stale entry (a
+//! `(device, page)` left in the index with no backing queue entry): the
+//! stale entry suppresses a legitimate re-request, diverging from the scan
+//! reference, and the validator flags the desync directly.
+
+use sva_common::rng::DeterministicRng;
+use sva_common::{Cycles, Iova, VirtAddr, PAGE_SIZE};
+use sva_iommu::{Iommu, IommuConfig};
+use sva_mem::MemorySystem;
+use sva_vm::{AddressSpace, FrameAllocator, PageTable, PteFlags};
+
+const PAGES: u64 = 8;
+const DEVICES: [u32; 2] = [1, 3];
+const OPS: usize = 600;
+
+struct Harness {
+    mem: MemorySystem,
+    frames: FrameAllocator,
+    space: AddressSpace,
+    io_tables: Vec<PageTable>,
+    va: VirtAddr,
+    mapped: Vec<[bool; PAGES as usize]>,
+}
+
+/// One shared environment: a host space with `PAGES` backed pages and one
+/// initially-empty IO page table per device. Both twins read the same
+/// memory (the enqueue path only probes it), so their observable outcomes
+/// must match operation for operation.
+fn harness() -> (Harness, Iommu, Iommu) {
+    let mut mem = MemorySystem::default();
+    let mut frames = FrameAllocator::linux_pool();
+    let mut space = AddressSpace::new(&mut mem, &mut frames).unwrap();
+    let va = space
+        .alloc_buffer(&mut mem, &mut frames, PAGES * PAGE_SIZE)
+        .unwrap();
+    let config = IommuConfig {
+        demand_paging: true,
+        page_request_entries: 5,
+        ..IommuConfig::default()
+    };
+    let mut indexed = Iommu::new(config);
+    let mut scan = Iommu::new(config);
+    let mut io_tables = Vec::new();
+    for &dev in &DEVICES {
+        let io_table = PageTable::create(&mut frames).unwrap();
+        for iommu in [&mut indexed, &mut scan] {
+            iommu
+                .attach_device(&mut mem, &mut frames, dev, space.pscid(), io_table.root())
+                .unwrap();
+        }
+        io_tables.push(io_table);
+    }
+    (
+        Harness {
+            mem,
+            frames,
+            space,
+            io_tables,
+            va,
+            mapped: vec![[false; PAGES as usize]; DEVICES.len()],
+        },
+        indexed,
+        scan,
+    )
+}
+
+/// The core lockstep property: the dedup index never desyncs from the
+/// queue, and the indexed path is observationally identical to the scan
+/// reference, across enqueue / overflow-drop / pop / map-page /
+/// window-reset interleavings.
+#[test]
+fn dedup_index_stays_in_lockstep_with_the_queue() {
+    let mut rng = DeterministicRng::new(0x9B1_DED0);
+    let (mut h, mut indexed, mut scan) = harness();
+    let mut popped = 0u64;
+    let mut overflowed = 0u64;
+    let mut resets = 0u64;
+    for i in 0..OPS {
+        match rng.next_below(10) {
+            // A page-request group: random device, start page, length —
+            // overlapping earlier groups so the dedup probe actually fires.
+            0..=5 => {
+                let dev_idx = rng.next_below(DEVICES.len() as u64) as usize;
+                let page = rng.next_below(PAGES);
+                let len = (1 + rng.next_below(4)) * PAGE_SIZE;
+                let start = Iova::from_virt(h.va) + page * PAGE_SIZE + rng.next_below(PAGE_SIZE);
+                let is_write = rng.next_below(3) == 0;
+                let t = Cycles::new(i as u64 * 7);
+                let a = indexed.enqueue_page_requests(
+                    &h.mem,
+                    DEVICES[dev_idx],
+                    start,
+                    len,
+                    is_write,
+                    t,
+                );
+                let b = scan.enqueue_page_requests_scan(
+                    &h.mem,
+                    DEVICES[dev_idx],
+                    start,
+                    len,
+                    is_write,
+                    t,
+                );
+                assert_eq!(a, b, "op {i}: group outcome diverged");
+                overflowed += a.1;
+            }
+            // A host pop: both twins must surface the same request.
+            6..=7 => {
+                let a = indexed.pop_page_request();
+                let b = scan.pop_page_request();
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "op {i}: popped request diverged"
+                );
+                popped += u64::from(a.is_some());
+            }
+            // The host maps a page into one device's IO table: later
+            // groups skip it (even if a request for it is still queued).
+            8 => {
+                let dev_idx = rng.next_below(DEVICES.len() as u64) as usize;
+                let page = rng.next_below(PAGES) as usize;
+                if !h.mapped[dev_idx][page] {
+                    let host_va = h.va + page as u64 * PAGE_SIZE;
+                    let pa = h.space.translate(&h.mem, host_va).unwrap();
+                    h.io_tables[dev_idx]
+                        .map_page(&mut h.mem, &mut h.frames, host_va, pa, PteFlags::user_rw())
+                        .unwrap();
+                    h.mapped[dev_idx][page] = true;
+                }
+            }
+            // A measurement-window reset: statistics (and the queue's drop
+            // counter) restart, pending requests — and their dedup
+            // entries — survive.
+            _ => {
+                indexed.reset_stats();
+                scan.reset_stats();
+                resets += 1;
+                assert_eq!(
+                    indexed.stats().page_request_pending_peak,
+                    indexed.pending_page_requests(),
+                    "op {i}: peak restarts at the carried-over size"
+                );
+            }
+        }
+        indexed.debug_validate_page_requests();
+        assert_eq!(
+            indexed.pending_page_requests(),
+            scan.pending_page_requests(),
+            "op {i}: queue lengths diverged"
+        );
+    }
+    assert!(popped > 0, "the mix must exercise the pop path");
+    assert!(overflowed > 0, "the mix must exercise the overflow path");
+    assert!(resets > 0, "the mix must exercise the window reset");
+    // Drain both queues to the end: every remaining pop agrees and the
+    // index empties with the queue.
+    loop {
+        let a = indexed.pop_page_request();
+        let b = scan.pop_page_request();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "drain diverged");
+        indexed.debug_validate_page_requests();
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(indexed.pending_page_requests(), 0);
+}
+
+/// Teeth, part 1: a stale dedup entry silently suppresses a legitimate
+/// re-request — the twin comparison catches it as an enqueue-count
+/// divergence on the very next group.
+#[test]
+fn harness_catches_an_injected_stale_entry() {
+    let (h, mut indexed, mut scan) = harness();
+    let start = Iova::from_virt(h.va);
+    // The stale entry: device 1 supposedly has page 0 pending — but the
+    // queue holds nothing.
+    indexed.debug_inject_stale_pending_page(DEVICES[0], start);
+    let a =
+        indexed.enqueue_page_requests(&h.mem, DEVICES[0], start, PAGE_SIZE, false, Cycles::ZERO);
+    let b =
+        scan.enqueue_page_requests_scan(&h.mem, DEVICES[0], start, PAGE_SIZE, false, Cycles::ZERO);
+    assert_ne!(
+        a, b,
+        "the lockstep harness failed to catch a stale dedup entry"
+    );
+}
+
+/// Teeth, part 2: the validator flags the desync directly.
+#[test]
+#[should_panic(expected = "dedup index size diverged")]
+fn validator_flags_an_injected_stale_entry() {
+    let (h, mut indexed, _) = harness();
+    indexed.debug_inject_stale_pending_page(DEVICES[1], Iova::from_virt(h.va));
+    indexed.debug_validate_page_requests();
+}
