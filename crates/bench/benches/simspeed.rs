@@ -2,9 +2,11 @@
 //! engine: indexed vs linear-scan pushes on a deep bounded queue, the
 //! admission query on a standing backlog, watermark compaction, the
 //! fabric `admit` grant path (end-indexed placement vs the retained
-//! linear-scan `NaiveFabric`), and the page-table walker's hot fetch path
+//! linear-scan `NaiveFabric`), the page-table walker's hot fetch path
 //! (indexed walk-table probe vs the retained full-table scan, on a walker
-//! carrying thousands of accumulated walk records).
+//! carrying thousands of accumulated walk records), and the backing
+//! store's hot single-frame typed accessors (direct-map + last-frame memo
+//! vs the retained hash-map engine).
 //!
 //! The `simspeed` binary is the perf *gate* (absolute
 //! simulated-cycles-per-second, written to `BENCH_simspeed.json`); these
@@ -240,12 +242,44 @@ fn bench_ptw_fetch_hot(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hot data-plane element access: typed `u64` reads and writes cycling
+/// inside one resident frame (the PTE-fetch / page-table-write shape — the
+/// memo and the single-frame fast path both stay hot), direct-map store vs
+/// the retained hash-map engine.
+fn bench_backing_frame_hot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backing/frame_hot");
+    let capacity = 64 * PAGE_SIZE;
+    let hot = 3 * PAGE_SIZE;
+    group.bench_function("indexed", |b| {
+        let mut mem = sva_mem::SparseMemory::new(capacity);
+        mem.write_u64(hot, 1).unwrap();
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot = (slot + 8) % 512;
+            let v = mem.read_u64(hot + slot).unwrap();
+            black_box(mem.write_u64(hot + slot, v.wrapping_add(1)).unwrap())
+        })
+    });
+    group.bench_function("naive", |b| {
+        let mut mem = sva_mem::NaiveSparseMemory::new(capacity);
+        mem.write_u64(hot, 1).unwrap();
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot = (slot + 8) % 512;
+            let v = mem.read_u64(hot + slot).unwrap();
+            black_box(mem.write_u64(hot + slot, v.wrapping_add(1)).unwrap())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_push,
     bench_queries,
     bench_compaction,
     bench_fabric_admit,
-    bench_ptw_fetch_hot
+    bench_ptw_fetch_hot,
+    bench_backing_frame_hot
 );
 criterion_main!(benches);

@@ -77,6 +77,16 @@ impl<'a> TileCtx<'a> {
     ///
     /// See [`TileCtx::read`].
     pub fn read_f32(&self, iova: Iova) -> Result<f32> {
+        // Tile element reads are 4-byte and tile layouts are element-aligned,
+        // so the access almost never straddles a page: one translation probe
+        // plus the store's typed single-frame read. The generic page-split
+        // loop remains as the straddle fallback.
+        if iova.page_offset() + 4 <= sva_common::PAGE_SIZE {
+            let pa = self
+                .iommu
+                .probe_translation(self.mem, self.device_id, iova)?;
+            return self.mem.read_f32_phys(pa);
+        }
         let mut b = [0u8; 4];
         self.read(iova, &mut b)?;
         Ok(f32::from_le_bytes(b))

@@ -85,28 +85,37 @@ impl Tcdm {
         self.data[o..o + 4].copy_from_slice(&value.to_le_bytes());
     }
 
-    /// Reads a slice of `f32` starting at `offset`.
+    /// Reads a slice of `f32` starting at `offset`: one bounds check, then a
+    /// chunked little-endian conversion over the raw bytes (no per-element
+    /// indexing).
     ///
     /// # Errors
     ///
     /// Returns [`Error::TcdmOverflow`] if the range exceeds the capacity.
     pub fn read_f32_slice(&self, offset: u64, out: &mut [f32]) -> Result<()> {
-        self.check(offset, (out.len() * 4) as u64)?;
-        for (i, v) in out.iter_mut().enumerate() {
-            *v = self.read_f32(offset + (i * 4) as u64);
+        let bytes = (out.len() * 4) as u64;
+        self.check(offset, bytes)?;
+        let base = offset as usize;
+        let src = &self.data[base..base + out.len() * 4];
+        for (v, c) in out.iter_mut().zip(src.chunks_exact(4)) {
+            *v = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
         }
         Ok(())
     }
 
-    /// Writes a slice of `f32` starting at `offset`.
+    /// Writes a slice of `f32` starting at `offset`: one bounds check, then a
+    /// chunked little-endian conversion into the raw bytes.
     ///
     /// # Errors
     ///
     /// Returns [`Error::TcdmOverflow`] if the range exceeds the capacity.
     pub fn write_f32_slice(&mut self, offset: u64, values: &[f32]) -> Result<()> {
-        self.check(offset, (values.len() * 4) as u64)?;
-        for (i, v) in values.iter().enumerate() {
-            self.write_f32(offset + (i * 4) as u64, *v);
+        let bytes = (values.len() * 4) as u64;
+        self.check(offset, bytes)?;
+        let base = offset as usize;
+        let dst = &mut self.data[base..base + values.len() * 4];
+        for (c, v) in dst.chunks_exact_mut(4).zip(values.iter()) {
+            c.copy_from_slice(&v.to_le_bytes());
         }
         Ok(())
     }

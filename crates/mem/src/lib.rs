@@ -4,7 +4,10 @@
 //! access in the simulation:
 //!
 //! * [`backing`] — a sparse, frame-granular byte store holding the functional
-//!   contents of DRAM and the L2 scratchpad;
+//!   contents of DRAM and the L2 scratchpad, laid out as a direct-map frame
+//!   table with typed single-frame fast paths;
+//! * [`naive_backing`] — the retained hash-map store engine the direct-map
+//!   store is lockstep-tested against (`backing_identity`);
 //! * [`dram`] — the DRAM controller timing model, including the AXI delayer
 //!   the paper uses to sweep memory latency;
 //! * [`cache`] — a generic set-associative cache timing model (tags + LRU +
@@ -58,6 +61,7 @@ pub mod dram;
 pub mod fabric;
 pub mod interference;
 pub mod llc;
+pub mod naive_backing;
 pub mod naive_fabric;
 pub mod spm;
 pub mod system;
@@ -69,6 +73,7 @@ pub use dram::{Dram, DramConfig};
 pub use fabric::{Fabric, FabricConfig, GrantOutcome, InitiatorSnapshot};
 pub use interference::Interference;
 pub use llc::{Llc, LlcConfig};
+pub use naive_backing::NaiveSparseMemory;
 pub use naive_fabric::NaiveFabric;
 pub use spm::Scratchpad;
 pub use system::{BurstTiming, MemData, MemReq, MemRsp, MemSysConfig, MemSysStats, MemorySystem};

@@ -29,6 +29,12 @@ pub fn vpn(va: VirtAddr, level: usize) -> u64 {
 
 /// Physical address of the PTE consulted at `level` when walking `va` in a
 /// table page at `table_base`. This is the address the IOMMU's PTW reads.
+///
+/// Because `table_base` is a page-aligned frame and the index offset is a
+/// multiple of 8 below `PAGE_SIZE`, every PTE address is 8-byte aligned and
+/// the 8-byte access never straddles a frame boundary — all PTE fetches and
+/// stores (here and in the IOMMU's PTW) take the backing store's typed
+/// single-frame fast path. Pinned by `pte_accesses_never_straddle_a_frame`.
 pub fn pte_address(table_base: PhysAddr, va: VirtAddr, level: usize) -> PhysAddr {
     table_base + vpn(va, level) * 8
 }
@@ -387,5 +393,37 @@ mod tests {
         let path = pt.walk(&mem, VirtAddr::new(0x7000_0000)).unwrap();
         assert_eq!(path.reads(), 1);
         assert!(path.leaf().is_none());
+    }
+
+    #[test]
+    fn pte_accesses_never_straddle_a_frame() {
+        // Every PTE address a walk can produce is 8-byte aligned with the
+        // whole entry inside one frame, so the page-table write path and the
+        // IOMMU's PTW always hit the backing store's typed single-frame fast
+        // path. Sweep the extreme indexes of every level, including the last
+        // slot of a table page (offset PAGE_SIZE - 8).
+        let base = PhysAddr::new(0x8010_0000);
+        for level in 0..PT_LEVELS {
+            for va in [
+                VirtAddr::new(0),
+                VirtAddr::new(u64::MAX >> (64 - 12 - 9 * PT_LEVELS as u64)),
+                VirtAddr::new(0x4000_2000),
+            ] {
+                let addr = pte_address(base, va, level);
+                assert_eq!(addr.raw() % 8, 0, "PTE at {addr} not 8-byte aligned");
+                let in_frame = addr.raw() % sva_common::PAGE_SIZE;
+                assert!(
+                    in_frame + 8 <= sva_common::PAGE_SIZE,
+                    "PTE at {addr} straddles a frame boundary"
+                );
+            }
+        }
+        // The max VPN index lands on the last slot of the table page.
+        let last = pte_address(
+            base,
+            VirtAddr::new(u64::MAX >> (64 - 12 - 9 * PT_LEVELS as u64)),
+            PT_LEVELS - 1,
+        );
+        assert_eq!(last.raw() - base.raw(), sva_common::PAGE_SIZE - 8);
     }
 }
